@@ -1,0 +1,193 @@
+// Benchmarks: one per paper table/figure (regenerating the artifact via
+// the experiment suite) plus micro-benchmarks of the substrates. The
+// experiment benches share one cached suite, so `go test -bench=.`
+// computes each underlying simulation once; per-experiment numbers measure
+// the incremental cost of that artifact given the shared cache.
+package ripple_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"ripple"
+	"ripple/internal/experiment"
+)
+
+var (
+	suiteOnce  sync.Once
+	benchSuite *experiment.Suite
+)
+
+// suite returns the shared benchmark suite: all nine applications at a
+// reduced trace length so the whole table set regenerates in minutes.
+func suite() *experiment.Suite {
+	suiteOnce.Do(func() {
+		benchSuite = experiment.New(experiment.Config{
+			TraceBlocks:  300_000,
+			WarmupBlocks: 100_000,
+			Thresholds:   []float64{0.45, 0.65, 0.85},
+			Log:          nil,
+		})
+	})
+	return benchSuite
+}
+
+func benchExperiment(b *testing.B, id string) {
+	s := suite()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Tables(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B)        { benchExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)        { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)        { benchExperiment(b, "fig3") }
+func BenchmarkTab1(b *testing.B)        { benchExperiment(b, "tab1") }
+func BenchmarkTab2(b *testing.B)        { benchExperiment(b, "tab2") }
+func BenchmarkObs12(b *testing.B)       { benchExperiment(b, "obs12") }
+func BenchmarkCompulsory(b *testing.B)  { benchExperiment(b, "compulsory") }
+func BenchmarkFig5(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)        { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)        { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)        { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)       { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)       { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)       { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)       { benchExperiment(b, "fig13") }
+func BenchmarkDemote(b *testing.B)      { benchExperiment(b, "demote") }
+func BenchmarkGranularity(b *testing.B) { benchExperiment(b, "granularity") }
+
+// Extension experiments (grounded in the paper's text; see DESIGN.md).
+func BenchmarkArch(b *testing.B)       { benchExperiment(b, "arch") }
+func BenchmarkMerged(b *testing.B)     { benchExperiment(b, "merged") }
+func BenchmarkLBR(b *testing.B)        { benchExperiment(b, "lbr") }
+func BenchmarkXPrefetch(b *testing.B)  { benchExperiment(b, "xprefetch") }
+func BenchmarkLayout(b *testing.B)     { benchExperiment(b, "layout") }
+func BenchmarkCodeLayout(b *testing.B) { benchExperiment(b, "codelayout") }
+func BenchmarkWindowCap(b *testing.B)  { benchExperiment(b, "windowcap") }
+func BenchmarkHintCost(b *testing.B)   { benchExperiment(b, "hintcost") }
+func BenchmarkPhases(b *testing.B)     { benchExperiment(b, "phases") }
+
+// --- substrate micro-benchmarks ---
+
+func benchApp(b *testing.B) *ripple.App {
+	b.Helper()
+	app, err := ripple.BuildWorkload(ripple.MustWorkload("finagle-http"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return app
+}
+
+// BenchmarkWorkloadTrace measures trace synthesis throughput (blocks/op
+// scaled by b.N).
+func BenchmarkWorkloadTrace(b *testing.B) {
+	app := benchApp(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = app.Trace(0, 50_000)
+	}
+}
+
+// BenchmarkTraceEncode measures PT-packet encoding of a 50k-block trace.
+func BenchmarkTraceEncode(b *testing.B) {
+	app := benchApp(b)
+	tr := app.Trace(0, 50_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := ripple.EncodeTrace(&buf, app.Prog, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceDecode measures CFG-walking decode of the same trace.
+func BenchmarkTraceDecode(b *testing.B) {
+	app := benchApp(b)
+	tr := app.Trace(0, 50_000)
+	var buf bytes.Buffer
+	if _, err := ripple.EncodeTrace(&buf, app.Prog, tr); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ripple.DecodeTrace(bytes.NewReader(raw), app.Prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateLRU measures the frontend simulator without
+// prefetching.
+func BenchmarkSimulateLRU(b *testing.B) {
+	app := benchApp(b)
+	tr := app.Trace(0, 50_000)
+	params := ripple.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol, _ := ripple.NewPolicy("lru")
+		if _, err := ripple.Simulate(params, app.Prog, tr, ripple.Options{Policy: pol}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateFDIP measures the frontend with the branch-predicted
+// prefetcher attached.
+func BenchmarkSimulateFDIP(b *testing.B) {
+	app := benchApp(b)
+	tr := app.Trace(0, 50_000)
+	params := ripple.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol, _ := ripple.NewPolicy("lru")
+		pf, _ := ripple.NewPrefetcher("fdip", app.Prog)
+		if _, err := ripple.Simulate(params, app.Prog, tr, ripple.Options{Policy: pol, Prefetcher: pf}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyze measures Ripple's eviction analysis (MIN replay +
+// window scan + probability tables).
+func BenchmarkAnalyze(b *testing.B) {
+	app := benchApp(b)
+	tr := app.Trace(0, 50_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ripple.Analyze(app.Prog, tr, ripple.DefaultAnalysisConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIdealReplay measures the Demand-MIN oracle over a recorded
+// stream.
+func BenchmarkIdealReplay(b *testing.B) {
+	app := benchApp(b)
+	tr := app.Trace(0, 50_000)
+	params := ripple.DefaultParams()
+	pol, _ := ripple.NewPolicy("lru")
+	res, err := ripple.Simulate(params, app.Prog, tr, ripple.Options{Policy: pol, RecordStream: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ripple.IdealMisses(res.Stream, params.L1I)
+	}
+}

@@ -1,0 +1,110 @@
+// Command rippleanalyze is the offline half of Ripple: it decodes a
+// recorded control-flow trace, replays the ideal replacement policy over
+// it, selects cue blocks, and emits a link-time injection plan.
+//
+// Usage:
+//
+//	rippleanalyze -prog /tmp/fh.prog -pt /tmp/fh.pt -threshold 0.55 -out /tmp/fh.plan
+//
+// With -threshold 0 the invalidation threshold is tuned by sweeping
+// candidates and simulating each (the per-application selection of
+// Sec. III-C).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ripple/internal/core"
+	"ripple/internal/frontend"
+	"ripple/internal/program"
+	"ripple/internal/trace"
+)
+
+func main() {
+	progPath := flag.String("prog", "", "program image from ripplegen (required)")
+	ptPath := flag.String("pt", "", "PT trace from ripplegen (required)")
+	out := flag.String("out", "", "output plan path (required)")
+	threshold := flag.Float64("threshold", 0, "invalidation threshold; 0 tunes it by simulation")
+	policy := flag.String("policy", "lru", "underlying replacement policy to tune against")
+	prefetcher := flag.String("prefetcher", "fdip", "prefetcher to tune against (none, nlp, fdip)")
+	warmup := flag.Int("warmup", 0, "warmup blocks excluded from tuning measurements")
+	flag.Parse()
+
+	if err := run(*progPath, *ptPath, *out, *threshold, *policy, *prefetcher, *warmup); err != nil {
+		fmt.Fprintln(os.Stderr, "rippleanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(progPath, ptPath, out string, threshold float64, policy, prefetcher string, warmup int) error {
+	if progPath == "" || ptPath == "" || out == "" {
+		return fmt.Errorf("-prog, -pt, and -out are required")
+	}
+	if threshold < 0 || threshold > 1 {
+		return fmt.Errorf("-threshold %v outside [0, 1] (0 tunes automatically)", threshold)
+	}
+	prog, tr, err := load(progPath, ptPath)
+	if err != nil {
+		return err
+	}
+
+	acfg := core.DefaultAnalysisConfig()
+	analysis, err := core.Analyze(prog, tr, acfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("analysis: %d trace blocks, %d eviction windows, %d ideal misses\n",
+		analysis.TraceBlocks, analysis.Windows, analysis.IdealMisses)
+
+	var plan *core.Plan
+	if threshold > 0 {
+		plan = analysis.PlanAt(threshold)
+	} else {
+		tcfg := core.TuneConfig{
+			Params:       frontend.DefaultParams(),
+			Policy:       policy,
+			Prefetcher:   prefetcher,
+			WarmupBlocks: warmup,
+		}
+		tuned, err := core.Tune(analysis, tr, tcfg)
+		if err != nil {
+			return err
+		}
+		plan = tuned.BestPlan
+		fmt.Printf("tuned threshold %.2f: %+.2f%% speedup, %.0f%% coverage\n",
+			tuned.BestPoint().Threshold, tuned.BestPoint().SpeedupPct, tuned.BestPoint().Coverage*100)
+	}
+	fmt.Printf("plan: %d cue blocks, %d invalidate instructions, %d/%d windows covered, %d JIT cues skipped\n",
+		len(plan.Injections), plan.StaticInstructions(), plan.WindowsCovered, plan.WindowsTotal, plan.SkippedJIT)
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return plan.Save(f)
+}
+
+func load(progPath, ptPath string) (*program.Program, []program.BlockID, error) {
+	pf, err := os.Open(progPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer pf.Close()
+	prog, err := program.Load(pf)
+	if err != nil {
+		return nil, nil, err
+	}
+	tf, err := os.Open(ptPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer tf.Close()
+	tr, err := trace.Decode(tf, prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, tr, nil
+}

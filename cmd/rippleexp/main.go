@@ -1,0 +1,73 @@
+// Command rippleexp reproduces the paper's evaluation artifacts: every
+// table and figure has an experiment ID (see -list), and `rippleexp -run
+// all` regenerates the whole evaluation section.
+//
+// Usage:
+//
+//	rippleexp -list
+//	rippleexp -run fig7
+//	rippleexp -run all -blocks 600000 -apps finagle-http,verilator
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ripple/internal/experiment"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	run := flag.String("run", "", "experiment ID to reproduce (or 'all')")
+	check := flag.Bool("check", false, "after running, validate the paper's qualitative claims against the results")
+	blocks := flag.Int("blocks", 0, "trace length in basic blocks (default 600000)")
+	warmup := flag.Int("warmup", 0, "warmup blocks excluded from measurement (default blocks/3)")
+	apps := flag.String("apps", "", "comma-separated application subset (default: all nine)")
+	quiet := flag.Bool("q", false, "suppress progress logging")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.IDs() {
+			desc, _ := experiment.Describe(id)
+			fmt.Printf("%-12s %s\n", id, desc)
+		}
+		return
+	}
+	if *run == "" && !*check {
+		fmt.Fprintln(os.Stderr, "rippleexp: -run <id>, -check, or -list required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiment.DefaultConfig()
+	cfg.TraceBlocks = *blocks
+	cfg.WarmupBlocks = *warmup
+	if *apps != "" {
+		cfg.Apps = strings.Split(*apps, ",")
+	}
+	if *quiet {
+		cfg.Log = nil
+	}
+	suite := experiment.New(cfg)
+	if *run != "" {
+		if err := suite.Run(*run, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "rippleexp:", err)
+			os.Exit(1)
+		}
+	}
+	if *check {
+		fmt.Println("\nshape check (paper's qualitative claims):")
+		violations, err := suite.ShapeCheck(os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rippleexp: check:", err)
+			os.Exit(1)
+		}
+		if len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "rippleexp: %d claim(s) violated\n", len(violations))
+			os.Exit(1)
+		}
+		fmt.Println("all claims hold")
+	}
+}

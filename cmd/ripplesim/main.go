@@ -1,0 +1,187 @@
+// Command ripplesim drives a recorded trace through the simulated frontend
+// under a chosen prefetcher and replacement policy, optionally with a
+// Ripple injection plan applied, and reports the paper's metrics: IPC,
+// MPKI, coverage, accuracy, and instruction overheads.
+//
+// Usage:
+//
+//	ripplesim -prog /tmp/fh.prog -pt /tmp/fh.pt -policy lru -prefetcher fdip
+//	ripplesim -prog /tmp/fh.prog -pt /tmp/fh.pt -plan /tmp/fh.plan -accuracy
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ripple/internal/core"
+	"ripple/internal/frontend"
+	"ripple/internal/prefetch"
+	"ripple/internal/program"
+	"ripple/internal/replacement"
+	"ripple/internal/trace"
+)
+
+func main() {
+	progPath := flag.String("prog", "", "program image to simulate (required)")
+	ptPath := flag.String("pt", "", "PT trace from ripplegen (required)")
+	traceProgPath := flag.String("trace-prog", "", "program image the trace was recorded against, when -prog is a rewritten image (default: -prog)")
+	planPath := flag.String("plan", "", "optional injection plan from rippleanalyze")
+	policy := flag.String("policy", "lru", "replacement policy ("+strings.Join(replacement.Names(), ", ")+")")
+	prefetcher := flag.String("prefetcher", "fdip", "prefetcher ("+strings.Join(prefetch.Names(), ", ")+")")
+	warmup := flag.Int("warmup", 0, "warmup blocks excluded from measurement")
+	accuracy := flag.Bool("accuracy", false, "score replacement decisions against the Belady oracle")
+	demote := flag.Bool("demote", false, "execute hints as LRU demotions instead of invalidations")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the report")
+	flag.Parse()
+
+	if err := run(*progPath, *traceProgPath, *ptPath, *planPath, *policy, *prefetcher, *warmup, *accuracy, *demote, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "ripplesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(progPath, traceProgPath, ptPath, planPath, policy, prefetcher string, warmup int, accuracy, demote, jsonOut bool) error {
+	if progPath == "" || ptPath == "" {
+		return fmt.Errorf("-prog and -pt are required")
+	}
+	if traceProgPath == "" {
+		traceProgPath = progPath
+	}
+	prog, tr, err := load(progPath, traceProgPath, ptPath)
+	if err != nil {
+		return err
+	}
+	if planPath != "" {
+		f, err := os.Open(planPath)
+		if err != nil {
+			return err
+		}
+		plan, err := core.LoadPlan(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		prog = plan.Apply(prog)
+		fmt.Printf("applied plan: %d invalidate instructions in %d cue blocks\n",
+			plan.StaticInstructions(), len(plan.Injections))
+	}
+
+	pol, err := replacement.New(policy)
+	if err != nil {
+		return err
+	}
+	pf, err := prefetch.New(prefetcher, prog)
+	if err != nil {
+		return err
+	}
+	hints := frontend.HintInvalidate
+	if demote {
+		hints = frontend.HintDemote
+	}
+	res, err := frontend.Run(frontend.DefaultParams(), prog, tr, frontend.Options{
+		Policy:          pol,
+		Prefetcher:      pf,
+		Hints:           hints,
+		MeasureAccuracy: accuracy,
+		WarmupBlocks:    warmup,
+	})
+	if err != nil {
+		return err
+	}
+
+	if jsonOut {
+		return emitJSON(res)
+	}
+	fmt.Printf("%s: %s prefetcher, %s replacement\n", res.Program, res.Prefetcher, res.Policy)
+	fmt.Printf("  instructions: %d (%d injected hints, %.2f%% dynamic overhead)\n",
+		res.Instrs, res.HintInstrs, core.DynamicOverheadPct(res))
+	fmt.Printf("  cycles: %d  IPC: %.3f\n", res.Cycles, res.IPC())
+	fmt.Printf("  L1I MPKI: %.2f (misses %d, late prefetches %d, compulsory %d)\n",
+		res.MPKI(), res.L1I.DemandMisses, res.LateMisses, res.Compulsory)
+	fmt.Printf("  miss breakdown: L2 %d, L3 %d, memory %d\n", res.L2Hits, res.L3Hits, res.MemFills)
+	if res.L1I.HintInvalidations+res.L1I.Demotions > 0 {
+		fmt.Printf("  ripple: coverage %.1f%% (%d hint evictions, %d hints found no victim)\n",
+			res.Coverage()*100, res.L1I.HintFreedFills, res.L1I.HintMisses)
+	}
+	if accuracy {
+		fmt.Printf("  accuracy: policy %.1f%%", res.PolicyAccuracy()*100)
+		if res.HintEvictions > 0 {
+			fmt.Printf(", ripple %.1f%%, combined %.1f%%", res.HintAccuracy()*100, res.CombinedAccuracy()*100)
+		}
+		fmt.Println()
+	}
+	if res.BranchMPKI > 0 {
+		fmt.Printf("  branch MPKI: %.2f\n", res.BranchMPKI)
+	}
+	return nil
+}
+
+// emitJSON writes the run's metrics as a single JSON object, for scripted
+// consumers (dashboards, regression checks).
+func emitJSON(res frontend.Result) error {
+	out := map[string]interface{}{
+		"program":           res.Program,
+		"policy":            res.Policy,
+		"prefetcher":        res.Prefetcher,
+		"instructions":      res.Instrs,
+		"hint_instructions": res.HintInstrs,
+		"cycles":            res.Cycles,
+		"ipc":               res.IPC(),
+		"mpki":              res.MPKI(),
+		"demand_misses":     res.L1I.DemandMisses,
+		"late_prefetches":   res.LateMisses,
+		"compulsory_misses": res.Compulsory,
+		"l2_hits":           res.L2Hits,
+		"l3_hits":           res.L3Hits,
+		"memory_fills":      res.MemFills,
+		"coverage":          res.Coverage(),
+		"hint_accuracy":     res.HintAccuracy(),
+		"policy_accuracy":   res.PolicyAccuracy(),
+		"combined_accuracy": res.CombinedAccuracy(),
+		"dynamic_overhead":  core.DynamicOverheadPct(res),
+		"branch_mpki":       res.BranchMPKI,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// load reads the simulation image and decodes the trace against the image
+// it was recorded on (block IDs are stable across rewriting, so the block
+// sequence transfers).
+func load(progPath, traceProgPath, ptPath string) (*program.Program, []program.BlockID, error) {
+	loadProg := func(path string) (*program.Program, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return program.Load(f)
+	}
+	prog, err := loadProg(progPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	decodeProg := prog
+	if traceProgPath != progPath {
+		if decodeProg, err = loadProg(traceProgPath); err != nil {
+			return nil, nil, err
+		}
+		if decodeProg.NumBlocks() != prog.NumBlocks() {
+			return nil, nil, fmt.Errorf("-trace-prog has %d blocks, -prog has %d: not the same program", decodeProg.NumBlocks(), prog.NumBlocks())
+		}
+	}
+	tf, err := os.Open(ptPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer tf.Close()
+	tr, err := trace.Decode(tf, decodeProg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, tr, nil
+}

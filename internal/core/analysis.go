@@ -1,0 +1,267 @@
+// Package core implements Ripple, the paper's primary contribution: a
+// profile-guided software technique that (1) replays an ideal replacement
+// policy over a profiled basic-block trace, (2) finds, for every eviction
+// the ideal policy would perform, the *cue block* whose execution predicts
+// that eviction with the highest conditional probability, and (3) injects
+// an `invalidate` (or LRU-demote) instruction for the victim line into
+// every cue block that clears the invalidation threshold, at link time.
+//
+// The resulting rewritten binary steers any underlying hardware
+// replacement policy — LRU, Random, anything — toward near-ideal eviction
+// decisions with no hardware support beyond a cldemote-like hint.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ripple/internal/cache"
+	"ripple/internal/frontend"
+	"ripple/internal/opt"
+	"ripple/internal/program"
+)
+
+// AnalysisConfig controls the eviction analysis.
+type AnalysisConfig struct {
+	// L1I is the target I-cache geometry the ideal policy is replayed
+	// against (binaries are optimized per target architecture, Sec. V).
+	L1I cache.Config
+	// MaxWindowBlocks caps how far back from each eviction the window
+	// scan walks. Windows longer than this keep only their tail (the
+	// blocks closest to the eviction carry the cue signal); 0 means the
+	// package default.
+	MaxWindowBlocks int
+}
+
+// DefaultAnalysisConfig analyzes for the Table II L1I.
+func DefaultAnalysisConfig() AnalysisConfig {
+	return AnalysisConfig{
+		L1I:             cache.Config{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64},
+		MaxWindowBlocks: 2048,
+	}
+}
+
+// window is one eviction window: the victim line plus the block-trace
+// index range (start, end] executed between the victim's last use and its
+// ideal eviction, within one of the analyzed traces.
+type window struct {
+	line       uint64
+	trace      int32 // index into Analysis.traces
+	start, end int32 // block-trace indices; blocks in (start, end] form the window
+}
+
+// Analysis is the result of replaying the ideal policy over a profile:
+// everything needed to emit an injection plan at any threshold.
+type Analysis struct {
+	Prog *program.Program
+	cfg  AnalysisConfig
+
+	// TraceBlocks is the number of profiled block executions.
+	TraceBlocks int
+	// Windows is the number of ideal-policy eviction windows found.
+	Windows int
+	// IdealMisses is the demand miss count of the ideal replay (the
+	// analysis-side limit).
+	IdealMisses uint64
+
+	traces    [][]program.BlockID
+	windows   []window
+	execCount []uint32
+	// pairWindows counts, for each (victim line, candidate block), the
+	// number of distinct eviction windows of that line containing the
+	// block.
+	pairWindows map[pairKey]uint32
+	// cues caches the per-window cue selection (threshold-independent).
+	cues []CueChoice
+	// mark/markGen implement O(1) per-window candidate deduplication.
+	mark    []uint32
+	markGen uint32
+}
+
+// pairKey packs (victim line, block) into one map key.
+type pairKey struct {
+	line  uint64
+	block program.BlockID
+}
+
+// Analyze profiles the trace against the ideal replacement policy and
+// computes the eviction windows and conditional-probability tables.
+// The trace must have been produced against prog's current layout.
+func Analyze(prog *program.Program, trace []program.BlockID, cfg AnalysisConfig) (*Analysis, error) {
+	return AnalyzeMulti(prog, [][]program.BlockID{trace}, cfg)
+}
+
+// AnalyzeMulti analyzes several independent profiles together: each trace
+// is replayed through the ideal policy separately (the I-cache state does
+// not carry across), but execution counts and window membership accumulate
+// into one conditional-probability table. Two uses: merging the profiles
+// of multiple inputs (strengthens Fig. 13-style generalization), and
+// analyzing the short fragments an LBR-style sampling profiler produces
+// instead of a full PT trace (Sec. III-A mentions both trace sources).
+func AnalyzeMulti(prog *program.Program, traces [][]program.BlockID, cfg AnalysisConfig) (*Analysis, error) {
+	if err := cfg.L1I.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.MaxWindowBlocks <= 0 {
+		cfg.MaxWindowBlocks = DefaultAnalysisConfig().MaxWindowBlocks
+	}
+	total := 0
+	for _, tr := range traces {
+		total += len(tr)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+
+	a := &Analysis{
+		Prog:        prog,
+		cfg:         cfg,
+		TraceBlocks: total,
+		traces:      traces,
+		execCount:   make([]uint32, prog.NumBlocks()),
+		pairWindows: make(map[pairKey]uint32, 1<<12),
+		mark:        make([]uint32, prog.NumBlocks()),
+	}
+	for ti, tr := range traces {
+		a.analyzeOne(int32(ti), tr)
+	}
+	a.Windows = len(a.windows)
+	return a, nil
+}
+
+// analyzeOne expands one trace into its demand line stream (identical to
+// what the simulator fetches — Sec. III-A: no speculative accesses),
+// replays Belady's MIN over it logging evictions, and accumulates window
+// membership counts.
+func (a *Analysis) analyzeOne(traceIdx int32, trace []program.BlockID) {
+	if len(trace) == 0 {
+		return
+	}
+	for _, bid := range trace {
+		a.execCount[bid]++
+	}
+	lines, blockOf := frontend.DemandLines(a.Prog, trace)
+	events := make([]opt.Event, len(lines))
+	for i, l := range lines {
+		events[i] = opt.Event{Line: l}
+	}
+	res := opt.Simulate(events, a.cfg.L1I, opt.ModeMIN, true)
+	a.IdealMisses += res.DemandMisses
+
+	for _, ev := range res.EvictionLog {
+		w := window{
+			line:  ev.Line,
+			trace: traceIdx,
+			start: blockOf[ev.LastUse],
+			end:   blockOf[ev.At],
+		}
+		if int(w.end-w.start) > a.cfg.MaxWindowBlocks {
+			w.start = w.end - int32(a.cfg.MaxWindowBlocks)
+		}
+		if w.end <= w.start {
+			continue // eviction triggered by the very next block: no window
+		}
+		a.windows = append(a.windows, w)
+		a.markGen++
+		for ti := w.start + 1; ti <= w.end; ti++ {
+			bid := trace[ti]
+			if a.mark[bid] == a.markGen {
+				continue // already counted for this window
+			}
+			a.mark[bid] = a.markGen
+			a.pairWindows[pairKey{line: w.line, block: bid}]++
+		}
+	}
+}
+
+// Probability returns P(evict line | execute block): the fraction of the
+// block's executions that fall inside one of the line's eviction windows.
+func (a *Analysis) Probability(line uint64, block program.BlockID) float64 {
+	n := a.pairWindows[pairKey{line: line, block: block}]
+	if n == 0 || a.execCount[block] == 0 {
+		return 0
+	}
+	return float64(n) / float64(a.execCount[block])
+}
+
+// CueChoice reports the selected cue block of one eviction window.
+type CueChoice struct {
+	Line        uint64
+	Block       program.BlockID
+	Probability float64
+}
+
+// selectCues picks, for every eviction window, the candidate block with
+// the highest conditional probability (ties broken toward the block
+// closest to the eviction, then lowest ID — "arbitrarily" per the paper,
+// but deterministic here). The selection does not depend on the
+// invalidation threshold, so it is computed once and cached; PlanAt then
+// filters it per threshold.
+func (a *Analysis) selectCues() []CueChoice {
+	if a.cues != nil {
+		return a.cues
+	}
+	choices := make([]CueChoice, 0, len(a.windows))
+	for _, w := range a.windows {
+		a.markGen++
+		best := CueChoice{Line: w.line, Block: program.NoBlock}
+		tr := a.traces[w.trace]
+		for ti := w.end; ti > w.start; ti-- {
+			bid := tr[ti]
+			if a.mark[bid] == a.markGen {
+				continue
+			}
+			a.mark[bid] = a.markGen
+			if p := a.Probability(w.line, bid); p > best.Probability {
+				best.Block = bid
+				best.Probability = p
+			}
+		}
+		if best.Block != program.NoBlock {
+			choices = append(choices, best)
+		}
+	}
+	a.cues = choices
+	return choices
+}
+
+// Candidates returns the candidate cue blocks of the given victim line
+// with their conditional probabilities, sorted by descending probability —
+// the data behind the Fig. 5 worked example.
+func (a *Analysis) Candidates(line uint64) []CueChoice {
+	var out []CueChoice
+	for k, n := range a.pairWindows {
+		if k.line != line || n == 0 {
+			continue
+		}
+		out = append(out, CueChoice{
+			Line:        line,
+			Block:       k.block,
+			Probability: a.Probability(line, k.block),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Probability != out[j].Probability {
+			return out[i].Probability > out[j].Probability
+		}
+		return out[i].Block < out[j].Block
+	})
+	return out
+}
+
+// MostEvictedLine returns the victim line with the most eviction windows
+// and that count — the natural subject for a Fig. 5-style worked example.
+func (a *Analysis) MostEvictedLine() (uint64, int) {
+	counts := make(map[uint64]int)
+	for _, w := range a.windows {
+		counts[w.line]++
+	}
+	var best uint64
+	bestN := 0
+	for line, n := range counts {
+		if n > bestN || (n == bestN && line < best) {
+			best, bestN = line, n
+		}
+	}
+	return best, bestN
+}

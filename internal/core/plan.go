@@ -1,0 +1,196 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"ripple/internal/program"
+)
+
+// Plan is a link-time injection plan: for each cue block, the victim cache
+// lines (profiled-layout addresses) whose invalidation it triggers.
+type Plan struct {
+	Program   string
+	Threshold float64
+	// Injections maps cue block -> victim lines (deduplicated).
+	Injections map[program.BlockID][]uint64
+
+	// WindowsTotal and WindowsCovered summarize how many ideal eviction
+	// windows the plan covers at this threshold (the analysis-side
+	// predictor of Fig. 9's runtime coverage).
+	WindowsTotal   int
+	WindowsCovered int
+	// SkippedJIT counts selected cues discarded because they live in JIT
+	// code (drupal/mediawiki/wordpress, Sec. IV).
+	SkippedJIT int
+	// SkippedKernel counts selected cues discarded because they live in
+	// kernel-mode code (traced but not injectable).
+	SkippedKernel int
+}
+
+// PlanAt emits the injection plan for one invalidation threshold: every
+// eviction window's best cue block receives an invalidation for the
+// window's victim line iff its conditional probability clears the
+// threshold. Cue blocks in JIT code are skipped (their addresses are
+// reused across the run, so link-time injection is impossible).
+func (a *Analysis) PlanAt(threshold float64) *Plan {
+	p := &Plan{
+		Program:      a.Prog.Name,
+		Threshold:    threshold,
+		Injections:   make(map[program.BlockID][]uint64),
+		WindowsTotal: a.Windows,
+	}
+	type pk = pairKey
+	planned := make(map[pk]bool)
+	for _, c := range a.selectCues() {
+		if c.Probability < threshold {
+			continue
+		}
+		if a.Prog.Block(c.Block).JIT {
+			p.SkippedJIT++
+			continue
+		}
+		if a.Prog.Block(c.Block).Kernel {
+			p.SkippedKernel++
+			continue
+		}
+		p.WindowsCovered++
+		k := pk{line: c.Line, block: c.Block}
+		if planned[k] {
+			continue // one static instruction covers all matching windows
+		}
+		planned[k] = true
+		p.Injections[c.Block] = append(p.Injections[c.Block], c.Line)
+	}
+	for _, victims := range p.Injections {
+		sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+	}
+	return p
+}
+
+// StaticInstructions returns the number of invalidate instructions the
+// plan injects.
+func (p *Plan) StaticInstructions() int {
+	n := 0
+	for _, v := range p.Injections {
+		n += len(v)
+	}
+	return n
+}
+
+// Apply rewrites prog (the profiled program) with the plan's injections,
+// returning the new laid-out image. Victim line addresses are translated
+// into the rewritten layout by the program package.
+func (p *Plan) Apply(prog *program.Program) *program.Program {
+	return prog.WithInjections(p.Injections)
+}
+
+// planImage is the serialized form of a Plan.
+type planImage struct {
+	Program        string
+	Threshold      float64
+	Blocks         []program.BlockID
+	Victims        [][]uint64
+	WindowsTotal   int
+	WindowsCovered int
+	SkippedJIT     int
+	SkippedKernel  int
+}
+
+// Save writes the plan (gob-encoded) to w; cmd/rippleanalyze emits plans
+// this way for cmd/ripplesim to consume.
+func (p *Plan) Save(w io.Writer) error {
+	img := planImage{
+		Program:        p.Program,
+		Threshold:      p.Threshold,
+		WindowsTotal:   p.WindowsTotal,
+		WindowsCovered: p.WindowsCovered,
+		SkippedJIT:     p.SkippedJIT,
+		SkippedKernel:  p.SkippedKernel,
+	}
+	blocks := make([]program.BlockID, 0, len(p.Injections))
+	for b := range p.Injections {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, b := range blocks {
+		img.Blocks = append(img.Blocks, b)
+		img.Victims = append(img.Victims, p.Injections[b])
+	}
+	return gob.NewEncoder(w).Encode(img)
+}
+
+// LoadPlan reads a plan written by Save.
+func LoadPlan(r io.Reader) (*Plan, error) {
+	var img planImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("core: decode plan: %w", err)
+	}
+	if len(img.Blocks) != len(img.Victims) {
+		return nil, fmt.Errorf("core: corrupt plan: %d blocks, %d victim lists", len(img.Blocks), len(img.Victims))
+	}
+	p := &Plan{
+		Program:        img.Program,
+		Threshold:      img.Threshold,
+		Injections:     make(map[program.BlockID][]uint64, len(img.Blocks)),
+		WindowsTotal:   img.WindowsTotal,
+		WindowsCovered: img.WindowsCovered,
+		SkippedJIT:     img.SkippedJIT,
+		SkippedKernel:  img.SkippedKernel,
+	}
+	for i, b := range img.Blocks {
+		p.Injections[b] = img.Victims[i]
+	}
+	return p, nil
+}
+
+// ExpandVictimsToBlocks returns a copy of the plan in which every victim
+// line is widened to all lines of the basic block containing it — the
+// "basic block granularity" alternative of Sec. III-C's invalidation-
+// granularity discussion. The paper finds block-granularity eviction
+// performs best; the `granularity` experiment compares both.
+func (p *Plan) ExpandVictimsToBlocks(prog *program.Program) *Plan {
+	q := &Plan{
+		Program:        p.Program,
+		Threshold:      p.Threshold,
+		Injections:     make(map[program.BlockID][]uint64, len(p.Injections)),
+		WindowsTotal:   p.WindowsTotal,
+		WindowsCovered: p.WindowsCovered,
+		SkippedJIT:     p.SkippedJIT,
+	}
+	var buf []uint64
+	for cue, victims := range p.Injections {
+		seen := make(map[uint64]bool, len(victims)*2)
+		var out []uint64
+		for _, v := range victims {
+			owner := prog.BlockContaining(v << 6)
+			if owner == program.NoBlock {
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+				continue
+			}
+			buf = prog.Block(owner).Lines(buf[:0])
+			for _, l := range buf {
+				if !seen[l] {
+					seen[l] = true
+					out = append(out, l)
+				}
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		q.Injections[cue] = out
+	}
+	return q
+}
+
+// ApplyPreservingLayout rewrites prog with the plan's injections placed
+// into existing alignment padding and NOP slots (no code byte moves, no
+// victim translation needed). See
+// program.Program.WithInjectionsPreservingLayout.
+func (p *Plan) ApplyPreservingLayout(prog *program.Program) *program.Program {
+	return prog.WithInjectionsPreservingLayout(p.Injections)
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"ripple/internal/cache"
+	"ripple/internal/frontend"
+	"ripple/internal/prefetch"
+	"ripple/internal/program"
+	"ripple/internal/replacement"
+)
+
+// TuneConfig describes the configuration a plan is tuned for.
+type TuneConfig struct {
+	Params frontend.Params
+	// Policy names the underlying hardware replacement policy ("lru",
+	// "random", ...).
+	Policy string
+	// Prefetcher names the prefetch configuration ("none", "nlp", "fdip").
+	Prefetcher string
+	// Hints selects invalidate vs. demote execution.
+	Hints frontend.HintMode
+	// Thresholds to sweep; nil uses DefaultThresholds.
+	Thresholds []float64
+	// MeasureAccuracy additionally scores coverage-vs-accuracy per
+	// threshold (needed for the Fig. 6 curve; slower).
+	MeasureAccuracy bool
+	// WarmupBlocks excludes the first N trace blocks from every
+	// measurement (steady-state methodology).
+	WarmupBlocks int
+	// ShiftLayout evaluates plans with the naive full-relayout injection
+	// instead of padding/NOP placement (see RunPlan).
+	ShiftLayout bool
+}
+
+// DefaultThresholds is the sweep used when TuneConfig.Thresholds is nil;
+// the paper finds per-app optima between 45% and 65%, so the sweep is
+// denser there.
+func DefaultThresholds() []float64 {
+	return []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95}
+}
+
+// ThresholdPoint is one point of the coverage/accuracy/performance
+// trade-off curve (Fig. 6).
+type ThresholdPoint struct {
+	Threshold  float64
+	Coverage   float64
+	Accuracy   float64
+	MPKI       float64
+	SpeedupPct float64 // over the uninjected run with the same policy+prefetcher
+	Static     int     // injected static instructions
+}
+
+// TuneResult is the outcome of a threshold sweep.
+type TuneResult struct {
+	Baseline frontend.Result
+	Curve    []ThresholdPoint
+	// Best indexes the winning point in Curve (highest speedup).
+	Best     int
+	BestPlan *Plan
+}
+
+// BestPoint returns the winning curve point.
+func (t *TuneResult) BestPoint() ThresholdPoint { return t.Curve[t.Best] }
+
+func (c *TuneConfig) newPolicy() (cache.Policy, error) {
+	if c.Policy == "" {
+		return replacement.NewLRU(), nil
+	}
+	return replacement.New(c.Policy)
+}
+
+func (c *TuneConfig) newPrefetcher(prog *program.Program) (prefetch.Prefetcher, error) {
+	if c.Prefetcher == "" {
+		return prefetch.None{}, nil
+	}
+	return prefetch.New(c.Prefetcher, prog)
+}
+
+// Tune sweeps the invalidation threshold: each candidate plan is applied
+// to the program and simulated on the training trace under the configured
+// policy and prefetcher; the plan with the highest speedup over the
+// uninjected baseline wins. This is the per-application threshold
+// selection of Sec. III-C (the optimum lands in the paper's 45-65% band).
+func Tune(a *Analysis, trace []program.BlockID, cfg TuneConfig) (*TuneResult, error) {
+	thresholds := cfg.Thresholds
+	if thresholds == nil {
+		thresholds = DefaultThresholds()
+	}
+	if len(thresholds) == 0 {
+		return nil, fmt.Errorf("core: no thresholds to tune over")
+	}
+
+	baseline, err := RunPlan(a.Prog, trace, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	tr := &TuneResult{Baseline: baseline, Best: -1}
+	var plans []*Plan
+	for _, th := range thresholds {
+		plan := a.PlanAt(th)
+		res, err := RunPlan(a.Prog, trace, cfg, plan)
+		if err != nil {
+			return nil, err
+		}
+		pt := ThresholdPoint{
+			Threshold:  th,
+			Coverage:   res.Coverage(),
+			Accuracy:   res.HintAccuracy(),
+			MPKI:       res.MPKI(),
+			SpeedupPct: frontend.Speedup(baseline, res),
+			Static:     plan.StaticInstructions(),
+		}
+		tr.Curve = append(tr.Curve, pt)
+		plans = append(plans, plan)
+		if tr.Best < 0 || pt.SpeedupPct > tr.Curve[tr.Best].SpeedupPct {
+			tr.Best = len(tr.Curve) - 1
+		}
+	}
+	if tr.Curve[tr.Best].SpeedupPct < 0 {
+		// No threshold improved on this configuration's baseline: ship the
+		// uninjected binary (a deployment never regresses; an empty plan
+		// is the threshold->infinity limit of the sweep).
+		tr.Curve = append(tr.Curve, ThresholdPoint{
+			Threshold: 1,
+			MPKI:      baseline.MPKI(),
+		})
+		tr.Best = len(tr.Curve) - 1
+		plans = append(plans, &Plan{
+			Program:      a.Prog.Name,
+			Threshold:    1,
+			Injections:   map[program.BlockID][]uint64{},
+			WindowsTotal: a.Windows,
+		})
+	}
+	tr.BestPlan = plans[tr.Best]
+	return tr, nil
+}
+
+// RunPlan simulates the program on the trace under the tuning
+// configuration, with plan's injections applied first (nil plan = the
+// uninjected baseline). The experiment harness uses it to re-evaluate a
+// tuned plan with extra instrumentation or on a different input's trace.
+//
+// Injections are placed layout-neutrally (ApplyPreservingLayout): moving
+// every downstream byte would remap the hot footprint across cache sets
+// and invalidate the very profile the plan came from. Set
+// cfg.ShiftLayout to evaluate the naive relayout instead (the `layout`
+// ablation).
+func RunPlan(prog *program.Program, trace []program.BlockID, cfg TuneConfig, plan *Plan) (frontend.Result, error) {
+	pol, err := cfg.newPolicy()
+	if err != nil {
+		return frontend.Result{}, err
+	}
+	target := prog
+	if plan != nil {
+		if cfg.ShiftLayout {
+			target = plan.Apply(prog)
+		} else {
+			target = plan.ApplyPreservingLayout(prog)
+		}
+	}
+	pf, err := cfg.newPrefetcher(target)
+	if err != nil {
+		return frontend.Result{}, err
+	}
+	return frontend.Run(cfg.Params, target, trace, frontend.Options{
+		Policy:          pol,
+		Prefetcher:      pf,
+		Hints:           cfg.Hints,
+		MeasureAccuracy: cfg.MeasureAccuracy,
+		WarmupBlocks:    cfg.WarmupBlocks,
+	})
+}

@@ -1,0 +1,507 @@
+package experiment
+
+import (
+	"fmt"
+
+	"ripple/internal/cache"
+	"ripple/internal/core"
+	"ripple/internal/frontend"
+	"ripple/internal/layout"
+	"ripple/internal/lbr"
+	"ripple/internal/opt"
+	"ripple/internal/prefetch"
+	"ripple/internal/program"
+	"ripple/internal/replacement"
+	"ripple/internal/workload"
+)
+
+// extApps is the representative subset used by the extension experiments
+// (one JVM service, one HHVM/JIT app, the generated-code outlier).
+var extApps = []string{"finagle-http", "drupal", "verilator"}
+
+func (s *Suite) extApps() []string {
+	// Respect an explicit app restriction; otherwise use the subset.
+	if len(s.cfg.Apps) < len(extApps) {
+		return s.cfg.Apps
+	}
+	return extApps
+}
+
+// Arch reproduces the Sec. V discussion: Ripple generates binaries per
+// target I-cache geometry. For each application the plan is tuned against
+// three geometries; each plan is then evaluated on every geometry. The
+// diagonal (matched target) should dominate its column — running a binary
+// optimized for the wrong cache forfeits most of the gain.
+func (s *Suite) Arch() (*Table, error) {
+	geoms := []struct {
+		name string
+		cfg  cache.Config
+	}{
+		{"16KB/4w", cache.Config{SizeBytes: 16 << 10, Ways: 4, LineBytes: 64}},
+		{"32KB/8w", cache.Config{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64}},
+		{"64KB/8w", cache.Config{SizeBytes: 64 << 10, Ways: 8, LineBytes: 64}},
+	}
+	t := NewTable("arch", "Per-target-architecture tuning: plan geometry vs run geometry (% speedup over LRU, no prefetch)",
+		"app/plan-for", "run@16KB/4w%", "run@32KB/8w%", "run@64KB/8w%")
+	for _, app := range s.extApps() {
+		st, err := s.state(app)
+		if err != nil {
+			return nil, err
+		}
+		tr := s.trace(st, 0)
+		for _, planGeo := range geoms {
+			acfg := core.DefaultAnalysisConfig()
+			acfg.L1I = planGeo.cfg
+			a, err := core.Analyze(st.app.Prog, tr, acfg)
+			if err != nil {
+				return nil, err
+			}
+			tuneParams := s.cfg.Params
+			tuneParams.L1I = planGeo.cfg
+			tcfg := core.TuneConfig{
+				Params:       tuneParams,
+				Policy:       "lru",
+				Prefetcher:   "none",
+				Thresholds:   s.cfg.Thresholds,
+				WarmupBlocks: s.cfg.WarmupBlocks,
+			}
+			tuned, err := core.Tune(a, tr, tcfg)
+			if err != nil {
+				return nil, err
+			}
+			row := make([]float64, 0, len(geoms))
+			for _, runGeo := range geoms {
+				runParams := s.cfg.Params
+				runParams.L1I = runGeo.cfg
+				rcfg := tcfg
+				rcfg.Params = runParams
+				base, err := core.RunPlan(st.app.Prog, tr, rcfg, nil)
+				if err != nil {
+					return nil, err
+				}
+				res, err := core.RunPlan(st.app.Prog, tr, rcfg, tuned.BestPlan)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, speedupPct(base.Cycles, res.Cycles))
+			}
+			t.AddRowF(fmt.Sprintf("%s@%s", app, planGeo.name), "%.2f", row...)
+		}
+		s.logf("[%s] arch done", app)
+	}
+	t.Note = "Sec. V: binaries are optimized per I-cache geometry; mismatched targets lose gain"
+	return t, nil
+}
+
+// Merged extends Fig. 13: a plan tuned on the union of input #0 and #1
+// profiles, evaluated on unseen inputs #2 and #3, against the single-input
+// plan. Merged profiles should generalize at least as well.
+func (s *Suite) Merged() (*Table, error) {
+	t := NewTable("merged", "Profile merging: plan from input #0 vs inputs {#0,#1}, evaluated on #2/#3 (FDIP+LRU, % speedup)",
+		"application", "single#0%", "merged#0+1%").WithMean()
+	tcfg := s.tuneCfg("fdip", "lru", frontend.HintInvalidate)
+	for _, app := range s.extApps() {
+		st, err := s.state(app)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := s.rippleFor(app, "fdip", "lru")
+		if err != nil {
+			return nil, err
+		}
+		acfg := core.DefaultAnalysisConfig()
+		acfg.L1I = s.cfg.Params.L1I
+		multi, err := core.AnalyzeMulti(st.app.Prog,
+			[][]program.BlockID{s.trace(st, 0), s.trace(st, 1)}, acfg)
+		if err != nil {
+			return nil, err
+		}
+		mergedTune, err := core.Tune(multi, s.trace(st, 0), tcfg)
+		if err != nil {
+			return nil, err
+		}
+		var single, merged float64
+		for input := 2; input <= 3; input++ {
+			tr := s.trace(st, input)
+			base, err := core.RunPlan(st.app.Prog, tr, tcfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			sr, err := core.RunPlan(st.app.Prog, tr, tcfg, ev.tune.BestPlan)
+			if err != nil {
+				return nil, err
+			}
+			mr, err := core.RunPlan(st.app.Prog, tr, tcfg, mergedTune.BestPlan)
+			if err != nil {
+				return nil, err
+			}
+			single += speedupPct(base.Cycles, sr.Cycles) / 2
+			merged += speedupPct(base.Cycles, mr.Cycles) / 2
+		}
+		t.AddRowF(app, "%.2f", single, merged)
+		s.logf("[%s] merged done", app)
+	}
+	return t, nil
+}
+
+// LBR compares profile sources (Sec. III-A names both PT and LBR): a full
+// PT trace, PT *burst* sampling (periodic multi-thousand-block captures,
+// the AutoFDO-style production compromise), and classic 32-deep LBR
+// samples. An eviction window spans hundreds-to-thousands of blocks, so
+// 32-block LBR fragments witness essentially none (the analysis finds no
+// windows at all), bursts recover most of the signal, and the full trace
+// is the ceiling — quantifying why the paper profiles with PT.
+func (s *Suite) LBR() (*Table, error) {
+	t := NewTable("lbr", "Profile source: full PT vs PT-burst sampling vs LBR (no prefetch, LRU)",
+		"application", "pt%", "burst%", "lbr%", "burst-windows", "lbr-windows", "pt-windows")
+	tcfg := s.tuneCfg("none", "lru", frontend.HintInvalidate)
+	for _, app := range s.extApps() {
+		st, err := s.state(app)
+		if err != nil {
+			return nil, err
+		}
+		tr := s.trace(st, 0)
+		ev, err := s.rippleFor(app, "none", "lru")
+		if err != nil {
+			return nil, err
+		}
+
+		sampled := func(cfg lbr.Config) (*core.TuneResult, int, error) {
+			prof, err := lbr.Sample(tr, cfg)
+			if err != nil {
+				return nil, 0, err
+			}
+			acfg := core.DefaultAnalysisConfig()
+			acfg.L1I = s.cfg.Params.L1I
+			la, err := core.AnalyzeMulti(st.app.Prog, prof.Fragments, acfg)
+			if err != nil {
+				return nil, 0, err
+			}
+			tuned, err := core.Tune(la, tr, tcfg)
+			if err != nil {
+				return nil, 0, err
+			}
+			return tuned, la.Windows, nil
+		}
+		// ~25% duty-cycle PT bursts vs classic 32-deep LBR samples.
+		burst, burstWin, err := sampled(lbr.Config{Interval: 16_384, Depth: 4_096, Seed: 0x1B12})
+		if err != nil {
+			return nil, err
+		}
+		classic, lbrWin, err := sampled(lbr.Config{Interval: 400, Depth: 32, Seed: 0x1B12})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowF(app, "%.2f",
+			ev.tune.BestPoint().SpeedupPct,
+			burst.BestPoint().SpeedupPct,
+			classic.BestPoint().SpeedupPct,
+			float64(burstWin),
+			float64(lbrWin),
+			float64(ev.analysis.Windows))
+		s.logf("[%s] lbr done", app)
+	}
+	t.Note = "eviction windows span hundreds of blocks: LBR depth cannot see them, PT bursts can"
+	return t, nil
+}
+
+// XPrefetch evaluates the temporal record/replay prefetcher (TIFS-like)
+// the paper's related work contrasts FDIP against: effective but at an
+// on-chip metadata cost far beyond Table I, and still improved by Ripple.
+func (s *Suite) XPrefetch() (*Table, error) {
+	t := NewTable("xprefetch", "Temporal (record/replay) prefetching vs the paper's baselines (LRU, % speedup over no-prefetch LRU)",
+		"application", "nlp%", "fdip%", "tifs%", "ripple-tifs%", "tifs-metadata")
+	for _, app := range s.extApps() {
+		st, err := s.state(app)
+		if err != nil {
+			return nil, err
+		}
+		base, err := s.run(app, "none", "lru", false)
+		if err != nil {
+			return nil, err
+		}
+		nlp, err := s.run(app, "nlp", "lru", false)
+		if err != nil {
+			return nil, err
+		}
+		fdip, err := s.run(app, "fdip", "lru", false)
+		if err != nil {
+			return nil, err
+		}
+
+		// TIFS baseline (not cached by the panel runner).
+		pol, _ := replacement.New("lru")
+		tf, err := prefetch.New("tifs", st.app.Prog)
+		if err != nil {
+			return nil, err
+		}
+		tifsRes, err := frontend.Run(s.cfg.Params, st.app.Prog, s.trace(st, 0), frontend.Options{
+			Policy:       pol,
+			Prefetcher:   tf,
+			WarmupBlocks: s.cfg.WarmupBlocks,
+		})
+		if err != nil {
+			return nil, err
+		}
+		meta := "n/a"
+		if tp, ok := tf.(*prefetch.TIFS); ok {
+			meta = fmt.Sprintf("%dKB", tp.MetadataBytes()>>10)
+		}
+
+		// Ripple on top of TIFS.
+		a, err := s.analysisFor(app)
+		if err != nil {
+			return nil, err
+		}
+		tcfg := s.tuneCfg("tifs", "lru", frontend.HintInvalidate)
+		tuned, err := core.Tune(a, s.trace(st, 0), tcfg)
+		if err != nil {
+			return nil, err
+		}
+		rippleTifs, err := core.RunPlan(st.app.Prog, s.trace(st, 0), tcfg, tuned.BestPlan)
+		if err != nil {
+			return nil, err
+		}
+
+		t.AddRow(app,
+			fmt.Sprintf("%.2f", speedupPct(base.Cycles, nlp.Cycles)),
+			fmt.Sprintf("%.2f", speedupPct(base.Cycles, fdip.Cycles)),
+			fmt.Sprintf("%.2f", speedupPct(base.Cycles, tifsRes.Cycles)),
+			fmt.Sprintf("%.2f", speedupPct(base.Cycles, rippleTifs.Cycles)),
+			meta)
+		s.logf("[%s] xprefetch done", app)
+	}
+	t.Note = "record/replay prefetching needs orders of magnitude more metadata than Table I budgets"
+	return t, nil
+}
+
+// Layout is the injection-placement ablation: the tuned plan executed
+// with layout-neutral placement (padding/NOP slots — the pipeline
+// default) vs. naive full relayout, which shifts every downstream byte,
+// remaps the hot footprint across cache sets, and invalidates the profile
+// the plan was computed from.
+func (s *Suite) Layout() (*Table, error) {
+	t := NewTable("layout", "Injection placement: layout-neutral vs full relayout (no prefetch, LRU, % speedup)",
+		"application", "preserve%", "shift%").WithMean()
+	for _, app := range s.extApps() {
+		st, err := s.state(app)
+		if err != nil {
+			return nil, err
+		}
+		base, err := s.run(app, "none", "lru", false)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := s.rippleFor(app, "none", "lru")
+		if err != nil {
+			return nil, err
+		}
+		shiftCfg := s.tuneCfg("none", "lru", frontend.HintInvalidate)
+		shiftCfg.ShiftLayout = true
+		shifted, err := core.RunPlan(st.app.Prog, s.trace(st, 0), shiftCfg, ev.tune.BestPlan)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowF(app, "%.2f",
+			speedupPct(base.Cycles, ev.best.Cycles),
+			speedupPct(base.Cycles, shifted.Cycles))
+	}
+	t.Note = "relayout invalidates the profiled line-to-set mapping; padding placement keeps it"
+	return t, nil
+}
+
+// CodeLayout compares Ripple against the code-layout-optimization family
+// the paper's introduction cites (AutoFDO/BOLT-style function clustering
+// and hot/cold block reordering) and shows the two compose: the layout
+// optimizer and Ripple consume the same profile, and Ripple's analysis is
+// re-run on the optimized image before injection, as a production pipeline
+// would do.
+func (s *Suite) CodeLayout() (*Table, error) {
+	t := NewTable("codelayout", "Code layout (BOLT/C3-style) vs Ripple vs both (no prefetch, LRU, % speedup over baseline)",
+		"application", "layout%", "ripple%", "layout+ripple%").WithMean()
+	tcfg := s.tuneCfg("none", "lru", frontend.HintInvalidate)
+	for _, app := range s.extApps() {
+		st, err := s.state(app)
+		if err != nil {
+			return nil, err
+		}
+		tr := s.trace(st, 0)
+		base, err := s.run(app, "none", "lru", false)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := s.rippleFor(app, "none", "lru")
+		if err != nil {
+			return nil, err
+		}
+
+		prof := layout.ProfileFromTrace(st.app.Prog, tr)
+		optProg, err := layout.Optimize(st.app.Prog, prof, layout.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		layoutOnly, err := core.RunPlan(optProg, tr, tcfg, nil)
+		if err != nil {
+			return nil, err
+		}
+
+		acfg := core.DefaultAnalysisConfig()
+		acfg.L1I = s.cfg.Params.L1I
+		a2, err := core.Analyze(optProg, tr, acfg)
+		if err != nil {
+			return nil, err
+		}
+		tuned, err := core.Tune(a2, tr, tcfg)
+		if err != nil {
+			return nil, err
+		}
+		both, err := core.RunPlan(optProg, tr, tcfg, tuned.BestPlan)
+		if err != nil {
+			return nil, err
+		}
+
+		t.AddRowF(app, "%.2f",
+			speedupPct(base.Cycles, layoutOnly.Cycles),
+			speedupPct(base.Cycles, ev.best.Cycles),
+			speedupPct(base.Cycles, both.Cycles))
+		s.logf("[%s] codelayout done", app)
+	}
+	t.Note = "layout packs hot lines; Ripple fixes replacement; gains stack when composed"
+	return t, nil
+}
+
+// WindowCap is the MaxWindowBlocks design-choice ablation DESIGN.md calls
+// out: how far back from each ideal eviction the candidate scan walks.
+// Too small and cue candidates near the victim's last use are lost; the
+// default (2048) captures nearly all windows at tractable analysis cost.
+func (s *Suite) WindowCap() (*Table, error) {
+	caps := []int{64, 512, 2048}
+	t := NewTable("windowcap", "Analysis window cap ablation (no prefetch, LRU, tuned speedup %)",
+		"app/cap", "windows", "covered@best", "speedup%")
+	tcfg := s.tuneCfg("none", "lru", frontend.HintInvalidate)
+	for _, app := range s.extApps() {
+		st, err := s.state(app)
+		if err != nil {
+			return nil, err
+		}
+		tr := s.trace(st, 0)
+		for _, wc := range caps {
+			acfg := core.DefaultAnalysisConfig()
+			acfg.L1I = s.cfg.Params.L1I
+			acfg.MaxWindowBlocks = wc
+			a, err := core.Analyze(st.app.Prog, tr, acfg)
+			if err != nil {
+				return nil, err
+			}
+			tuned, err := core.Tune(a, tr, tcfg)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRowF(fmt.Sprintf("%s/%d", app, wc), "%.2f",
+				float64(a.Windows),
+				float64(tuned.BestPlan.WindowsCovered),
+				tuned.BestPoint().SpeedupPct)
+		}
+		s.logf("[%s] windowcap done", app)
+	}
+	return t, nil
+}
+
+// HintCost is the hint-execution-cost sensitivity ablation: the frontend
+// charges each executed invalidate HintCPI cycles (a dependency-free µop;
+// default 0.12). The conclusions must not hinge on that constant, so the
+// tuned plan is re-evaluated with the hint priced at zero and at a full
+// average instruction (BaseCPI).
+func (s *Suite) HintCost() (*Table, error) {
+	t := NewTable("hintcost", "Hint execution cost sensitivity (no prefetch, LRU, % speedup over LRU)",
+		"application", "free%", "default%", "full-instr%").WithMean()
+	for _, app := range s.extApps() {
+		st, err := s.state(app)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := s.rippleFor(app, "none", "lru")
+		if err != nil {
+			return nil, err
+		}
+		var row []float64
+		for _, hintCPI := range []float64{0, s.cfg.Params.HintCPI, s.cfg.Params.BaseCPI} {
+			params := s.cfg.Params
+			params.HintCPI = hintCPI
+			tcfg := s.tuneCfg("none", "lru", frontend.HintInvalidate)
+			tcfg.Params = params
+			base, err := core.RunPlan(st.app.Prog, s.trace(st, 0), tcfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.RunPlan(st.app.Prog, s.trace(st, 0), tcfg, ev.tune.BestPlan)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, speedupPct(base.Cycles, res.Cycles))
+		}
+		t.AddRowF(app, "%.2f", row...)
+	}
+	t.Note = "dynamic hint counts are ~0.2% of instructions, so even full-price hints barely move the result"
+	return t, nil
+}
+
+// Phases exercises the dynamic reuse-distance variance the paper blames
+// for static classifiers' failure (Sec. II-D): a phased variant of each
+// application rotates its request popularity every 60 requests, so the
+// same lines are cache-friendly in one phase and cache-averse in the
+// next. Ripple's profile covers all phases and its cue probabilities stay
+// predictive, so the gains survive phase churn.
+func (s *Suite) Phases() (*Table, error) {
+	t := NewTable("phases", "Phase-varying request mixes (no prefetch, LRU)",
+		"app/variant", "lru-mpki", "ripple%", "ideal%")
+	tcfg := s.tuneCfg("none", "lru", frontend.HintInvalidate)
+	for _, appName := range s.extApps() {
+		model, ok := workload.ByName(appName)
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown app %q", appName)
+		}
+		for _, phased := range []bool{false, true} {
+			m := model
+			label := appName + "/steady"
+			if phased {
+				m.PhaseRequests = 60
+				m.Name = appName + "-phased"
+				label = appName + "/phased"
+			}
+			app, err := workload.Build(m)
+			if err != nil {
+				return nil, err
+			}
+			tr := app.Trace(0, s.cfg.TraceBlocks)
+			pol, _ := replacement.New("lru")
+			base, err := frontend.Run(s.cfg.Params, app.Prog, tr, frontend.Options{
+				Policy:       pol,
+				RecordStream: true,
+				WarmupBlocks: s.cfg.WarmupBlocks,
+			})
+			if err != nil {
+				return nil, err
+			}
+			idealMisses := opt.Simulate(base.Stream, s.cfg.Params.L1I, opt.ModeDemandMIN, false).DemandMisses
+			base.Stream = nil
+			acfg := core.DefaultAnalysisConfig()
+			acfg.L1I = s.cfg.Params.L1I
+			a, err := core.Analyze(app.Prog, tr, acfg)
+			if err != nil {
+				return nil, err
+			}
+			tuned, err := core.Tune(a, tr, tcfg)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRowF(label, "%.2f",
+				base.MPKI(),
+				tuned.BestPoint().SpeedupPct,
+				speedupPct(base.Cycles, idealCyclesFrom(base, idealMisses)))
+		}
+		s.logf("[%s] phases done", appName)
+	}
+	t.Note = "Ripple's profile spans the phases, so cue probabilities remain predictive"
+	return t, nil
+}

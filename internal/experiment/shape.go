@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+)
+
+// ShapeCheck validates the paper's qualitative claims against freshly
+// computed tables — the reproduction's self-test. It returns the list of
+// violated claims (empty = every claim holds). Computed tables are cached
+// in the suite, so running it after `-run all` costs nothing extra.
+//
+// The checks assert *shape*, not absolute numbers: who wins, what is
+// ordered above what, and where the paper's qualitative crossovers fall.
+func (s *Suite) ShapeCheck(w io.Writer) ([]string, error) {
+	var violations []string
+	claim := func(ok bool, format string, args ...interface{}) {
+		msg := fmt.Sprintf(format, args...)
+		status := "ok  "
+		if !ok {
+			status = "FAIL"
+			violations = append(violations, msg)
+		}
+		if w != nil {
+			fmt.Fprintf(w, "  [%s] %s\n", status, msg)
+		}
+	}
+	mean := func(t *Table, col string) float64 {
+		m, _ := t.Mean(col)
+		return m
+	}
+
+	// Fig. 1: every app gains double digits from a perfect I-cache.
+	fig1, err := s.Fig1()
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := 1e9, -1e9
+	for _, app := range fig1.Rows() {
+		v, _ := fig1.Value(app, "ideal-speedup%")
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	claim(lo > 5 && hi < 60, "fig1: ideal-cache speedups span a plausible band (got %.1f-%.1f%%, paper 11-47%%)", lo, hi)
+
+	// Fig. 2: FDIP captures most but not all of the ideal; ideal
+	// replacement recovers part of the rest.
+	fig2, err := s.Fig2()
+	if err != nil {
+		return nil, err
+	}
+	fdip, idealRepl, idealCache := mean(fig2, "fdip+lru%"), mean(fig2, "fdip+ideal-repl%"), mean(fig2, "ideal-cache%")
+	claim(fdip > 0.5*idealCache && fdip < idealCache,
+		"fig2: FDIP lands between half and all of the ideal cache (%.1f vs %.1f)", fdip, idealCache)
+	claim(idealRepl > fdip && idealRepl <= idealCache,
+		"fig2: ideal replacement recovers part of FDIP's gap (%.1f in (%.1f, %.1f])", idealRepl, fdip, idealCache)
+
+	// Fig. 3: no prior policy beats LRU meaningfully although the ideal
+	// has headroom.
+	fig3, err := s.Fig3()
+	if err != nil {
+		return nil, err
+	}
+	worstPrior := -1e9
+	for _, col := range []string{"hawkeye%", "harmony%", "srrip%", "drrip%", "ghrp%"} {
+		if m := mean(fig3, col); m > worstPrior {
+			worstPrior = m
+		}
+	}
+	claim(worstPrior < 0.5, "fig3: best prior policy gains under 0.5%% over LRU (got %.2f%%)", worstPrior)
+	claim(mean(fig3, "ideal%") > 0.5, "fig3: ideal replacement has real headroom (got %.2f%%)", mean(fig3, "ideal%"))
+
+	// Compulsory misses are rare (no scanning).
+	comp, err := s.Compulsory()
+	if err != nil {
+		return nil, err
+	}
+	claim(mean(comp, "compulsory-mpki") < 0.5, "compulsory MPKI is tiny (got %.2f, paper mean 0.16)", mean(comp, "compulsory-mpki"))
+
+	// Fig. 7: Ripple-LRU beats LRU on average under every prefetcher and
+	// never exceeds the ideal.
+	fig7, err := s.Fig7()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range fig7 {
+		rl, id := mean(t, "ripple-lru%"), mean(t, "ideal%")
+		claim(rl >= 0, "%s: ripple-lru mean is non-negative (got %.2f%%)", t.ID, rl)
+		claim(rl <= id, "%s: ripple-lru below the ideal limit (%.2f <= %.2f)", t.ID, rl, id)
+	}
+
+	// Fig. 9: JIT-heavy HHVM apps get less coverage than the rest;
+	// verilator gets the most.
+	fig9, err := s.Fig9()
+	if err != nil {
+		return nil, err
+	}
+	jit := map[string]bool{"drupal": true, "mediawiki": true, "wordpress": true}
+	var jitSum, otherSum float64
+	var jitN, otherN int
+	var verilatorCov float64
+	for _, app := range fig9.Rows() {
+		v, _ := fig9.Value(app, "none%")
+		if app == "verilator" {
+			verilatorCov = v
+		}
+		if jit[app] {
+			jitSum += v
+			jitN++
+		} else {
+			otherSum += v
+			otherN++
+		}
+	}
+	if jitN > 0 && otherN > 0 {
+		claim(jitSum/float64(jitN) < otherSum/float64(otherN),
+			"fig9: JIT apps have lower coverage (%.1f%% vs %.1f%%)", jitSum/float64(jitN), otherSum/float64(otherN))
+		claim(verilatorCov >= otherSum/float64(otherN),
+			"fig9: verilator coverage is the high end (got %.1f%%)", verilatorCov)
+	}
+
+	// Fig. 10: Ripple's accuracy beats the underlying LRU's.
+	fig10, err := s.Fig10()
+	if err != nil {
+		return nil, err
+	}
+	claim(mean(fig10, "ripple%") > mean(fig10, "lru%"),
+		"fig10: ripple accuracy above LRU accuracy (%.1f%% vs %.1f%%)", mean(fig10, "ripple%"), mean(fig10, "lru%"))
+
+	// Figs. 11/12: overheads stay inside the paper's envelope.
+	fig11, err := s.Fig11()
+	if err != nil {
+		return nil, err
+	}
+	claim(mean(fig11, "none%") < 8, "fig11: static overhead bounded (got %.2f%%, paper <4.4%%)", mean(fig11, "none%"))
+	fig12, err := s.Fig12()
+	if err != nil {
+		return nil, err
+	}
+	claim(mean(fig12, "none%") < 11, "fig12: dynamic overhead bounded (got %.2f%%, paper mean 2.2%%)", mean(fig12, "none%"))
+
+	return violations, nil
+}

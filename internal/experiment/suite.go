@@ -1,0 +1,333 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ripple/internal/core"
+	"ripple/internal/frontend"
+	"ripple/internal/opt"
+	"ripple/internal/prefetch"
+	"ripple/internal/program"
+	"ripple/internal/replacement"
+	"ripple/internal/workload"
+)
+
+// Config parameterizes a whole experiment suite run.
+type Config struct {
+	// Params is the simulated machine (Table II by default).
+	Params frontend.Params
+	// TraceBlocks is the per-application trace length in executed basic
+	// blocks (the paper traces 100M instructions; the default here, 600k
+	// blocks ≈ 7M instructions, reproduces the shapes at CI-friendly
+	// cost). WarmupBlocks are executed but excluded from measurement.
+	TraceBlocks  int
+	WarmupBlocks int
+	// Apps restricts the suite to a subset of the nine applications.
+	Apps []string
+	// Thresholds overrides the Ripple tuning sweep.
+	Thresholds []float64
+	// Log receives progress lines (nil silences them).
+	Log io.Writer
+}
+
+// DefaultConfig returns the standard suite configuration.
+func DefaultConfig() Config {
+	return Config{
+		Params:       frontend.DefaultParams(),
+		TraceBlocks:  600_000,
+		WarmupBlocks: 200_000,
+		Apps:         workload.Names(),
+		Thresholds:   []float64{0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95},
+		Log:          os.Stderr,
+	}
+}
+
+// Suite runs experiments against a shared, lazily populated result cache,
+// so e.g. Fig. 7 and Fig. 8 (speedup and MPKI of the same configurations)
+// cost one set of simulations.
+type Suite struct {
+	cfg  Config
+	apps map[string]*appState
+}
+
+type runKey struct {
+	prefetcher string
+	policy     string
+	accuracy   bool
+}
+
+type rippleKey struct {
+	prefetcher string
+	policy     string
+}
+
+// rippleEval is the cached outcome of the full Ripple pipeline for one
+// (app, prefetcher, policy) cell: the tuned plan plus a re-evaluation of
+// the winning plan with accuracy instrumentation.
+type rippleEval struct {
+	analysis *core.Analysis
+	tune     *core.TuneResult
+	best     frontend.Result
+	staticOv float64
+}
+
+type appState struct {
+	model  workload.Model
+	app    *workload.App
+	traces map[int][]program.BlockID
+
+	analysis *core.Analysis
+	runs     map[runKey]frontend.Result
+	// oracleMisses caches, per prefetcher, the demand-miss counts of the
+	// offline oracle modes replayed over the stream recorded under LRU.
+	oracleMisses map[string]map[opt.Mode]uint64
+	ripple       map[rippleKey]*rippleEval
+}
+
+// New builds a suite. Invalid app names surface on first use.
+func New(cfg Config) *Suite {
+	def := DefaultConfig()
+	if cfg.Params.L1I.SizeBytes == 0 {
+		cfg.Params = def.Params
+	}
+	if cfg.TraceBlocks == 0 {
+		cfg.TraceBlocks = def.TraceBlocks
+	}
+	if cfg.WarmupBlocks == 0 {
+		cfg.WarmupBlocks = cfg.TraceBlocks / 3
+	}
+	if len(cfg.Apps) == 0 {
+		cfg.Apps = def.Apps
+	}
+	if len(cfg.Thresholds) == 0 {
+		cfg.Thresholds = def.Thresholds
+	}
+	return &Suite{cfg: cfg, apps: make(map[string]*appState)}
+}
+
+// Apps returns the application names the suite covers, in figure order.
+func (s *Suite) Apps() []string { return s.cfg.Apps }
+
+func (s *Suite) logf(format string, args ...interface{}) {
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, format+"\n", args...)
+	}
+}
+
+// state lazily builds the application and its input-#0 trace.
+func (s *Suite) state(name string) (*appState, error) {
+	if st, ok := s.apps[name]; ok {
+		return st, nil
+	}
+	m, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown application %q", name)
+	}
+	t0 := time.Now()
+	app, err := workload.Build(m)
+	if err != nil {
+		return nil, err
+	}
+	st := &appState{
+		model:        m,
+		app:          app,
+		traces:       map[int][]program.BlockID{},
+		runs:         map[runKey]frontend.Result{},
+		oracleMisses: map[string]map[opt.Mode]uint64{},
+		ripple:       map[rippleKey]*rippleEval{},
+	}
+	s.apps[name] = st
+	s.logf("[%s] built (%d blocks of code) in %v", name, app.Prog.NumBlocks(), time.Since(t0).Round(time.Millisecond))
+	return st, nil
+}
+
+// trace lazily synthesizes the trace for one input configuration.
+func (s *Suite) trace(st *appState, input int) []program.BlockID {
+	if tr, ok := st.traces[input]; ok {
+		return tr
+	}
+	tr := st.app.Trace(input, s.cfg.TraceBlocks)
+	st.traces[input] = tr
+	return tr
+}
+
+// run simulates (and caches) one (app, prefetcher, policy) cell on the
+// input-#0 trace of the unmodified binary.
+func (s *Suite) run(name, prefetcher, policy string, accuracy bool) (frontend.Result, error) {
+	st, err := s.state(name)
+	if err != nil {
+		return frontend.Result{}, err
+	}
+	key := runKey{prefetcher: prefetcher, policy: policy, accuracy: accuracy}
+	if r, ok := st.runs[key]; ok {
+		return r, nil
+	}
+	pol, err := replacement.New(policy)
+	if err != nil {
+		return frontend.Result{}, err
+	}
+	pf, err := prefetch.New(prefetcher, st.app.Prog)
+	if err != nil {
+		return frontend.Result{}, err
+	}
+	t0 := time.Now()
+	r, err := frontend.Run(s.cfg.Params, st.app.Prog, s.trace(st, 0), frontend.Options{
+		Policy:          pol,
+		Prefetcher:      pf,
+		MeasureAccuracy: accuracy,
+		WarmupBlocks:    s.cfg.WarmupBlocks,
+	})
+	if err != nil {
+		return frontend.Result{}, err
+	}
+	st.runs[key] = r
+	s.logf("[%s] %s/%s: MPKI %.2f, IPC %.3f (%v)", name, prefetcher, policy, r.MPKI(), r.IPC(), time.Since(t0).Round(time.Millisecond))
+	return r, nil
+}
+
+// oracleMissCount replays an offline oracle replacement mode (MIN,
+// Demand-MIN, or pollute-evict) over the access stream recorded under LRU
+// with the given prefetcher, returning the oracle's demand-miss count. The
+// stream is recorded once per prefetcher and all three modes are evaluated
+// together so it never has to be kept around.
+func (s *Suite) oracleMissCount(name, prefetcher string, mode opt.Mode) (uint64, error) {
+	st, err := s.state(name)
+	if err != nil {
+		return 0, err
+	}
+	if byMode, ok := st.oracleMisses[prefetcher]; ok {
+		return byMode[mode], nil
+	}
+	pol, _ := replacement.New("lru")
+	pf, err := prefetch.New(prefetcher, st.app.Prog)
+	if err != nil {
+		return 0, err
+	}
+	r, err := frontend.Run(s.cfg.Params, st.app.Prog, s.trace(st, 0), frontend.Options{
+		Policy:       pol,
+		Prefetcher:   pf,
+		RecordStream: true,
+		WarmupBlocks: s.cfg.WarmupBlocks,
+	})
+	if err != nil {
+		return 0, err
+	}
+	byMode := make(map[opt.Mode]uint64, 3)
+	for _, m := range []opt.Mode{opt.ModeMIN, opt.ModeDemandMIN, opt.ModePolluteEvict} {
+		byMode[m] = opt.Simulate(r.Stream, s.cfg.Params.L1I, m, false).DemandMisses
+	}
+	st.oracleMisses[prefetcher] = byMode
+	s.logf("[%s] %s oracles: min=%d demand-min=%d pollute=%d (LRU: %d)",
+		name, prefetcher, byMode[opt.ModeMIN], byMode[opt.ModeDemandMIN],
+		byMode[opt.ModePolluteEvict], r.L1I.DemandMisses+r.LateMisses)
+	return byMode[mode], nil
+}
+
+// idealReplacementCycles estimates the cycle count of the LRU run had it
+// made ideal (Demand-MIN) replacement decisions: same instruction stream,
+// ideal misses charged at the run's observed average miss penalty.
+func (s *Suite) idealReplacementCycles(name, prefetcher string) (uint64, error) {
+	base, err := s.run(name, prefetcher, "lru", false)
+	if err != nil {
+		return 0, err
+	}
+	misses, err := s.oracleMissCount(name, prefetcher, opt.ModeDemandMIN)
+	if err != nil {
+		return 0, err
+	}
+	return idealCyclesFrom(base, misses), nil
+}
+
+// idealCyclesFrom rescales a run's stall cycles to an ideal miss count.
+func idealCyclesFrom(base frontend.Result, idealMisses uint64) uint64 {
+	observed := base.L1I.DemandMisses + base.LateMisses
+	if observed == 0 {
+		return base.Cycles
+	}
+	penalty := float64(base.StallCycles) / float64(observed)
+	return base.Cycles - base.StallCycles + uint64(float64(idealMisses)*penalty)
+}
+
+// analysis lazily runs Ripple's eviction analysis on the input-#0 trace.
+func (s *Suite) analysisFor(name string) (*core.Analysis, error) {
+	st, err := s.state(name)
+	if err != nil {
+		return nil, err
+	}
+	if st.analysis != nil {
+		return st.analysis, nil
+	}
+	acfg := core.DefaultAnalysisConfig()
+	acfg.L1I = s.cfg.Params.L1I
+	t0 := time.Now()
+	a, err := core.Analyze(st.app.Prog, s.trace(st, 0), acfg)
+	if err != nil {
+		return nil, err
+	}
+	st.analysis = a
+	s.logf("[%s] eviction analysis: %d windows (%v)", name, a.Windows, time.Since(t0).Round(time.Millisecond))
+	return a, nil
+}
+
+// tuneCfg assembles the core.TuneConfig for one cell.
+func (s *Suite) tuneCfg(prefetcher, policy string, hints frontend.HintMode) core.TuneConfig {
+	return core.TuneConfig{
+		Params:       s.cfg.Params,
+		Policy:       policy,
+		Prefetcher:   prefetcher,
+		Hints:        hints,
+		Thresholds:   s.cfg.Thresholds,
+		WarmupBlocks: s.cfg.WarmupBlocks,
+	}
+}
+
+// rippleFor runs (and caches) the full Ripple pipeline for one cell:
+// analysis, threshold tuning, and an accuracy-instrumented evaluation of
+// the winning plan.
+func (s *Suite) rippleFor(name, prefetcher, policy string) (*rippleEval, error) {
+	st, err := s.state(name)
+	if err != nil {
+		return nil, err
+	}
+	key := rippleKey{prefetcher: prefetcher, policy: policy}
+	if ev, ok := st.ripple[key]; ok {
+		return ev, nil
+	}
+	a, err := s.analysisFor(name)
+	if err != nil {
+		return nil, err
+	}
+	tcfg := s.tuneCfg(prefetcher, policy, frontend.HintInvalidate)
+	t0 := time.Now()
+	tune, err := core.Tune(a, s.trace(st, 0), tcfg)
+	if err != nil {
+		return nil, err
+	}
+	// Re-evaluate the winner with accuracy instrumentation for Figs. 9-12.
+	tcfg.MeasureAccuracy = true
+	best, err := core.RunPlan(st.app.Prog, s.trace(st, 0), tcfg, tune.BestPlan)
+	if err != nil {
+		return nil, err
+	}
+	injected := tune.BestPlan.ApplyPreservingLayout(st.app.Prog)
+	ev := &rippleEval{analysis: a, tune: tune, best: best}
+	if orig := st.app.Prog.StaticInstrs(); orig > 0 {
+		ev.staticOv = float64(injected.StaticInstrs()-orig) / float64(orig) * 100
+	}
+	st.ripple[key] = ev
+	s.logf("[%s] ripple-%s/%s: th=%.2f speedup %.2f%%, coverage %.0f%% (%v)",
+		name, policy, prefetcher, tune.BestPoint().Threshold, tune.BestPoint().SpeedupPct,
+		best.Coverage()*100, time.Since(t0).Round(time.Second))
+	return ev, nil
+}
+
+// speedupPct converts a cycle pair into percentage speedup.
+func speedupPct(baseCycles, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return (float64(baseCycles)/float64(cycles) - 1) * 100
+}

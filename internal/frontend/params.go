@@ -1,0 +1,65 @@
+// Package frontend is the trace-driven performance model: it drives a
+// basic-block execution trace through the branch-predictor-directed
+// prefetcher and the three-level instruction cache hierarchy of Table II,
+// executes Ripple's injected invalidation/demote hints, and produces the
+// cycle, MPKI, coverage, and accuracy numbers behind every figure of the
+// paper's evaluation.
+//
+// The cycle model is deliberately first-order: cycles = instructions x
+// BaseCPI + the exposed latency of every demand instruction miss, with
+// prefetch fills off the critical path. All policies and prefetchers are
+// charged identically, so relative speedups — the quantity the paper
+// reports — are preserved even though absolute IPC differs from the
+// authors' out-of-order ZSim testbed (see DESIGN.md, substitutions).
+package frontend
+
+import "ripple/internal/cache"
+
+// Params mirrors the simulator parameters of Table II.
+type Params struct {
+	L1I cache.Config
+	L2  cache.Config
+	L3  cache.Config
+
+	// Latencies in cycles. L1ILat is the pipelined hit latency (not
+	// charged per access); the others are charged per demand miss that is
+	// served at that level.
+	L1ILat int
+	L2Lat  int
+	L3Lat  int
+	MemLat int
+
+	// BaseCPI absorbs every stall source other than instruction misses
+	// (data misses, dependencies, mispredict resteers), which are common
+	// to all configurations under comparison.
+	BaseCPI float64
+
+	// HintCPI is the execution cost of one injected invalidate/demote
+	// hint. The hint is a single dependency-free µop (cldemote-like) that
+	// the out-of-order backend issues down a spare port, so it is far
+	// cheaper than an average instruction; its main costs — I-footprint
+	// bloat and fetch bandwidth — are modeled directly by the rewritten
+	// layout.
+	HintCPI float64
+
+	// FreqGHz is reported for context only (Table II: 2.5 GHz all-core
+	// turbo).
+	FreqGHz float64
+}
+
+// DefaultParams returns the Table II configuration: 32KiB/8-way L1I,
+// 1MiB/16-way L2, 10MiB/20-way L3, 64B lines, 3/12/36/260-cycle latencies.
+func DefaultParams() Params {
+	return Params{
+		L1I:     cache.Config{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64},
+		L2:      cache.Config{SizeBytes: 1 << 20, Ways: 16, LineBytes: 64},
+		L3:      cache.Config{SizeBytes: 10 << 20, Ways: 20, LineBytes: 64},
+		L1ILat:  3,
+		L2Lat:   12,
+		L3Lat:   36,
+		MemLat:  260,
+		BaseCPI: 0.55,
+		HintCPI: 0.12,
+		FreqGHz: 2.5,
+	}
+}

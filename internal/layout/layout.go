@@ -1,0 +1,243 @@
+// Package layout implements the profile-guided code-layout optimizations
+// the paper's introduction positions Ripple against — the AutoFDO / BOLT /
+// Ispike family it cites: call-chain-clustered function reordering (C3,
+// Ottoni & Maher, CGO'17) and hot/cold basic-block reordering within
+// functions.
+//
+// The optimizer consumes the same basic-block profile Ripple does and
+// emits a relaid-out Program with unchanged FuncIDs/BlockIDs, so recorded
+// traces remain valid and the two techniques compose: the `codelayout`
+// experiment measures layout-only, Ripple-only, and layout-then-Ripple
+// (with the analysis re-run on the optimized image, as a production
+// pipeline would).
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"ripple/internal/isa"
+	"ripple/internal/program"
+)
+
+// Profile aggregates the dynamic quantities the optimizer needs from a
+// basic-block trace: per-block and per-function execution counts, and
+// caller->callee call frequencies.
+type Profile struct {
+	BlockCount []uint64
+	FuncCount  []uint64
+	// CallEdges maps (caller function, callee function) to the dynamic
+	// call count between them.
+	CallEdges map[[2]program.FuncID]uint64
+}
+
+// ProfileFromTrace builds a layout profile from an executed block
+// sequence.
+func ProfileFromTrace(prog *program.Program, trace []program.BlockID) *Profile {
+	p := &Profile{
+		BlockCount: make([]uint64, prog.NumBlocks()),
+		FuncCount:  make([]uint64, len(prog.Funcs)),
+		CallEdges:  make(map[[2]program.FuncID]uint64, 1<<10),
+	}
+	for i, bid := range trace {
+		b := prog.Block(bid)
+		p.BlockCount[bid]++
+		if b.ID == prog.Func(b.Func).Entry {
+			p.FuncCount[b.Func]++
+		}
+		if i+1 < len(trace) && b.Term.IsCall() {
+			callee := prog.Block(trace[i+1]).Func
+			p.CallEdges[[2]program.FuncID{b.Func, callee}]++
+		}
+	}
+	return p
+}
+
+// Options selects which transformations to apply.
+type Options struct {
+	// ReorderFunctions applies C3-style call-chain clustering to the
+	// function placement order.
+	ReorderFunctions bool
+	// ReorderBlocks places each function's hottest blocks first (after
+	// the entry), pushing never-executed blocks to the function's tail —
+	// intra-function hot/cold splitting.
+	ReorderBlocks bool
+	// MaxClusterBytes caps a C3 cluster's code size (0 = package
+	// default). Clusters stop merging past the cap so one giant cluster
+	// cannot swallow the layout.
+	MaxClusterBytes uint64
+}
+
+// DefaultOptions enables both transformations with a 256KiB cluster cap.
+func DefaultOptions() Options {
+	return Options{ReorderFunctions: true, ReorderBlocks: true, MaxClusterBytes: 256 << 10}
+}
+
+// Optimize returns a relaid-out clone of prog. Block and function IDs are
+// stable; only placement changes.
+func Optimize(prog *program.Program, prof *Profile, opts Options) (*program.Program, error) {
+	if len(prof.BlockCount) != prog.NumBlocks() || len(prof.FuncCount) != len(prog.Funcs) {
+		return nil, fmt.Errorf("layout: profile shape mismatch (%d/%d blocks, %d/%d funcs)",
+			len(prof.BlockCount), prog.NumBlocks(), len(prof.FuncCount), len(prog.Funcs))
+	}
+	q := prog.Clone()
+	if opts.ReorderBlocks {
+		reorderBlocks(q, prof)
+	}
+	if opts.ReorderFunctions {
+		max := opts.MaxClusterBytes
+		if max == 0 {
+			max = DefaultOptions().MaxClusterBytes
+		}
+		q.FuncOrder = clusterFunctions(q, prof, max)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	q.Layout(prog.Base)
+	return q, nil
+}
+
+// reorderBlocks sorts each function's non-entry blocks by execution count
+// (descending, original order as tiebreak): hot paths pack densely into
+// few cache lines and cold blocks sink to the tail.
+func reorderBlocks(p *program.Program, prof *Profile) {
+	for fi := range p.Funcs {
+		f := &p.Funcs[fi]
+		if len(f.Blocks) <= 2 {
+			continue
+		}
+		rest := append([]program.BlockID(nil), f.Blocks[1:]...)
+		pos := make(map[program.BlockID]int, len(rest))
+		for i, b := range rest {
+			pos[b] = i
+		}
+		sort.SliceStable(rest, func(i, j int) bool {
+			ci, cj := prof.BlockCount[rest[i]], prof.BlockCount[rest[j]]
+			if ci != cj {
+				return ci > cj
+			}
+			return pos[rest[i]] < pos[rest[j]]
+		})
+		copy(f.Blocks[1:], rest)
+	}
+}
+
+// cluster is a C3 work item: an ordered list of functions placed
+// contiguously.
+type cluster struct {
+	funcs []program.FuncID
+	bytes uint64
+	heat  uint64 // total function-entry count, for final ordering
+}
+
+// clusterFunctions runs call-chain clustering: process call edges in
+// descending weight; when the callee's cluster can be appended after the
+// caller's cluster without busting the size cap, merge them. Final order:
+// clusters by heat density (hot first), preserving intra-cluster order.
+func clusterFunctions(p *program.Program, prof *Profile, maxBytes uint64) []program.FuncID {
+	nf := len(p.Funcs)
+	clusterOf := make([]int, nf)
+	clusters := make([]*cluster, nf)
+	for i := 0; i < nf; i++ {
+		clusterOf[i] = i
+		clusters[i] = &cluster{
+			funcs: []program.FuncID{program.FuncID(i)},
+			bytes: funcBytes(p, program.FuncID(i)),
+			heat:  prof.FuncCount[i],
+		}
+	}
+
+	type edge struct {
+		from, to program.FuncID
+		w        uint64
+	}
+	edges := make([]edge, 0, len(prof.CallEdges))
+	for k, w := range prof.CallEdges {
+		if k[0] == k[1] || w == 0 {
+			continue
+		}
+		edges = append(edges, edge{from: k[0], to: k[1], w: w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+
+	for _, e := range edges {
+		a, b := clusterOf[e.from], clusterOf[e.to]
+		if a == b {
+			continue
+		}
+		ca, cb := clusters[a], clusters[b]
+		if ca.bytes+cb.bytes > maxBytes {
+			continue
+		}
+		// Append the callee's cluster after the caller's.
+		ca.funcs = append(ca.funcs, cb.funcs...)
+		ca.bytes += cb.bytes
+		ca.heat += cb.heat
+		for _, f := range cb.funcs {
+			clusterOf[f] = a
+		}
+		clusters[b] = nil
+	}
+
+	live := clusters[:0]
+	for _, c := range clusters {
+		if c != nil {
+			live = append(live, c)
+		}
+	}
+	sort.SliceStable(live, func(i, j int) bool {
+		di := float64(live[i].heat) / float64(live[i].bytes+1)
+		dj := float64(live[j].heat) / float64(live[j].bytes+1)
+		return di > dj
+	})
+
+	order := make([]program.FuncID, 0, nf)
+	for _, c := range live {
+		order = append(order, c.funcs...)
+	}
+	return order
+}
+
+// funcBytes returns a function's code size including alignment slack.
+func funcBytes(p *program.Program, fi program.FuncID) uint64 {
+	var n uint64
+	for _, bid := range p.Funcs[fi].Blocks {
+		n += uint64(p.Blocks[bid].CodeBytes())
+	}
+	align := uint64(p.FuncAlign)
+	if align == 0 {
+		align = 16
+	}
+	if rem := n % align; rem != 0 {
+		n += align - rem
+	}
+	return n
+}
+
+// HotBytes reports how many bytes of code the profile touches — a quick
+// density diagnostic for layout quality (touched bytes / touched lines).
+func HotBytes(p *program.Program, prof *Profile) (bytes uint64, lines int) {
+	seen := make(map[uint64]bool, 1<<12)
+	var buf [16]uint64
+	for i := range p.Blocks {
+		if prof.BlockCount[i] == 0 {
+			continue
+		}
+		b := &p.Blocks[i]
+		bytes += uint64(b.CodeBytes())
+		for _, l := range b.Lines(buf[:0]) {
+			seen[l] = true
+		}
+	}
+	_ = isa.LineBytes
+	return bytes, len(seen)
+}

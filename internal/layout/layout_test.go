@@ -1,0 +1,202 @@
+package layout
+
+import (
+	"testing"
+
+	"ripple/internal/cache"
+	"ripple/internal/frontend"
+	"ripple/internal/program"
+	"ripple/internal/replacement"
+	"ripple/internal/workload"
+)
+
+func tinyApp(t *testing.T) (*workload.App, []program.BlockID) {
+	t.Helper()
+	app, err := workload.Build(workload.Model{
+		Name: "layout-tiny", Seed: 21,
+		Funcs: 60, ServiceFuncs: 5, UtilityFuncs: 5, Levels: 4,
+		BlocksMin: 4, BlocksMax: 8, BlockBytesMin: 16, BlockBytesMax: 64,
+		PCond: 0.3, PCall: 0.28, PICall: 0.04, PIJump: 0.02,
+		PLoopBack: 0.1, PBiasStrong: 0.8,
+		CalleeMin: 1, CalleeMax: 3, IndirectFanout: 3,
+		ZipfRequest: 1.0, RequestsPerBurst: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, app.Trace(0, 30_000)
+}
+
+func TestProfileFromTrace(t *testing.T) {
+	app, tr := tinyApp(t)
+	prof := ProfileFromTrace(app.Prog, tr)
+	var total uint64
+	for _, c := range prof.BlockCount {
+		total += c
+	}
+	if total != uint64(len(tr)) {
+		t.Fatalf("block counts sum to %d, trace has %d", total, len(tr))
+	}
+	if len(prof.CallEdges) == 0 {
+		t.Fatal("no call edges profiled")
+	}
+	for k, w := range prof.CallEdges {
+		if w == 0 {
+			t.Fatalf("zero-weight edge %v", k)
+		}
+		// Callee of every edge must be a real function entry transition.
+		if k[0] == k[1] {
+			t.Fatalf("self edge %v", k)
+		}
+	}
+}
+
+func TestOptimizePreservesSemantics(t *testing.T) {
+	app, tr := tinyApp(t)
+	prof := ProfileFromTrace(app.Prog, tr)
+	opt, err := Optimize(app.Prog, prof, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IDs are stable and the CFG untouched: same blocks, same terminators,
+	// same successors; only addresses change.
+	if opt.NumBlocks() != app.Prog.NumBlocks() {
+		t.Fatal("block count changed")
+	}
+	for i := range opt.Blocks {
+		a, b := app.Prog.Block(program.BlockID(i)), opt.Block(program.BlockID(i))
+		if a.Term != b.Term || a.TakenTarget != b.TakenTarget || a.FallThrough != b.FallThrough {
+			t.Fatalf("block %d CFG changed", i)
+		}
+		if a.Size != b.Size {
+			t.Fatalf("block %d size changed", i)
+		}
+	}
+	if err := opt.Validate(); err != nil {
+		t.Fatalf("optimized program invalid: %v", err)
+	}
+	// Entries stay first within their functions.
+	for fi := range opt.Funcs {
+		if opt.Funcs[fi].Entry != opt.Funcs[fi].Blocks[0] {
+			t.Fatalf("func %d entry displaced", fi)
+		}
+	}
+	// The original is untouched.
+	if app.Prog.FuncOrder != nil {
+		t.Fatal("Optimize mutated its input")
+	}
+}
+
+func TestOptimizeImprovesICache(t *testing.T) {
+	app, tr := tinyApp(t)
+	prof := ProfileFromTrace(app.Prog, tr)
+	opt, err := Optimize(app.Prog, prof, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tiny app's text fits a 32KB L1I outright; shrink the cache so
+	// layout quality matters.
+	params := frontend.DefaultParams()
+	params.L1I = cache.Config{SizeBytes: 4 << 10, Ways: 4, LineBytes: 64}
+	run := func(p *program.Program) frontend.Result {
+		r, err := frontend.Run(params, p, tr, frontend.Options{Policy: replacement.NewLRU(), WarmupBlocks: 10_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := run(app.Prog)
+	better := run(opt)
+	if better.MPKI() >= base.MPKI() {
+		t.Fatalf("layout optimization did not reduce MPKI: %.2f -> %.2f", base.MPKI(), better.MPKI())
+	}
+}
+
+func TestOptimizeRejectsShapeMismatch(t *testing.T) {
+	app, tr := tinyApp(t)
+	prof := ProfileFromTrace(app.Prog, tr)
+	prof.BlockCount = prof.BlockCount[:3]
+	if _, err := Optimize(app.Prog, prof, DefaultOptions()); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestClusterCapRespected(t *testing.T) {
+	app, tr := tinyApp(t)
+	prof := ProfileFromTrace(app.Prog, tr)
+	opts := DefaultOptions()
+	opts.MaxClusterBytes = 1 // nothing can merge
+	opt, err := Optimize(app.Prog, prof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.FuncOrder) != len(app.Prog.Funcs) {
+		t.Fatal("FuncOrder incomplete")
+	}
+}
+
+func TestHotBytes(t *testing.T) {
+	app, tr := tinyApp(t)
+	prof := ProfileFromTrace(app.Prog, tr)
+	bytes, lines := HotBytes(app.Prog, prof)
+	if bytes == 0 || lines == 0 {
+		t.Fatal("no hot footprint measured")
+	}
+	if bytes > app.Prog.TotalBytes() {
+		t.Fatal("hot bytes exceed total text")
+	}
+}
+
+// TestC3PlacesHotCalleeAfterCaller: the strongest call edge's endpoints
+// end up adjacent in the placement order (the essence of call-chain
+// clustering).
+func TestC3PlacesHotCalleeAfterCaller(t *testing.T) {
+	app, tr := tinyApp(t)
+	prof := ProfileFromTrace(app.Prog, tr)
+	var best [2]program.FuncID
+	var bestW uint64
+	for k, w := range prof.CallEdges {
+		if w > bestW {
+			best, bestW = k, w
+		}
+	}
+	if bestW == 0 {
+		t.Skip("no call edges in tiny trace")
+	}
+	opt, err := Optimize(app.Prog, prof, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[program.FuncID]int, len(opt.FuncOrder))
+	for i, f := range opt.FuncOrder {
+		pos[f] = i
+	}
+	// The callee must be placed after the caller and nearby (the cluster
+	// may have grown between them, but the hottest edge merges first, so
+	// they are directly adjacent).
+	if pos[best[1]] != pos[best[0]]+1 {
+		t.Fatalf("hottest edge %v (w=%d) not adjacent: caller at %d, callee at %d",
+			best, bestW, pos[best[0]], pos[best[1]])
+	}
+}
+
+func TestBlockReorderKeepsEntryAndSinksCold(t *testing.T) {
+	app, tr := tinyApp(t)
+	prof := ProfileFromTrace(app.Prog, tr)
+	opt, err := Optimize(app.Prog, prof, Options{ReorderBlocks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi := range opt.Funcs {
+		f := &opt.Funcs[fi]
+		if f.Entry != f.Blocks[0] {
+			t.Fatalf("func %d entry displaced", fi)
+		}
+		// Within the non-entry blocks, counts are non-increasing.
+		for i := 2; i < len(f.Blocks); i++ {
+			if prof.BlockCount[f.Blocks[i]] > prof.BlockCount[f.Blocks[i-1]] {
+				t.Fatalf("func %d blocks not sorted by heat", fi)
+			}
+		}
+	}
+}

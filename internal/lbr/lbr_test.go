@@ -1,0 +1,103 @@
+package lbr
+
+import (
+	"testing"
+
+	"ripple/internal/program"
+)
+
+func mkTrace(n int) []program.BlockID {
+	tr := make([]program.BlockID, n)
+	for i := range tr {
+		tr[i] = program.BlockID(i % 17)
+	}
+	return tr
+}
+
+func TestSampleShape(t *testing.T) {
+	cfg := Config{Interval: 100, Depth: 8, Seed: 1}
+	p, err := Sample(mkTrace(10_000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Fragments) == 0 {
+		t.Fatal("no fragments captured")
+	}
+	// Roughly one sample per interval.
+	want := 10_000 / 100
+	if len(p.Fragments) < want/2 || len(p.Fragments) > want*2 {
+		t.Fatalf("%d fragments for %d expected samples", len(p.Fragments), want)
+	}
+	for _, f := range p.Fragments {
+		if len(f) == 0 || len(f) > cfg.Depth {
+			t.Fatalf("fragment of length %d (depth %d)", len(f), cfg.Depth)
+		}
+	}
+	if r := p.CaptureRatio(); r <= 0 || r > 0.2 {
+		t.Fatalf("capture ratio %.3f implausible for interval 100/depth 8", r)
+	}
+}
+
+func TestFragmentsMatchTraceContent(t *testing.T) {
+	tr := mkTrace(5_000)
+	p, err := Sample(tr, Config{Interval: 50, Depth: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every fragment must be a contiguous subsequence of the trace; check
+	// by value (the trace is periodic, so verify windows against the
+	// generating function).
+	for _, f := range p.Fragments {
+		for i := 1; i < len(f); i++ {
+			wantNext := (int(f[i-1]) + 1) % 17
+			if int(f[i]) != wantNext {
+				t.Fatalf("fragment not contiguous: %v", f)
+			}
+		}
+	}
+}
+
+func TestSampleDeterminism(t *testing.T) {
+	tr := mkTrace(3_000)
+	a, _ := Sample(tr, DefaultConfig())
+	b, _ := Sample(tr, DefaultConfig())
+	if len(a.Fragments) != len(b.Fragments) || a.SampledBlocks != b.SampledBlocks {
+		t.Fatal("same-seed sampling diverged")
+	}
+}
+
+func TestSampleRejectsBadConfig(t *testing.T) {
+	if _, err := Sample(mkTrace(10), Config{Interval: 0, Depth: 4}); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := Sample(mkTrace(10), Config{Interval: 10, Depth: 0}); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	p, err := Sample(nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Fragments) != 0 || p.CaptureRatio() != 0 {
+		t.Fatal("empty trace produced samples")
+	}
+}
+
+func TestSampleIntervalJitterBounds(t *testing.T) {
+	// With depth 1, each fragment is a single block at the sample point;
+	// reconstruct approximate sample spacing from fragment count.
+	tr := mkTrace(100_000)
+	cfg := Config{Interval: 200, Depth: 1, Seed: 3}
+	p, err := Sample(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jitter is [0.75, 1.25) of nominal: counts bounded accordingly.
+	lo := int(float64(len(tr)) / (1.25 * float64(cfg.Interval)) * 0.9)
+	hi := int(float64(len(tr))/(0.75*float64(cfg.Interval))*1.1) + 1
+	if len(p.Fragments) < lo || len(p.Fragments) > hi {
+		t.Fatalf("%d samples outside jitter bounds [%d, %d]", len(p.Fragments), lo, hi)
+	}
+}

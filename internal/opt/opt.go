@@ -1,0 +1,252 @@
+// Package opt implements the offline "ideal" replacement policies the
+// paper uses both as limit studies and as the reference that Ripple's
+// eviction analysis mimics: Belady's MIN and the revised Demand-MIN of
+// Harmony (Jain & Lin, ISCA'18), evaluated over a recorded access stream
+// with a precomputed next-use index (the standard two-pass methodology).
+//
+// It also provides the next-use Oracle used to score replacement accuracy:
+// a victim choice is "optimal" iff no other line in the set is re-used
+// later than it.
+package opt
+
+import "ripple/internal/cache"
+
+// Event is one access in a recorded line-access stream. Demand events come
+// from committed basic blocks; prefetch events from the simulated
+// prefetcher.
+type Event struct {
+	Line     uint64
+	Prefetch bool
+}
+
+// Mode selects the oracle policy variant.
+type Mode int
+
+const (
+	// ModeMIN is Belady's MIN treating every event (demand or prefetch)
+	// as a use: the prefetch-unaware ideal.
+	ModeMIN Mode = iota
+	// ModeDemandMIN is the paper's revised Demand-MIN: dead lines first,
+	// then lines whose next event is a prefetch (farthest prefetch first,
+	// since the prefetcher can always re-fetch them), then the line whose
+	// next demand is farthest.
+	ModeDemandMIN
+	// ModePolluteEvict isolates Observation #1 of Sec. II-C: an LRU cache
+	// that only deviates from LRU to evict inaccurately prefetched lines
+	// (prefetched, never used again) early.
+	ModePolluteEvict
+)
+
+// String names the mode for reports.
+func (m Mode) String() string {
+	switch m {
+	case ModeMIN:
+		return "min"
+	case ModeDemandMIN:
+		return "demand-min"
+	case ModePolluteEvict:
+		return "pollute-evict"
+	default:
+		return "unknown"
+	}
+}
+
+// Eviction records one oracle eviction: the victim line, the stream index
+// of its last use before eviction, and the stream index of the access whose
+// fill displaced it. Ripple's eviction-window analysis consumes these.
+type Eviction struct {
+	Line    uint64
+	LastUse int32
+	At      int32
+}
+
+// Result summarizes one oracle replay.
+type Result struct {
+	Mode           Mode
+	DemandAccesses uint64
+	DemandMisses   uint64
+	PrefetchFills  uint64
+	Evictions      uint64
+	// DeadPrefetchEvictions counts evictions of lines that were prefetched
+	// and never demand-referenced (pollution the oracle removed early).
+	DeadPrefetchEvictions uint64
+	// EvictionLog is populated only when requested.
+	EvictionLog []Eviction
+}
+
+// MPKI returns demand misses per kilo-instruction for a given instruction
+// count.
+func (r Result) MPKI(instrs uint64) float64 {
+	if instrs == 0 {
+		return 0
+	}
+	return float64(r.DemandMisses) / float64(instrs) * 1000
+}
+
+const never = int32(-1)
+
+// entry is one resident line in the oracle cache model.
+type entry struct {
+	line  uint64
+	last  int32 // stream index of most recent access
+	stamp uint64
+	dead  bool // prefetched and never demand-referenced so far
+}
+
+// Simulate replays the oracle policy over the event stream against the
+// given cache geometry. Set logEvictions to collect the eviction log that
+// Ripple's analysis needs (costs memory proportional to evictions).
+func Simulate(events []Event, cfg cache.Config, mode Mode, logEvictions bool) Result {
+	nextAny, nextDemand := buildNextIndexes(events)
+	nsets := cfg.Sets()
+	setMask := uint64(nsets - 1)
+	sets := make([][]entry, nsets)
+	for i := range sets {
+		sets[i] = make([]entry, 0, cfg.Ways)
+	}
+	res := Result{Mode: mode}
+	var clock uint64
+
+	for i := range events {
+		ev := &events[i]
+		if !ev.Prefetch {
+			res.DemandAccesses++
+		}
+		s := sets[ev.Line&setMask]
+		hit := false
+		for w := range s {
+			if s[w].line == ev.Line {
+				hit = true
+				clock++
+				s[w].last = int32(i)
+				s[w].stamp = clock
+				if !ev.Prefetch {
+					s[w].dead = false
+				}
+				break
+			}
+		}
+		if hit {
+			continue
+		}
+		if !ev.Prefetch {
+			res.DemandMisses++
+		} else {
+			res.PrefetchFills++
+		}
+		clock++
+		ne := entry{line: ev.Line, last: int32(i), stamp: clock, dead: ev.Prefetch}
+		if len(s) < cfg.Ways {
+			sets[ev.Line&setMask] = append(s, ne)
+			continue
+		}
+		w := victim(s, mode, nextAny, nextDemand, events)
+		res.Evictions++
+		if s[w].dead {
+			res.DeadPrefetchEvictions++
+		}
+		if logEvictions {
+			res.EvictionLog = append(res.EvictionLog, Eviction{
+				Line:    s[w].line,
+				LastUse: s[w].last,
+				At:      int32(i),
+			})
+		}
+		s[w] = ne
+	}
+	return res
+}
+
+// victim selects the way to replace under the oracle mode. All ways are
+// occupied when called.
+func victim(s []entry, mode Mode, nextAny, nextDemand []int32, events []Event) int {
+	switch mode {
+	case ModeMIN:
+		// Farthest next event; dead lines (no next event) win immediately.
+		best, bestNext := 0, int32(0)
+		for w := range s {
+			n := nextAny[s[w].last]
+			if n == never {
+				return w
+			}
+			if n > bestNext {
+				best, bestNext = w, n
+			}
+		}
+		return best
+
+	case ModeDemandMIN:
+		// 1) never demand-referenced again: among those, farthest next
+		//    prefetch (a dead line with no events at all is farthest).
+		// 2) otherwise farthest next demand.
+		bestPF, bestPFNext := -1, int32(-2)
+		bestD, bestDNext := 0, int32(0)
+		for w := range s {
+			nd := nextDemand[s[w].last]
+			if nd == never {
+				// Next event (if any) is a prefetch: evicting is free.
+				na := nextAny[s[w].last]
+				if na == never {
+					return w // completely dead
+				}
+				if na > bestPFNext {
+					bestPF, bestPFNext = w, na
+				}
+				continue
+			}
+			if nd > bestDNext {
+				bestD, bestDNext = w, nd
+			}
+		}
+		if bestPF >= 0 {
+			return bestPF
+		}
+		return bestD
+
+	case ModePolluteEvict:
+		// LRU, except inaccurately prefetched lines (never used again) are
+		// evicted first.
+		bestLRU, bestStamp := 0, ^uint64(0)
+		for w := range s {
+			if s[w].dead && nextDemand[s[w].last] == never {
+				return w
+			}
+			if s[w].stamp < bestStamp {
+				bestLRU, bestStamp = w, s[w].stamp
+			}
+		}
+		return bestLRU
+
+	default:
+		panic("opt: unknown mode")
+	}
+}
+
+// buildNextIndexes computes, for every event index, the index of the next
+// event touching the same line (any kind) and the next *demand* event on
+// that line; -1 when there is none.
+func buildNextIndexes(events []Event) (nextAny, nextDemand []int32) {
+	n := len(events)
+	nextAny = make([]int32, n)
+	nextDemand = make([]int32, n)
+	lastAny := make(map[uint64]int32, 1<<14)
+	lastDemand := make(map[uint64]int32, 1<<14)
+	for i := n - 1; i >= 0; i-- {
+		line := events[i].Line
+		if j, ok := lastAny[line]; ok {
+			nextAny[i] = j
+		} else {
+			nextAny[i] = never
+		}
+		if j, ok := lastDemand[line]; ok {
+			nextDemand[i] = j
+		} else {
+			nextDemand[i] = never
+		}
+		lastAny[line] = int32(i)
+		if !events[i].Prefetch {
+			lastDemand[line] = int32(i)
+		}
+	}
+	return nextAny, nextDemand
+}

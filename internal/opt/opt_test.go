@@ -1,0 +1,305 @@
+package opt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ripple/internal/cache"
+	"ripple/internal/stats"
+)
+
+// cfg1set builds a 1-set, 2-way geometry: every line contends.
+var cfg1set = cache.Config{SizeBytes: 128, Ways: 2, LineBytes: 64}
+
+func demand(lines ...uint64) []Event {
+	ev := make([]Event, len(lines))
+	for i, l := range lines {
+		ev[i] = Event{Line: l}
+	}
+	return ev
+}
+
+func TestMINKnownOptimal(t *testing.T) {
+	// Classic MIN example on 2 ways: A B C A B C ... (3 lines, 2 ways).
+	// MIN keeps the line used next; per round one miss after the cold
+	// start. Sequence A B C A B C A B C: misses = 3 cold + MIN evicts
+	// optimally afterwards.
+	ev := demand(0, 2, 4, 0, 2, 4, 0, 2, 4)
+	// All even lines map to set 0 of the 1-set config (any line does).
+	res := Simulate(ev, cfg1set, ModeMIN, false)
+	// Belady on 3-line round robin with 2 ways misses every access to
+	// the line that was evicted farthest: cold 3 + 3 more.
+	// Verify against an exhaustive optimum instead of hand-counting:
+	want := exhaustiveOptimalMisses(ev, 2)
+	if res.DemandMisses != want {
+		t.Fatalf("MIN misses = %d, exhaustive optimum = %d", res.DemandMisses, want)
+	}
+}
+
+// exhaustiveOptimalMisses brute-forces the minimal miss count for a
+// single-set cache of the given associativity by trying every victim
+// choice (exponential; only for tiny traces).
+func exhaustiveOptimalMisses(ev []Event, ways int) uint64 {
+	var rec func(i int, set []uint64) uint64
+	rec = func(i int, set []uint64) uint64 {
+		if i == len(ev) {
+			return 0
+		}
+		l := ev[i].Line
+		for _, x := range set {
+			if x == l {
+				return rec(i+1, set)
+			}
+		}
+		if len(set) < ways {
+			return 1 + rec(i+1, append(append([]uint64{}, set...), l))
+		}
+		best := ^uint64(0)
+		for v := range set {
+			ns := append([]uint64{}, set...)
+			ns[v] = l
+			if m := 1 + rec(i+1, ns); m < best {
+				best = m
+			}
+		}
+		return best
+	}
+	return rec(0, nil)
+}
+
+// TestMINMatchesExhaustiveOnRandomTraces is the core optimality property:
+// Belady's greedy farthest-future choice is optimal, so the replay must
+// match an exhaustive search on small random traces.
+func TestMINMatchesExhaustiveOnRandomTraces(t *testing.T) {
+	rng := stats.NewRNG(77)
+	for trial := 0; trial < 40; trial++ {
+		n := 8 + rng.Intn(6)
+		ev := make([]Event, n)
+		for i := range ev {
+			ev[i] = Event{Line: uint64(rng.Intn(5))}
+		}
+		got := Simulate(ev, cfg1set, ModeMIN, false).DemandMisses
+		want := exhaustiveOptimalMisses(ev, 2)
+		if got != want {
+			t.Fatalf("trial %d: MIN %d misses, optimum %d (trace %v)", trial, got, want, ev)
+		}
+	}
+}
+
+// TestMINNeverWorseThanLRU: the ideal replay must lower-bound a real
+// policy on arbitrary demand streams.
+func TestMINNeverWorseThanLRU(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 1024, Ways: 4, LineBytes: 64} // 4 sets
+	rng := stats.NewRNG(123)
+	if err := quick.Check(func(seed uint32) bool {
+		r := stats.NewRNG(uint64(seed) ^ rng.Uint64())
+		ev := make([]Event, 300)
+		for i := range ev {
+			ev[i] = Event{Line: uint64(r.Intn(40))}
+		}
+		minRes := Simulate(ev, cfg, ModeMIN, false)
+		lru := lruMisses(ev, cfg)
+		return minRes.DemandMisses <= lru
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func lruMisses(ev []Event, cfg cache.Config) uint64 {
+	type entry struct {
+		line  uint64
+		stamp uint64
+	}
+	nsets := cfg.Sets()
+	sets := make([][]entry, nsets)
+	var clock, misses uint64
+	for _, e := range ev {
+		s := sets[e.Line&uint64(nsets-1)]
+		clock++
+		hit := false
+		for i := range s {
+			if s[i].line == e.Line {
+				s[i].stamp = clock
+				hit = true
+				break
+			}
+		}
+		if hit {
+			continue
+		}
+		misses++
+		if len(s) < cfg.Ways {
+			sets[e.Line&uint64(nsets-1)] = append(s, entry{e.Line, clock})
+			continue
+		}
+		v := 0
+		for i := range s {
+			if s[i].stamp < s[v].stamp {
+				v = i
+			}
+		}
+		s[v] = entry{e.Line, clock}
+	}
+	return misses
+}
+
+func TestDemandMINEvictsDeadPrefetchFirst(t *testing.T) {
+	// Set contains: A (reused at t=5), P (prefetched, never used).
+	// A fill must evict P, keeping A — Observation #1.
+	ev := []Event{
+		{Line: 0},                 // A
+		{Line: 2, Prefetch: true}, // P, never used again
+		{Line: 4},                 // forces an eviction
+		{Line: 0},                 // A reused: must HIT
+	}
+	res := Simulate(ev, cfg1set, ModeDemandMIN, false)
+	if res.DemandMisses != 2 { // A cold + line 4 cold only
+		t.Fatalf("Demand-MIN misses = %d, want 2", res.DemandMisses)
+	}
+	if res.DeadPrefetchEvictions != 1 {
+		t.Fatalf("DeadPrefetchEvictions = %d", res.DeadPrefetchEvictions)
+	}
+}
+
+func TestDemandMINPrefersReprefetchableLines(t *testing.T) {
+	// B will be prefetched again before its demand use; A will be
+	// demanded with no prefetch. Demand-MIN evicts B (free to re-fetch):
+	// Observation #2.
+	ev := []Event{
+		{Line: 0},                 // A
+		{Line: 2},                 // B
+		{Line: 4},                 // C: eviction needed
+		{Line: 2, Prefetch: true}, // B prefetched again
+		{Line: 0},                 // A demand: must hit under Demand-MIN
+		{Line: 2},                 // B demand: covered by its prefetch
+	}
+	dm := Simulate(ev, cfg1set, ModeDemandMIN, false)
+	// Misses: A cold, B cold, C cold. A's reuse hits (B was evicted), and
+	// B's demand hits via the re-prefetch.
+	if dm.DemandMisses != 3 {
+		t.Fatalf("Demand-MIN misses = %d, want 3", dm.DemandMisses)
+	}
+	// Plain MIN treats the prefetch as a use and keeps B, evicting C or
+	// A: it cannot do better here but may do worse; just check it is
+	// still a legal bound.
+	min := Simulate(ev, cfg1set, ModeMIN, false)
+	if min.DemandMisses < 3 {
+		t.Fatalf("MIN misses = %d < 3 cold misses", min.DemandMisses)
+	}
+}
+
+func TestEvictionLogConsistency(t *testing.T) {
+	rng := stats.NewRNG(31)
+	ev := make([]Event, 500)
+	for i := range ev {
+		ev[i] = Event{Line: uint64(rng.Intn(20)), Prefetch: rng.Bool(0.2)}
+	}
+	res := Simulate(ev, cfg1set, ModeMIN, true)
+	if uint64(len(res.EvictionLog)) != res.Evictions {
+		t.Fatalf("log has %d entries, stats say %d", len(res.EvictionLog), res.Evictions)
+	}
+	for _, e := range res.EvictionLog {
+		if e.LastUse >= e.At {
+			t.Fatalf("eviction %+v: last use not before eviction point", e)
+		}
+		if ev[e.LastUse].Line != e.Line {
+			t.Fatalf("eviction %+v: LastUse indexes a different line", e)
+		}
+	}
+}
+
+func TestPolluteEvictMode(t *testing.T) {
+	// Pollute-evict behaves like LRU except dead prefetches go first.
+	ev := []Event{
+		{Line: 0},
+		{Line: 2, Prefetch: true}, // dead prefetch
+		{Line: 4},                 // must evict the dead prefetch, not LRU line 0
+		{Line: 0},                 // hit if pollution was evicted
+	}
+	res := Simulate(ev, cfg1set, ModePolluteEvict, false)
+	if res.DemandMisses != 2 {
+		t.Fatalf("pollute-evict misses = %d, want 2", res.DemandMisses)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeMIN.String() != "min" || ModeDemandMIN.String() != "demand-min" || ModePolluteEvict.String() != "pollute-evict" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(42).String() != "unknown" {
+		t.Fatal("unknown mode name wrong")
+	}
+}
+
+func TestResultMPKI(t *testing.T) {
+	r := Result{DemandMisses: 10}
+	if r.MPKI(1000) != 10 {
+		t.Fatalf("MPKI = %v", r.MPKI(1000))
+	}
+	if r.MPKI(0) != 0 {
+		t.Fatal("MPKI(0)")
+	}
+}
+
+// TestDemandMINNeverWorseThanMIN: on any stream, Demand-MIN's demand-miss
+// count is at most MIN's (it strictly generalizes MIN by exploiting
+// re-prefetchable lines).
+func TestDemandMINNeverWorseThanMIN(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 512, Ways: 2, LineBytes: 64} // 4 sets
+	rng := stats.NewRNG(2024)
+	for trial := 0; trial < 50; trial++ {
+		ev := make([]Event, 400)
+		for i := range ev {
+			ev[i] = Event{Line: uint64(rng.Intn(24)), Prefetch: rng.Bool(0.3)}
+		}
+		dm := Simulate(ev, cfg, ModeDemandMIN, false).DemandMisses
+		mn := Simulate(ev, cfg, ModeMIN, false).DemandMisses
+		if dm > mn {
+			t.Fatalf("trial %d: Demand-MIN %d misses > MIN %d", trial, dm, mn)
+		}
+	}
+}
+
+func TestSimulatePrefetchFillsCounted(t *testing.T) {
+	ev := []Event{
+		{Line: 0, Prefetch: true},
+		{Line: 2, Prefetch: true},
+		{Line: 0}, // demand hit on a prefetched line
+	}
+	res := Simulate(ev, cfg1set, ModeMIN, false)
+	if res.PrefetchFills != 2 {
+		t.Fatalf("PrefetchFills = %d", res.PrefetchFills)
+	}
+	if res.DemandAccesses != 1 || res.DemandMisses != 0 {
+		t.Fatalf("demand stats = %d/%d", res.DemandAccesses, res.DemandMisses)
+	}
+}
+
+func TestSimulateRespectsSetMapping(t *testing.T) {
+	// Two sets: even lines to set 0, odd to set 1; a 2-way-per-set cache
+	// holds four interleaved lines without eviction.
+	cfg := cache.Config{SizeBytes: 256, Ways: 2, LineBytes: 64}
+	ev := demand(0, 1, 2, 3, 0, 1, 2, 3)
+	res := Simulate(ev, cfg, ModeMIN, false)
+	if res.DemandMisses != 4 {
+		t.Fatalf("misses = %d, want 4 cold only", res.DemandMisses)
+	}
+	if res.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0", res.Evictions)
+	}
+}
+
+// TestDeadPrefetchNeverBeatsLiveLine: MIN must evict a dead line (no
+// future events) before anything with a future use.
+func TestDeadPrefetchNeverBeatsLiveLine(t *testing.T) {
+	ev := []Event{
+		{Line: 0}, // A, reused at end
+		{Line: 2}, // B, dead
+		{Line: 4}, // C forces eviction: B must go
+		{Line: 0}, // A must hit
+	}
+	res := Simulate(ev, cfg1set, ModeMIN, false)
+	if res.DemandMisses != 3 {
+		t.Fatalf("misses = %d, want 3 (A hit preserved)", res.DemandMisses)
+	}
+}

@@ -1,0 +1,92 @@
+package opt
+
+import (
+	"sort"
+
+	"ripple/internal/cache"
+)
+
+// Oracle scores replacement decisions against the ideal policy, using the
+// paper's replacement-accuracy definition (Sec. III-C): an eviction (or
+// Ripple invalidation) of line X "introduces no new miss over the ideal
+// replacement policy" iff X is never demanded again, or X's next demand
+// access would miss under the ideal policy anyway (ideal, too, had evicted
+// X by then). The paper reports 77.8% average accuracy for LRU under this
+// metric and uses it for Fig. 10.
+//
+// The oracle is built from the pure demand line stream: a MIN replay marks
+// which stream positions miss under the ideal policy, and a per-line
+// position index answers next-use queries.
+type Oracle struct {
+	positions map[uint64][]int32
+	idealMiss []bool
+}
+
+// BuildOracle indexes a demand line stream (lines[i] is the line demanded
+// at stream position i) and replays Belady's MIN over it against the given
+// cache geometry to learn which accesses miss even under ideal
+// replacement.
+func BuildOracle(lines []uint64, cfg cache.Config) *Oracle {
+	o := &Oracle{positions: make(map[uint64][]int32, 1<<14)}
+	for i, l := range lines {
+		o.positions[l] = append(o.positions[l], int32(i))
+	}
+	o.idealMiss = make([]bool, len(lines))
+
+	// Inline MIN replay marking per-access outcomes (Simulate reports
+	// aggregates only).
+	events := make([]Event, len(lines))
+	for i, l := range lines {
+		events[i] = Event{Line: l}
+	}
+	nextAny, nextDemand := buildNextIndexes(events)
+	nsets := cfg.Sets()
+	setMask := uint64(nsets - 1)
+	sets := make([][]entry, nsets)
+	for i := range sets {
+		sets[i] = make([]entry, 0, cfg.Ways)
+	}
+	for i, l := range lines {
+		s := sets[l&setMask]
+		hit := false
+		for w := range s {
+			if s[w].line == l {
+				hit = true
+				s[w].last = int32(i)
+				break
+			}
+		}
+		if hit {
+			continue
+		}
+		o.idealMiss[i] = true
+		ne := entry{line: l, last: int32(i)}
+		if len(s) < cfg.Ways {
+			sets[l&setMask] = append(s, ne)
+			continue
+		}
+		w := victim(s, ModeMIN, nextAny, nextDemand, events)
+		s[w] = ne
+	}
+	return o
+}
+
+// NextUse returns the first demand position of line strictly after pos, or
+// -1 if the line is never demanded again.
+func (o *Oracle) NextUse(line uint64, pos int32) int32 {
+	ps := o.positions[line]
+	i := sort.Search(len(ps), func(i int) bool { return ps[i] > pos })
+	if i == len(ps) {
+		return -1
+	}
+	return ps[i]
+}
+
+// IsAccurateEviction reports whether evicting (or invalidating) `victim`
+// at demand-stream position pos introduces no miss the ideal policy would
+// have avoided: the line is either dead, or its next demand access misses
+// under ideal replacement too.
+func (o *Oracle) IsAccurateEviction(victim uint64, pos int32) bool {
+	n := o.NextUse(victim, pos)
+	return n < 0 || o.idealMiss[n]
+}

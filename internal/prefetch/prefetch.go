@@ -1,0 +1,185 @@
+// Package prefetch implements the instruction prefetchers the paper
+// evaluates Ripple under: no prefetching, a next-line prefetcher (NLP),
+// and fetch-directed instruction prefetching (FDIP) — the state-of-the-art
+// mechanism shipped in contemporary cores, modeled as a branch-predictor-
+// driven runahead walk over a fetch target queue.
+//
+// Prefetchers see the committed block stream and issue cache-line
+// prefetches through a callback; the frontend simulator installs them into
+// the L1I marked as prefetches. Wrong-path prefetches (issued beyond a
+// misprediction before the squash) are deliberately left in the cache —
+// they are precisely the pollution the paper's ideal replacement policy
+// cleans up early (Sec. II-C, Observation #1).
+package prefetch
+
+import (
+	"fmt"
+
+	"ripple/internal/bpred"
+	"ripple/internal/program"
+)
+
+// IssueFunc receives prefetched line addresses from a prefetcher.
+type IssueFunc func(line uint64)
+
+// Prefetcher is the frontend's view of an instruction prefetch engine.
+type Prefetcher interface {
+	// Name identifies the prefetcher in reports ("none", "nlp", "fdip").
+	Name() string
+	// OnBlockRetire observes one committed block and its dynamic successor
+	// and may issue prefetches.
+	OnBlockRetire(bid, next program.BlockID, issue IssueFunc)
+}
+
+// Names lists the available prefetcher configurations: the paper's three
+// evaluation baselines plus the temporal record/replay extension.
+func Names() []string { return []string{"none", "nlp", "fdip", "tifs"} }
+
+// New builds a prefetcher by name for the given program.
+func New(name string, prog *program.Program) (Prefetcher, error) {
+	switch name {
+	case "none":
+		return None{}, nil
+	case "nlp":
+		return NewNLP(prog, 1), nil
+	case "fdip":
+		return NewFDIP(prog, bpred.DefaultConfig(), 32), nil
+	case "tifs":
+		return NewTIFS(prog, 1<<15, 6), nil
+	default:
+		return nil, fmt.Errorf("prefetch: unknown prefetcher %q (have %v)", name, Names())
+	}
+}
+
+// None performs no prefetching (the paper's baseline configuration).
+type None struct{}
+
+// Name implements Prefetcher.
+func (None) Name() string { return "none" }
+
+// OnBlockRetire implements Prefetcher.
+func (None) OnBlockRetire(bid, next program.BlockID, issue IssueFunc) {}
+
+// NLP is the classic sequential next-line prefetcher: after fetching a
+// block it prefetches the next `degree` lines following the block's last
+// line, exploiting the spatial layout of straight-line code.
+type NLP struct {
+	prog    *program.Program
+	degree  int
+	lineBuf []uint64
+}
+
+// NewNLP builds a next-line prefetcher with the given degree.
+func NewNLP(prog *program.Program, degree int) *NLP {
+	return &NLP{prog: prog, degree: degree}
+}
+
+// Name implements Prefetcher.
+func (p *NLP) Name() string { return "nlp" }
+
+// OnBlockRetire implements Prefetcher.
+func (p *NLP) OnBlockRetire(bid, next program.BlockID, issue IssueFunc) {
+	b := p.prog.Block(bid)
+	p.lineBuf = b.Lines(p.lineBuf[:0])
+	last := p.lineBuf[len(p.lineBuf)-1]
+	for d := 1; d <= p.degree; d++ {
+		issue(last + uint64(d))
+	}
+}
+
+// FDIP is fetch-directed instruction prefetching: a runahead engine walks
+// the predicted control-flow path ahead of retirement, enqueues predicted
+// blocks into a fetch target queue (FTQ), and prefetches their lines. When
+// retirement detects a misprediction the FTQ is squashed and the walk
+// restarts from the correct path — but the wrong-path prefetches already
+// issued stay resident, polluting the I-cache.
+type FDIP struct {
+	prog  *program.Program
+	pred  *bpred.Predictor
+	depth int
+	// stepsPerRetire bounds how many FTQ entries the runahead engine can
+	// produce per retired block (fetch/prefetch bandwidth). After a
+	// squash the engine restarts at zero lead, so the first blocks down
+	// the corrected path miss or stall — the hard-to-prefetch lines of
+	// Sec. II-C.
+	stepsPerRetire int
+
+	ftq     []program.BlockID
+	runPC   program.BlockID
+	stalled bool
+	started bool
+	lineBuf []uint64
+
+	// Stats
+	Issued      uint64
+	Squashes    uint64
+	StallCycles uint64 // runahead steps lost to unpredictable targets
+}
+
+// NewFDIP builds an FDIP engine with its own branch predictor and an FTQ
+// of `depth` blocks.
+func NewFDIP(prog *program.Program, cfg bpred.Config, depth int) *FDIP {
+	return &FDIP{
+		prog:           prog,
+		pred:           bpred.New(cfg),
+		depth:          depth,
+		stepsPerRetire: 2,
+		runPC:          program.NoBlock,
+	}
+}
+
+// Name implements Prefetcher.
+func (p *FDIP) Name() string { return "fdip" }
+
+// Predictor exposes the underlying branch predictor (for reporting).
+func (p *FDIP) Predictor() *bpred.Predictor { return p.pred }
+
+// OnBlockRetire implements Prefetcher.
+func (p *FDIP) OnBlockRetire(bid, next program.BlockID, issue IssueFunc) {
+	_, correct := p.pred.Retire(p.prog, bid, next)
+
+	onPath := p.started && correct && len(p.ftq) > 0 && p.ftq[0] == next
+	if onPath {
+		p.ftq = p.ftq[1:]
+	} else {
+		// Squash: wrong path (or cold start) — restart the walk from the
+		// actual successor with committed predictor state.
+		if p.started {
+			p.Squashes++
+		}
+		p.started = true
+		p.ftq = p.ftq[:0]
+		p.pred.ResyncSpec()
+		p.runPC = next
+		p.stalled = false
+	}
+	p.refill(issue)
+}
+
+// refill extends the FTQ up to depth, prefetching each newly predicted
+// block's lines.
+func (p *FDIP) refill(issue IssueFunc) {
+	if p.stalled {
+		// Retry: the indirect tables may have warmed since the stall.
+		p.stalled = false
+	}
+	for steps := 0; steps < p.stepsPerRetire && len(p.ftq) < p.depth && p.runPC != program.NoBlock; steps++ {
+		nb, ok := p.pred.PredictNextSpec(p.prog, p.runPC)
+		if !ok {
+			// Unpredictable target (cold indirect): the walk cannot
+			// continue past it; these are the paper's hard-to-prefetch
+			// lines.
+			p.stalled = true
+			p.StallCycles++
+			return
+		}
+		p.ftq = append(p.ftq, nb)
+		b := p.prog.Block(nb)
+		p.lineBuf = b.Lines(p.lineBuf[:0])
+		for _, l := range p.lineBuf {
+			issue(l)
+			p.Issued++
+		}
+		p.runPC = nb
+	}
+}

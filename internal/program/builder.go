@@ -1,0 +1,135 @@
+package program
+
+import (
+	"fmt"
+
+	"ripple/internal/isa"
+)
+
+// Builder incrementally assembles a Program. It exists so that workload
+// generators and tests can build CFGs without touching index bookkeeping:
+// blocks are appended to the function most recently started, IDs are
+// assigned densely, and Finish validates and lays the image out.
+type Builder struct {
+	p           *Program
+	curFunc     FuncID
+	started     bool
+	kernelFuncs map[FuncID]bool
+}
+
+// NewBuilder returns a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		p:           &Program{Name: name, FuncAlign: 16},
+		curFunc:     -1,
+		kernelFuncs: map[FuncID]bool{},
+	}
+}
+
+// StartFunc begins a new function; subsequent AddBlock calls append to it.
+// It returns the new function's ID.
+func (bd *Builder) StartFunc(name string, jit bool) FuncID {
+	id := FuncID(len(bd.p.Funcs))
+	bd.p.Funcs = append(bd.p.Funcs, Func{ID: id, Name: name, Entry: NoBlock, JIT: jit})
+	bd.curFunc = id
+	bd.started = true
+	return id
+}
+
+// AddBlock appends a block with the given original code size (bytes) and
+// terminator to the current function and returns its ID. The instruction
+// count is derived from the size (isa.AvgInstrBytes per instruction, min 1).
+// Successor fields start as NoBlock and must be set before Finish.
+func (bd *Builder) AddBlock(size uint32, term isa.TermKind) BlockID {
+	if !bd.started {
+		panic("program: AddBlock before StartFunc")
+	}
+	instrs := size / isa.AvgInstrBytes
+	if instrs == 0 {
+		instrs = 1
+	}
+	id := BlockID(len(bd.p.Blocks))
+	f := &bd.p.Funcs[bd.curFunc]
+	bd.p.Blocks = append(bd.p.Blocks, Block{
+		ID:          id,
+		Func:        bd.curFunc,
+		Size:        size,
+		Instrs:      instrs,
+		Term:        term,
+		TakenTarget: NoBlock,
+		FallThrough: NoBlock,
+		JIT:         f.JIT,
+	})
+	f.Blocks = append(f.Blocks, id)
+	if f.Entry == NoBlock {
+		f.Entry = id
+	}
+	if bd.kernelFuncs[bd.curFunc] {
+		bd.p.Blocks[id].Kernel = true
+	}
+	return id
+}
+
+// Block exposes a block under construction for successor patching.
+func (bd *Builder) Block(id BlockID) *Block { return &bd.p.Blocks[id] }
+
+// Func exposes a function under construction.
+func (bd *Builder) Func(id FuncID) *Func { return &bd.p.Funcs[id] }
+
+// SetFallthrough wires a fall-through or unconditional-jump style edge.
+func (bd *Builder) SetFallthrough(from, to BlockID) {
+	bd.p.Blocks[from].FallThrough = to
+}
+
+// SetCond wires both edges of a conditional branch.
+func (bd *Builder) SetCond(from, taken, fall BlockID) {
+	b := &bd.p.Blocks[from]
+	b.TakenTarget = taken
+	b.FallThrough = fall
+}
+
+// SetJump wires an unconditional direct jump.
+func (bd *Builder) SetJump(from, to BlockID) {
+	bd.p.Blocks[from].TakenTarget = to
+}
+
+// SetCall wires a direct call: callee entry plus the block control returns
+// to after the callee's ret.
+func (bd *Builder) SetCall(from, callee, returnSite BlockID) {
+	b := &bd.p.Blocks[from]
+	b.TakenTarget = callee
+	b.FallThrough = returnSite
+}
+
+// SetIndirect records the candidate dynamic targets of an indirect jump or
+// call; for indirect calls, returnSite is the post-return block.
+func (bd *Builder) SetIndirect(from BlockID, targets []BlockID, returnSite BlockID) {
+	b := &bd.p.Blocks[from]
+	b.IndirectTargets = append([]BlockID(nil), targets...)
+	b.FallThrough = returnSite
+}
+
+// NumBlocks returns the number of blocks added so far.
+func (bd *Builder) NumBlocks() int { return len(bd.p.Blocks) }
+
+// Finish validates the constructed program and lays it out at base,
+// returning the finished image.
+func (bd *Builder) Finish(base uint64) (*Program, error) {
+	if len(bd.p.Funcs) == 0 {
+		return nil, fmt.Errorf("program %q: no functions", bd.p.Name)
+	}
+	if err := bd.p.Validate(); err != nil {
+		return nil, err
+	}
+	bd.p.Layout(base)
+	return bd.p, nil
+}
+
+// MarkKernel flags every block of the function (including ones added
+// later) as kernel-mode code; the injector will refuse to touch them.
+func (bd *Builder) MarkKernel(id FuncID) {
+	bd.kernelFuncs[id] = true
+	for _, b := range bd.p.Funcs[id].Blocks {
+		bd.p.Blocks[b].Kernel = true
+	}
+}

@@ -1,0 +1,56 @@
+package program
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// image is the serialized form of a Program; only structural fields are
+// stored, and indexes are rebuilt on load by re-running Layout.
+type image struct {
+	Name      string
+	Base      uint64
+	FuncAlign uint32
+	FuncOrder []FuncID
+	Funcs     []Func
+	Blocks    []Block
+}
+
+// Save writes the program image to w (gob-encoded). The layout base is
+// preserved so a reloaded program has identical addresses.
+func (p *Program) Save(w io.Writer) error {
+	if !p.laidOut {
+		return fmt.Errorf("program %q: Save before Layout", p.Name)
+	}
+	enc := gob.NewEncoder(w)
+	return enc.Encode(image{
+		Name:      p.Name,
+		Base:      p.Base,
+		FuncAlign: p.FuncAlign,
+		FuncOrder: p.FuncOrder,
+		Funcs:     p.Funcs,
+		Blocks:    p.Blocks,
+	})
+}
+
+// Load reads a program image written by Save, validates it, and rebuilds
+// its layout and lookup indexes.
+func Load(r io.Reader) (*Program, error) {
+	var img image
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("program: decode image: %w", err)
+	}
+	p := &Program{
+		Name:      img.Name,
+		FuncAlign: img.FuncAlign,
+		FuncOrder: img.FuncOrder,
+		Funcs:     img.Funcs,
+		Blocks:    img.Blocks,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p.Layout(img.Base)
+	return p, nil
+}

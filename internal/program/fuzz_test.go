@@ -1,0 +1,39 @@
+package program
+
+import (
+	"bytes"
+	"testing"
+
+	"ripple/internal/isa"
+)
+
+// FuzzLoad feeds arbitrary bytes to the program-image loader: it must
+// reject garbage with an error, never panic.
+func FuzzLoad(f *testing.F) {
+	bd := NewBuilder("seed")
+	bd.StartFunc("f", false)
+	b0 := bd.AddBlock(16, isa.TermFallthrough)
+	b1 := bd.AddBlock(16, isa.TermRet)
+	bd.SetFallthrough(b0, b1)
+	p, err := bd.Finish(0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("gobbledygook"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, err := Load(bytes.NewReader(data))
+		if err == nil {
+			// Whatever decoded must be structurally valid (Load validates).
+			if verr := prog.Validate(); verr != nil {
+				t.Fatalf("Load accepted an invalid program: %v", verr)
+			}
+		}
+	})
+}

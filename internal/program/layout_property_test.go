@@ -1,0 +1,113 @@
+package program_test
+
+import (
+	"testing"
+
+	"ripple/internal/isa"
+	"ripple/internal/program"
+	"ripple/internal/workload"
+)
+
+// buildApps generates structurally varied programs through the workload
+// builder across seeds.
+func buildApps(t *testing.T, n int) []*program.Program {
+	t.Helper()
+	progs := make([]*program.Program, 0, n)
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		app, err := workload.Build(workload.Model{
+			Name: "prop", Seed: seed,
+			Funcs: 25 + int(seed%17), ServiceFuncs: 3, UtilityFuncs: 3, Levels: 3 + int(seed%3),
+			BlocksMin: 2 + int(seed%3), BlocksMax: 6 + int(seed%5),
+			BlockBytesMin: 8 + int(seed%9), BlockBytesMax: 64 + int(seed%33),
+			PCond: 0.3, PCall: 0.25, PICall: 0.05, PIJump: 0.03,
+			PLoopBack: 0.1, PBiasStrong: 0.8,
+			CalleeMin: 1, CalleeMax: 3, IndirectFanout: 2,
+			ZipfRequest: 1.0, RequestsPerBurst: 1,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		progs = append(progs, app.Prog)
+	}
+	return progs
+}
+
+// TestLayoutInvariants: across many generated programs, blocks never
+// overlap, function entries are aligned, and every block is resolvable by
+// address.
+func TestLayoutInvariants(t *testing.T) {
+	for _, p := range buildApps(t, 12) {
+		type span struct{ lo, hi uint64 }
+		var spans []span
+		for i := range p.Blocks {
+			b := &p.Blocks[i]
+			spans = append(spans, span{b.Addr, b.Addr + uint64(b.CodeBytes())})
+			if got := p.BlockContaining(b.Addr); got != b.ID {
+				t.Fatalf("block %d not resolvable at its own address", b.ID)
+			}
+			if got, ok := p.BlockAtEntry(b.Addr); !ok || got != b.ID {
+				t.Fatalf("block %d missing from entry index", b.ID)
+			}
+		}
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+					t.Fatalf("blocks %d and %d overlap", i, j)
+				}
+			}
+		}
+		for fi := range p.Funcs {
+			if p.Blocks[p.Funcs[fi].Entry].Addr%uint64(p.FuncAlign) != 0 {
+				t.Fatalf("func %d misaligned", fi)
+			}
+		}
+	}
+}
+
+// TestInjectionLayoutInvariants: injecting into every eligible block keeps
+// the program valid in both placement modes, and the preserving mode never
+// moves a byte.
+func TestInjectionLayoutInvariants(t *testing.T) {
+	for _, p := range buildApps(t, 6) {
+		plan := map[program.BlockID][]uint64{}
+		for i := 0; i < p.NumBlocks(); i += 3 {
+			plan[program.BlockID(i)] = []uint64{p.Block(program.BlockID(i)).FirstLine()}
+		}
+		shifted := p.WithInjections(plan)
+		if err := shifted.Validate(); err != nil {
+			t.Fatalf("shifted image invalid: %v", err)
+		}
+		if shifted.TotalBytes() <= p.TotalBytes() && shifted.StaticInjected() > 0 {
+			t.Fatal("shifted image did not grow")
+		}
+		preserved := p.WithInjectionsPreservingLayout(plan)
+		if err := preserved.Validate(); err != nil {
+			t.Fatalf("preserved image invalid: %v", err)
+		}
+		for i := range p.Blocks {
+			if preserved.Blocks[i].Addr != p.Blocks[i].Addr {
+				t.Fatalf("preserving placement moved block %d", i)
+			}
+		}
+		if preserved.StaticInjected() != shifted.StaticInjected() {
+			t.Fatal("placement modes disagree on injection count")
+		}
+	}
+}
+
+// TestInstrDerivation: builder-derived instruction counts follow the
+// 4-bytes-per-instruction model with a floor of one.
+func TestInstrDerivation(t *testing.T) {
+	for _, p := range buildApps(t, 4) {
+		for i := range p.Blocks {
+			b := &p.Blocks[i]
+			want := b.Size / isa.AvgInstrBytes
+			if want == 0 {
+				want = 1
+			}
+			if b.Instrs != want {
+				t.Fatalf("block %d: %d instrs for %d bytes", i, b.Instrs, b.Size)
+			}
+		}
+	}
+}

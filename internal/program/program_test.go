@@ -1,0 +1,403 @@
+package program
+
+import (
+	"bytes"
+	"testing"
+
+	"ripple/internal/isa"
+)
+
+// buildLinear constructs a three-function program:
+//
+//	svc:  b0(cond: taken->b2, fall->b1) b1(call util, ret to b2) b2(ret)
+//	util: u0(ret)
+//	leaf: l0(jump l1) l1(ret)
+func buildLinear(t *testing.T) *Program {
+	t.Helper()
+	bd := NewBuilder("linear")
+	bd.StartFunc("svc", false)
+	b0 := bd.AddBlock(40, isa.TermCondBranch)
+	b1 := bd.AddBlock(36, isa.TermCall)
+	b2 := bd.AddBlock(17, isa.TermRet)
+	bd.StartFunc("util", false)
+	u0 := bd.AddBlock(32, isa.TermRet)
+	bd.StartFunc("leaf", false)
+	l0 := bd.AddBlock(20, isa.TermJump)
+	l1 := bd.AddBlock(20, isa.TermRet)
+	bd.SetCond(b0, b2, b1)
+	bd.SetCall(b1, u0, b2)
+	bd.SetJump(l0, l1)
+	p, err := bd.Finish(0x1000)
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return p
+}
+
+func TestLayoutAddresses(t *testing.T) {
+	p := buildLinear(t)
+	if p.Base != 0x1000 {
+		t.Fatalf("base = %#x", p.Base)
+	}
+	// svc blocks are packed back to back.
+	if p.Blocks[0].Addr != 0x1000 {
+		t.Fatalf("b0 at %#x", p.Blocks[0].Addr)
+	}
+	if p.Blocks[1].Addr != 0x1000+40 {
+		t.Fatalf("b1 at %#x", p.Blocks[1].Addr)
+	}
+	if p.Blocks[2].Addr != 0x1000+76 {
+		t.Fatalf("b2 at %#x", p.Blocks[2].Addr)
+	}
+	// svc ends at 0x105D; util starts at the next 16-byte boundary.
+	if p.Blocks[3].Addr != 0x1060 {
+		t.Fatalf("util at %#x, want 0x1060", p.Blocks[3].Addr)
+	}
+	// Function starts are aligned.
+	for _, f := range p.Funcs {
+		if p.Blocks[f.Entry].Addr%16 != 0 {
+			t.Fatalf("func %s entry at unaligned %#x", f.Name, p.Blocks[f.Entry].Addr)
+		}
+	}
+}
+
+func TestBlockLookup(t *testing.T) {
+	p := buildLinear(t)
+	for i := range p.Blocks {
+		b := &p.Blocks[i]
+		if id, ok := p.BlockAtEntry(b.Addr); !ok || id != b.ID {
+			t.Fatalf("BlockAtEntry(%#x) = %v,%v", b.Addr, id, ok)
+		}
+		if got := p.BlockContaining(b.Addr + uint64(b.Size) - 1); got != b.ID {
+			t.Fatalf("BlockContaining(last byte of %v) = %v", b.ID, got)
+		}
+	}
+	if p.BlockContaining(p.Base-1) != NoBlock {
+		t.Fatal("address before text resolved to a block")
+	}
+	if p.BlockContaining(p.Base+p.TotalBytes()+100) != NoBlock {
+		t.Fatal("address after text resolved to a block")
+	}
+	// Alignment padding between functions belongs to no block.
+	if got := p.BlockContaining(0x1060 - 1); got != NoBlock {
+		t.Fatalf("padding byte resolved to block %v", got)
+	}
+}
+
+func TestCodeBytesAndInstrCount(t *testing.T) {
+	p := buildLinear(t)
+	b := p.Block(0)
+	if b.CodeBytes() != 40 {
+		t.Fatalf("CodeBytes = %d", b.CodeBytes())
+	}
+	if b.InstrCount() != 10 {
+		t.Fatalf("InstrCount = %d (40 bytes / 4)", b.InstrCount())
+	}
+	if c := p.Block(1); c.InstrCount() != 9 {
+		t.Fatalf("b1 InstrCount = %d (36 bytes / 4)", c.InstrCount())
+	}
+	b.Invalidations = []uint64{1, 2}
+	if b.CodeBytes() != 40+2*isa.InvalidateBytes {
+		t.Fatalf("CodeBytes with 2 hints = %d", b.CodeBytes())
+	}
+	if b.InstrCount() != 12 {
+		t.Fatalf("InstrCount with 2 hints = %d", b.InstrCount())
+	}
+}
+
+func TestBlockLines(t *testing.T) {
+	p := buildLinear(t)
+	// b0: 40 bytes at 0x1000 -> line 0x40 only.
+	lines := p.Block(0).Lines(nil)
+	if len(lines) != 1 || lines[0] != 0x1000>>6 {
+		t.Fatalf("b0 lines = %v", lines)
+	}
+	// b1: 36 bytes at 0x1028 -> crosses into line 0x41.
+	lines = p.Block(1).Lines(nil)
+	if len(lines) != 2 || lines[0] != 0x40 || lines[1] != 0x41 {
+		t.Fatalf("b1 lines = %v", lines)
+	}
+}
+
+func TestValidateCatchesBrokenPrograms(t *testing.T) {
+	check := func(name string, breakIt func(*Builder)) {
+		bd := NewBuilder(name)
+		bd.StartFunc("f", false)
+		b0 := bd.AddBlock(16, isa.TermCondBranch)
+		b1 := bd.AddBlock(16, isa.TermRet)
+		bd.SetCond(b0, b1, b1)
+		breakIt(bd)
+		if _, err := bd.Finish(0); err == nil {
+			t.Fatalf("%s: Finish accepted a broken program", name)
+		}
+	}
+	check("missing-taken", func(bd *Builder) { bd.Block(0).TakenTarget = NoBlock })
+	check("missing-fall", func(bd *Builder) { bd.Block(0).FallThrough = NoBlock })
+	check("bad-terminator", func(bd *Builder) { bd.Block(1).Term = isa.TermKind(99) })
+	check("zero-size", func(bd *Builder) { bd.Block(1).Size = 0 })
+	check("out-of-range-target", func(bd *Builder) { bd.Block(0).TakenTarget = 55 })
+}
+
+func TestValidateCallNeedsReturnSite(t *testing.T) {
+	bd := NewBuilder("call")
+	bd.StartFunc("f", false)
+	c := bd.AddBlock(16, isa.TermCall)
+	r := bd.AddBlock(16, isa.TermRet)
+	bd.SetCall(c, r, NoBlock) // missing return site
+	if _, err := bd.Finish(0); err == nil {
+		t.Fatal("call without return site accepted")
+	}
+}
+
+func TestValidateIndirectNeedsTargets(t *testing.T) {
+	bd := NewBuilder("ind")
+	bd.StartFunc("f", false)
+	i0 := bd.AddBlock(16, isa.TermIndirectJump)
+	bd.AddBlock(16, isa.TermRet)
+	_ = i0 // no targets set
+	if _, err := bd.Finish(0); err == nil {
+		t.Fatal("indirect jump without candidates accepted")
+	}
+}
+
+func TestWithInjectionsShiftsLayout(t *testing.T) {
+	p := buildLinear(t)
+	victim := p.Block(2).FirstLine()
+	q := p.WithInjections(map[BlockID][]uint64{0: {victim}})
+
+	if p.Block(0).CodeBytes() != 40 {
+		t.Fatal("injection mutated the original program")
+	}
+	if q.Block(0).CodeBytes() != 40+isa.InvalidateBytes {
+		t.Fatalf("injected block CodeBytes = %d", q.Block(0).CodeBytes())
+	}
+	// Everything after the injected block shifts by 7 bytes.
+	if q.Block(1).Addr != p.Block(1).Addr+isa.InvalidateBytes {
+		t.Fatalf("b1 shifted to %#x, want %#x", q.Block(1).Addr, p.Block(1).Addr+isa.InvalidateBytes)
+	}
+	if q.StaticInjected() != 1 {
+		t.Fatalf("StaticInjected = %d", q.StaticInjected())
+	}
+	if q.StaticInstrs() != p.StaticInstrs()+1 {
+		t.Fatal("static instruction count did not grow by 1")
+	}
+	// The victim line was translated into the new layout: it must contain
+	// the same code byte (b2's first byte).
+	want := isa.LineOf(q.Block(2).Addr)
+	if got := q.Block(0).Invalidations[0]; got != want {
+		t.Fatalf("victim translated to line %#x, want %#x", got, want)
+	}
+}
+
+func TestWithInjectionsSkipsJIT(t *testing.T) {
+	bd := NewBuilder("jit")
+	bd.StartFunc("j", true)
+	b0 := bd.AddBlock(16, isa.TermFallthrough)
+	b1 := bd.AddBlock(16, isa.TermRet)
+	bd.SetFallthrough(b0, b1)
+	p, err := bd.Finish(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.WithInjections(map[BlockID][]uint64{b0: {123}})
+	if len(q.Block(b0).Invalidations) != 0 {
+		t.Fatal("injection into a JIT block was not refused")
+	}
+}
+
+func TestTranslateLineIdentityWithoutInjections(t *testing.T) {
+	p := buildLinear(t)
+	q := p.WithInjections(nil)
+	for i := range p.Blocks {
+		line := p.Blocks[i].FirstLine()
+		got, ok := q.TranslateLineFrom(p, line)
+		if !ok || got != line {
+			t.Fatalf("identity translation of %#x = %#x,%v", line, got, ok)
+		}
+	}
+	if _, ok := q.TranslateLineFrom(p, 0); ok {
+		t.Fatal("translated a line outside the program")
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	p := buildLinear(t)
+	p.Block(1).Invalidations = []uint64{0x99}
+	p.Layout(p.Base)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if q.Name != p.Name || q.NumBlocks() != p.NumBlocks() || q.Base != p.Base {
+		t.Fatal("reloaded program differs in identity fields")
+	}
+	for i := range p.Blocks {
+		if p.Blocks[i].Addr != q.Blocks[i].Addr || p.Blocks[i].Term != q.Blocks[i].Term {
+			t.Fatalf("block %d differs after roundtrip", i)
+		}
+	}
+	if len(q.Block(1).Invalidations) != 1 || q.Block(1).Invalidations[0] != 0x99 {
+		t.Fatal("invalidations lost in roundtrip")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a program"))); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	p := buildLinear(t)
+	last := p.Blocks[len(p.Blocks)-1]
+	want := last.Addr + uint64(last.CodeBytes()) - p.Base
+	if p.TotalBytes() != want {
+		t.Fatalf("TotalBytes = %d, want %d", p.TotalBytes(), want)
+	}
+}
+
+func TestBuilderPanicsWithoutFunc(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddBlock before StartFunc did not panic")
+		}
+	}()
+	NewBuilder("x").AddBlock(16, isa.TermRet)
+}
+
+func TestFinishRejectsEmptyProgram(t *testing.T) {
+	if _, err := NewBuilder("e").Finish(0); err == nil {
+		t.Fatal("empty program accepted")
+	}
+}
+
+func TestWithInjectionsPreservingLayout(t *testing.T) {
+	p := buildLinear(t)
+	victim := p.Block(2).FirstLine()
+	q := p.WithInjectionsPreservingLayout(map[BlockID][]uint64{0: {victim}})
+	// No byte moved: every address and the total size are unchanged.
+	for i := range p.Blocks {
+		if q.Blocks[i].Addr != p.Blocks[i].Addr {
+			t.Fatalf("block %d moved: %#x -> %#x", i, p.Blocks[i].Addr, q.Blocks[i].Addr)
+		}
+	}
+	if q.TotalBytes() != p.TotalBytes() {
+		t.Fatalf("text grew: %d -> %d", p.TotalBytes(), q.TotalBytes())
+	}
+	// The victim line needs no translation.
+	if got := q.Block(0).Invalidations[0]; got != victim {
+		t.Fatalf("victim changed: %#x -> %#x", victim, got)
+	}
+	// The hint still counts as a static and dynamic instruction.
+	if q.StaticInjected() != 1 || q.Block(0).InstrCount() != p.Block(0).InstrCount()+1 {
+		t.Fatal("padding-placed hint not accounted as an instruction")
+	}
+	// And JIT blocks are still refused.
+	bd := NewBuilder("jit2")
+	bd.StartFunc("j", true)
+	b0 := bd.AddBlock(16, isa.TermRet)
+	jp, err := bd.Finish(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jq := jp.WithInjectionsPreservingLayout(map[BlockID][]uint64{b0: {1}})
+	if len(jq.Block(b0).Invalidations) != 0 {
+		t.Fatal("padding injection into JIT block accepted")
+	}
+}
+
+func TestFuncOrderLayout(t *testing.T) {
+	p := buildLinear(t)
+	q := p.Clone()
+	// Reverse function placement: leaf, util, svc.
+	q.FuncOrder = []FuncID{2, 1, 0}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	q.Layout(0x1000)
+	// leaf's entry now sits at the base.
+	if q.Blocks[q.Funcs[2].Entry].Addr != 0x1000 {
+		t.Fatalf("reordered first function at %#x", q.Blocks[q.Funcs[2].Entry].Addr)
+	}
+	// svc comes last; its entry is above util's.
+	if q.Blocks[q.Funcs[0].Entry].Addr <= q.Blocks[q.Funcs[1].Entry].Addr {
+		t.Fatal("svc not placed after util")
+	}
+	// Same total bytes modulo alignment differences.
+	if q.TotalBytes() == 0 {
+		t.Fatal("layout lost the text")
+	}
+}
+
+func TestFuncOrderValidation(t *testing.T) {
+	p := buildLinear(t)
+	q := p.Clone()
+	q.FuncOrder = []FuncID{0, 0, 1} // duplicate
+	if err := q.Validate(); err == nil {
+		t.Fatal("duplicate FuncOrder accepted")
+	}
+	q.FuncOrder = []FuncID{0, 1} // incomplete
+	if err := q.Validate(); err == nil {
+		t.Fatal("incomplete FuncOrder accepted")
+	}
+}
+
+func TestSaveLoadKeepsFuncOrder(t *testing.T) {
+	p := buildLinear(t)
+	q := p.Clone()
+	q.FuncOrder = []FuncID{2, 0, 1}
+	q.Layout(0)
+	var buf bytes.Buffer
+	if err := q.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range q.Blocks {
+		if r.Blocks[i].Addr != q.Blocks[i].Addr {
+			t.Fatalf("block %d address lost: %#x vs %#x", i, r.Blocks[i].Addr, q.Blocks[i].Addr)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := buildLinear(t)
+	q := p.Clone()
+	q.Blocks[0].Size = 1000
+	q.Funcs[0].Blocks[0] = 2
+	q.Block(1).Invalidations = append(q.Block(1).Invalidations, 7)
+	if p.Blocks[0].Size == 1000 || p.Funcs[0].Blocks[0] == 2 || len(p.Block(1).Invalidations) != 0 {
+		t.Fatal("Clone shares state with the original")
+	}
+}
+
+func TestBlockContainingBoundaries(t *testing.T) {
+	p := buildLinear(t)
+	b1 := p.Block(1)
+	// First byte belongs to b1, byte before it to b0.
+	if got := p.BlockContaining(b1.Addr); got != 1 {
+		t.Fatalf("first byte of b1 resolved to %d", got)
+	}
+	if got := p.BlockContaining(b1.Addr - 1); got != 0 {
+		t.Fatalf("byte before b1 resolved to %d", got)
+	}
+	// One past the last block's last byte is outside.
+	last := p.Blocks[len(p.Blocks)-1]
+	if got := p.BlockContaining(last.Addr + uint64(last.CodeBytes())); got != NoBlock {
+		t.Fatalf("past-the-end byte resolved to %d", got)
+	}
+}
+
+func TestSaveBeforeLayoutFails(t *testing.T) {
+	p := &Program{Name: "x"}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err == nil {
+		t.Fatal("Save before Layout accepted")
+	}
+}

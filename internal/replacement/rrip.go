@@ -1,0 +1,194 @@
+package replacement
+
+import (
+	"ripple/internal/cache"
+	"ripple/internal/stats"
+)
+
+// rripMax is the 2-bit re-reference prediction value ceiling.
+const rripMax = 3
+
+// SRRIP (Jaleel et al.) inserts lines with a "long" re-reference
+// prediction and promotes them on re-use, protecting against scans. The
+// paper shows scans are rare in I-cache streams (compulsory MPKI 0.1-0.3),
+// so SRRIP's pessimistic insertions cost it against LRU.
+type SRRIP struct {
+	base
+	rrpv []uint8
+}
+
+// NewSRRIP returns a fresh SRRIP policy.
+func NewSRRIP() *SRRIP { return &SRRIP{} }
+
+// Name implements cache.Policy.
+func (p *SRRIP) Name() string { return "srrip" }
+
+// Reset implements cache.Policy.
+func (p *SRRIP) Reset(sets, ways int) {
+	p.reset(sets, ways)
+	p.rrpv = make([]uint8, sets*ways)
+	for i := range p.rrpv {
+		p.rrpv[i] = rripMax
+	}
+}
+
+// OnHit implements cache.Policy: hit promotion to near-immediate re-use.
+// Prefetch probes do not promote.
+func (p *SRRIP) OnHit(set, way int, ai cache.AccessInfo) {
+	if ai.Prefetch {
+		return
+	}
+	p.rrpv[p.idx(set, way)] = 0
+}
+
+// OnFill implements cache.Policy: long re-reference insertion.
+func (p *SRRIP) OnFill(set, way int, ai cache.AccessInfo) {
+	p.rrpv[p.idx(set, way)] = rripMax - 1
+}
+
+// OnEvict implements cache.Policy.
+func (p *SRRIP) OnEvict(set, way int, reref bool) {}
+
+// Victim implements cache.Policy: the first distant-re-reference way,
+// aging the whole set until one appears.
+func (p *SRRIP) Victim(set int, ai cache.AccessInfo) int {
+	row := p.rrpv[set*p.ways : (set+1)*p.ways]
+	for {
+		for w := range row {
+			if row[w] == rripMax {
+				return w
+			}
+		}
+		for w := range row {
+			row[w]++
+		}
+	}
+}
+
+// Demote implements cache.Demoter.
+func (p *SRRIP) Demote(set, way int) {
+	p.rrpv[p.idx(set, way)] = rripMax
+}
+
+// OverheadBytes implements Overheader (Table I: 2 bits x associativity per
+// set).
+func (p *SRRIP) OverheadBytes(sets, ways int) float64 {
+	return float64(2*sets*ways) / 8
+}
+
+// OverheadNote implements Overheader.
+func (p *SRRIP) OverheadNote() string { return "2-bit RRPV per line" }
+
+// DRRIP adds set-dueling between SRRIP and bimodal-RRIP insertion to also
+// survive thrashing working sets. Leader sets steer a saturating PSEL
+// counter; follower sets obey the winner.
+type DRRIP struct {
+	base
+	rrpv []uint8
+	psel int
+	rng  *stats.RNG
+}
+
+const (
+	pselMax       = 1023 // 10-bit policy selector
+	duelStride    = 32   // every 32nd set leads SRRIP; every 32nd+1 leads BRRIP
+	brripLongOdds = 32   // BRRIP inserts "long" once in 32 fills
+)
+
+// NewDRRIP returns a fresh DRRIP policy.
+func NewDRRIP() *DRRIP { return &DRRIP{} }
+
+// Name implements cache.Policy.
+func (p *DRRIP) Name() string { return "drrip" }
+
+// Reset implements cache.Policy.
+func (p *DRRIP) Reset(sets, ways int) {
+	p.reset(sets, ways)
+	p.rrpv = make([]uint8, sets*ways)
+	for i := range p.rrpv {
+		p.rrpv[i] = rripMax
+	}
+	p.psel = pselMax / 2
+	p.rng = stats.NewRNG(0xD221B)
+}
+
+// leader returns +1 for SRRIP leader sets, -1 for BRRIP leaders, 0 for
+// followers.
+func (p *DRRIP) leader(set int) int {
+	switch set % duelStride {
+	case 0:
+		return 1
+	case 1:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// OnHit implements cache.Policy. Prefetch probes do not promote.
+func (p *DRRIP) OnHit(set, way int, ai cache.AccessInfo) {
+	if ai.Prefetch {
+		return
+	}
+	p.rrpv[p.idx(set, way)] = 0
+}
+
+// OnFill implements cache.Policy: leader sets use their fixed insertion
+// policy and a miss in a leader set charges its side of the duel; follower
+// sets use the currently winning insertion.
+func (p *DRRIP) OnFill(set, way int, ai cache.AccessInfo) {
+	useSRRIP := true
+	switch p.leader(set) {
+	case 1:
+		// SRRIP leader missed: vote for BRRIP.
+		if !ai.Prefetch && p.psel < pselMax {
+			p.psel++
+		}
+	case -1:
+		if !ai.Prefetch && p.psel > 0 {
+			p.psel--
+		}
+		useSRRIP = false
+	default:
+		useSRRIP = p.psel < pselMax/2
+	}
+	v := uint8(rripMax - 1)
+	if !useSRRIP {
+		v = rripMax
+		if p.rng.Intn(brripLongOdds) == 0 {
+			v = rripMax - 1
+		}
+	}
+	p.rrpv[p.idx(set, way)] = v
+}
+
+// OnEvict implements cache.Policy.
+func (p *DRRIP) OnEvict(set, way int, reref bool) {}
+
+// Victim implements cache.Policy.
+func (p *DRRIP) Victim(set int, ai cache.AccessInfo) int {
+	row := p.rrpv[set*p.ways : (set+1)*p.ways]
+	for {
+		for w := range row {
+			if row[w] == rripMax {
+				return w
+			}
+		}
+		for w := range row {
+			row[w]++
+		}
+	}
+}
+
+// Demote implements cache.Demoter.
+func (p *DRRIP) Demote(set, way int) {
+	p.rrpv[p.idx(set, way)] = rripMax
+}
+
+// OverheadBytes implements Overheader (Table I).
+func (p *DRRIP) OverheadBytes(sets, ways int) float64 {
+	return float64(2*sets*ways) / 8 // PSEL's 10 bits are below reporting granularity
+}
+
+// OverheadNote implements Overheader.
+func (p *DRRIP) OverheadNote() string { return "2-bit RRPV per line + 10-bit PSEL" }

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedSensitivity(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	zero := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zero++
+		}
+	}
+	if zero > 1 {
+		t.Fatalf("seed-0 generator emitted %d zeros in 100 draws", zero)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRNG(7)
+	f := r.Fork()
+	// Drawing from the fork must not perturb the parent relative to a
+	// parent that forked but never used the fork.
+	r2 := NewRNG(7)
+	_ = r2.Fork()
+	for i := 0; i < 10; i++ {
+		f.Uint64()
+	}
+	for i := 0; i < 100; i++ {
+		if r.Uint64() != r2.Uint64() {
+			t.Fatalf("fork usage perturbed parent stream at draw %d", i)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	if err := quick.Check(func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := draws / n
+	for i, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d has %d draws, want about %d", i, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := NewRNG(5)
+	seenLo, seenHi := false, false
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(3, 6)
+		if v < 3 || v > 6 {
+			t.Fatalf("IntRange(3,6) = %d", v)
+		}
+		seenLo = seenLo || v == 3
+		seenHi = seenHi || v == 6
+	}
+	if !seenLo || !seenHi {
+		t.Fatal("IntRange never produced an endpoint in 1000 draws")
+	}
+	if got := r.IntRange(4, 4); got != 4 {
+		t.Fatalf("IntRange(4,4) = %d", got)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolRate(t *testing.T) {
+	r := NewRNG(13)
+	hits := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / draws
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) rate = %.3f", rate)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(17)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	r := NewRNG(23)
+	weights := []float64{0, 1, 3, 0, 6}
+	counts := make([]int, len(weights))
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[r.WeightedChoice(weights)]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Fatalf("zero-weight buckets drawn: %v", counts)
+	}
+	if math.Abs(float64(counts[4])/float64(counts[1])-6) > 0.6 {
+		t.Fatalf("weight-6 / weight-1 ratio = %.2f, want ~6", float64(counts[4])/float64(counts[1]))
+	}
+}
+
+func TestWeightedChoicePanicsOnAllZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WeightedChoice with all-zero weights did not panic")
+		}
+	}()
+	NewRNG(1).WeightedChoice([]float64{0, 0})
+}

@@ -1,0 +1,64 @@
+package stats
+
+import "math"
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(i+1)^s. Data-center request mixes and function popularity are highly
+// skewed; a Zipf distribution over functions/requests is what gives the
+// synthetic workloads their realistic hot/cold code split.
+//
+// The implementation precomputes the CDF (n is at most a few tens of
+// thousands here) and samples by binary search, which is deterministic and
+// branch-predictable.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf constructs a Zipf sampler over [0, n) with exponent s (s >= 0;
+// s == 0 degenerates to uniform). It panics if n <= 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	inv := 1.0 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1.0 // guard against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the size of the sampled domain.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws one value using the supplied RNG.
+func (z *Zipf) Sample(r *RNG) int {
+	x := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability mass of value i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	for _, s := range []float64{0, 0.5, 1, 2} {
+		z := NewZipf(50, s)
+		sum := 0.0
+		for i := 0; i < z.N(); i++ {
+			sum += z.Prob(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("s=%.1f: probabilities sum to %v", s, sum)
+		}
+	}
+}
+
+func TestZipfMonotonicMass(t *testing.T) {
+	z := NewZipf(20, 1.2)
+	for i := 1; i < z.N(); i++ {
+		if z.Prob(i) > z.Prob(i-1)+1e-12 {
+			t.Fatalf("mass increased from rank %d (%v) to %d (%v)", i-1, z.Prob(i-1), i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfZeroExponentIsUniform(t *testing.T) {
+	z := NewZipf(10, 0)
+	for i := 0; i < 10; i++ {
+		if math.Abs(z.Prob(i)-0.1) > 1e-9 {
+			t.Fatalf("s=0 rank %d has mass %v, want 0.1", i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfSampleMatchesProb(t *testing.T) {
+	z := NewZipf(8, 1)
+	r := NewRNG(31)
+	const draws = 200000
+	counts := make([]int, z.N())
+	for i := 0; i < draws; i++ {
+		v := z.Sample(r)
+		if v < 0 || v >= z.N() {
+			t.Fatalf("sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		got := float64(c) / draws
+		want := z.Prob(i)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("rank %d sampled at rate %.3f, want %.3f", i, got, want)
+		}
+	}
+}
+
+func TestZipfProbOutOfRange(t *testing.T) {
+	z := NewZipf(5, 1)
+	if z.Prob(-1) != 0 || z.Prob(5) != 0 {
+		t.Fatal("out-of-range Prob should be 0")
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0, 1) did not panic")
+		}
+	}()
+	NewZipf(0, 1)
+}

@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ripple/internal/isa"
+	"ripple/internal/program"
+)
+
+// Decoder reconstructs a basic-block execution sequence from a packet
+// stream by walking the program's CFG, consuming TNT bits at conditional
+// branches (and compressed returns) and TIP packets at indirect transfers,
+// exactly like a PT software decoder walks the binary alongside the trace.
+type Decoder struct {
+	r    *bufio.Reader
+	prog *program.Program
+
+	// remaining counts the blocks left to emit, from the stream header.
+	remaining uint64
+
+	bits  uint64
+	nbits int
+
+	lastIP uint64
+	stack  []program.BlockID
+	cur    program.BlockID
+	done   bool
+	err    error
+}
+
+// NewDecoder opens a packet stream produced by an Encoder over the same
+// (identically laid out) program.
+func NewDecoder(r io.Reader, prog *program.Program) (*Decoder, error) {
+	d := &Decoder{
+		r:    bufio.NewReaderSize(r, 1<<16),
+		prog: prog,
+		cur:  program.NoBlock,
+	}
+	b, err := d.r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading stream header: %w", err)
+	}
+	if b != pktPSB {
+		return nil, fmt.Errorf("trace: stream does not start with PSB (got %#x)", b)
+	}
+	d.remaining, err = binary.ReadUvarint(d.r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading block count: %w", err)
+	}
+	return d, nil
+}
+
+// readPacketByte reads one raw byte, converting EOF into a framing error
+// (a well-formed stream always ends with an END packet).
+func (d *Decoder) readPacketByte() (byte, error) {
+	b, err := d.r.ReadByte()
+	if err == io.EOF {
+		return 0, fmt.Errorf("trace: truncated stream")
+	}
+	return b, err
+}
+
+// nextBit consumes one TNT bit, reading the next TNT packet if the buffer
+// is drained.
+func (d *Decoder) nextBit() (bool, error) {
+	if d.nbits == 0 {
+		if err := d.expect(pktTNT); err != nil {
+			return false, err
+		}
+		n, err := d.readPacketByte()
+		if err != nil {
+			return false, err
+		}
+		if n == 0 || int(n) > maxTNTBits {
+			return false, fmt.Errorf("trace: TNT packet with %d bits", n)
+		}
+		d.bits = 0
+		for i := 0; i < int(n); i += 8 {
+			by, err := d.readPacketByte()
+			if err != nil {
+				return false, err
+			}
+			d.bits |= uint64(by) << uint(i)
+		}
+		d.nbits = int(n)
+	}
+	bit := d.bits&1 != 0
+	d.bits >>= 1
+	d.nbits--
+	return bit, nil
+}
+
+// expect consumes the next packet header byte and checks its type. END is
+// surfaced as io.EOF to the caller.
+func (d *Decoder) expect(kind byte) error {
+	b, err := d.readPacketByte()
+	if err != nil {
+		return err
+	}
+	if b == pktEnd {
+		return io.EOF
+	}
+	if b != kind {
+		return fmt.Errorf("trace: expected packet %#x, got %#x", kind, b)
+	}
+	return nil
+}
+
+// nextTIP consumes a TIP packet and returns the block starting at the
+// decompressed address.
+func (d *Decoder) nextTIP() (program.BlockID, error) {
+	if d.nbits != 0 {
+		return program.NoBlock, fmt.Errorf("trace: TIP needed with %d TNT bits pending", d.nbits)
+	}
+	if err := d.expect(pktTIP); err != nil {
+		return program.NoBlock, err
+	}
+	n, err := d.readPacketByte()
+	if err != nil {
+		return program.NoBlock, err
+	}
+	if n > 8 {
+		return program.NoBlock, fmt.Errorf("trace: TIP with %d delta bytes", n)
+	}
+	var delta uint64
+	for i := 0; i < int(n); i++ {
+		by, err := d.readPacketByte()
+		if err != nil {
+			return program.NoBlock, err
+		}
+		delta |= uint64(by) << uint(8*i)
+	}
+	d.lastIP ^= delta
+	id, ok := d.prog.BlockAtEntry(d.lastIP)
+	if !ok {
+		return program.NoBlock, fmt.Errorf("trace: TIP target %#x is not a block entry", d.lastIP)
+	}
+	return id, nil
+}
+
+// Next returns the next executed block, or io.EOF at the end of the
+// stream.
+func (d *Decoder) Next() (program.BlockID, error) {
+	if d.err != nil {
+		return program.NoBlock, d.err
+	}
+	if d.done || d.remaining == 0 {
+		d.done = true
+		return program.NoBlock, io.EOF
+	}
+	id, err := d.step()
+	if err != nil {
+		if err == io.EOF {
+			d.done = true
+		} else {
+			d.err = err
+		}
+		return program.NoBlock, err
+	}
+	d.cur = id
+	d.remaining--
+	return id, nil
+}
+
+func (d *Decoder) step() (program.BlockID, error) {
+	if d.cur == program.NoBlock {
+		return d.nextTIP()
+	}
+	b := d.prog.Block(d.cur)
+	switch b.Term {
+	case isa.TermFallthrough:
+		return b.FallThrough, nil
+	case isa.TermJump:
+		return b.TakenTarget, nil
+	case isa.TermCall:
+		d.stack = append(d.stack, b.FallThrough)
+		return b.TakenTarget, nil
+	case isa.TermCondBranch:
+		taken, err := d.nextBit()
+		if err != nil {
+			return program.NoBlock, err
+		}
+		if taken {
+			return b.TakenTarget, nil
+		}
+		return b.FallThrough, nil
+	case isa.TermIndirectJump:
+		return d.nextTIP()
+	case isa.TermIndirectCall:
+		t, err := d.nextTIP()
+		if err != nil {
+			return program.NoBlock, err
+		}
+		d.stack = append(d.stack, b.FallThrough)
+		return t, nil
+	case isa.TermRet:
+		compressed, err := d.nextBit()
+		if err != nil {
+			return program.NoBlock, err
+		}
+		if compressed {
+			n := len(d.stack)
+			if n == 0 {
+				return program.NoBlock, fmt.Errorf("trace: compressed ret with empty call stack")
+			}
+			t := d.stack[n-1]
+			d.stack = d.stack[:n-1]
+			return t, nil
+		}
+		d.stack = d.stack[:0]
+		return d.nextTIP()
+	default:
+		return program.NoBlock, fmt.Errorf("trace: block %d has invalid terminator %v", d.cur, b.Term)
+	}
+}
+
+// Decode reads a whole stream into a block sequence.
+func Decode(r io.Reader, prog *program.Program) ([]program.BlockID, error) {
+	d, err := NewDecoder(r, prog)
+	if err != nil {
+		return nil, err
+	}
+	var out []program.BlockID
+	for {
+		id, err := d.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+	}
+}

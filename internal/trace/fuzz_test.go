@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+import wl "ripple/internal/workload"
+
+// buildFuzzApp builds the same tiny app tinyApp uses, without a *testing.T.
+func buildFuzzApp() (*wl.App, error) {
+	return wl.Build(wl.Model{
+		Name: "fuzz-tiny", Seed: 5,
+		Funcs: 30, ServiceFuncs: 3, UtilityFuncs: 3, Levels: 4,
+		BlocksMin: 3, BlocksMax: 7, BlockBytesMin: 16, BlockBytesMax: 64,
+		PCond: 0.3, PCall: 0.25, PICall: 0.05, PIJump: 0.03,
+		PLoopBack: 0.1, PBiasStrong: 0.8,
+		CalleeMin: 1, CalleeMax: 3, IndirectFanout: 3,
+		ZipfRequest: 1.0, RequestsPerBurst: 2,
+	})
+}
+
+// FuzzDecode feeds arbitrary byte streams to the decoder; it must never
+// panic or loop, only return an error or a bounded block sequence. The
+// seed corpus contains a valid stream so the fuzzer starts from real
+// packet structure.
+func FuzzDecode(f *testing.F) {
+	app, err := buildFuzzApp()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, app.Prog, app.Trace(0, 500)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{pktPSB, 0x05, pktTNT, 2, 0xFF})
+	f.Add([]byte{pktPSB, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(bytes.NewReader(data), app.Prog)
+		if err == nil && len(got) > 1<<22 {
+			t.Fatalf("unbounded decode: %d blocks", len(got))
+		}
+	})
+}

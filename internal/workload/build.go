@@ -1,0 +1,383 @@
+package workload
+
+import (
+	"fmt"
+
+	"ripple/internal/isa"
+	"ripple/internal/program"
+	"ripple/internal/stats"
+)
+
+// App is a fully built synthetic application: the static program image plus
+// the dynamic behavior tables (branch biases, indirect-target weights,
+// request mix) that drive trace synthesis.
+type App struct {
+	Model Model
+	Prog  *program.Program
+
+	// pTaken[b] is the taken probability of block b's conditional branch
+	// (meaningful only for TermCondBranch blocks).
+	pTaken []float64
+	// siteWeights[b] are the selection weights over b.IndirectTargets
+	// (meaningful only for indirect terminators).
+	siteWeights [][]float64
+	// serviceEntries[i] is the entry block of the i-th service function.
+	serviceEntries []program.BlockID
+	// serviceZipf skews the request mix over service functions.
+	serviceZipf *stats.Zipf
+}
+
+// funcSpec is the pre-build description of one function.
+type funcSpec struct {
+	name    string
+	level   int
+	jit     bool
+	kernel  bool
+	service bool
+	utility bool
+}
+
+// Build constructs the application described by m. Construction is fully
+// deterministic in m.Seed.
+func Build(m Model) (*App, error) {
+	if err := checkModel(m); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(m.Seed)
+
+	specs := makeSpecs(m, rng)
+	order := rng.Perm(len(specs)) // scatter hot/cold functions in the layout
+
+	bd := program.NewBuilder(m.Name)
+	funcOf := make([]program.FuncID, len(specs)) // spec index -> FuncID
+	type pending struct {
+		block program.BlockID
+		spec  int // caller spec index
+		kind  isa.TermKind
+		next  program.BlockID
+	}
+	var calls []pending
+
+	structRNG := rng.Fork() // function-structure stream
+	behavRNG := rng.Fork()  // branch-bias / weight stream
+
+	app := &App{Model: m}
+	var pTaken []float64
+	var siteWeights [][]float64
+	grow := func(id program.BlockID) {
+		for int(id) >= len(pTaken) {
+			pTaken = append(pTaken, 0)
+			siteWeights = append(siteWeights, nil)
+		}
+	}
+
+	for _, si := range order {
+		sp := specs[si]
+		fid := bd.StartFunc(sp.name, sp.jit)
+		funcOf[si] = fid
+		if sp.kernel {
+			bd.MarkKernel(fid)
+		}
+
+		n := structRNG.IntRange(m.BlocksMin, m.BlocksMax)
+		ids := make([]program.BlockID, n)
+		for i := 0; i < n; i++ {
+			size := uint32(structRNG.IntRange(m.BlockBytesMin, m.BlockBytesMax))
+			term := isa.TermRet
+			if i < n-1 {
+				term = drawTerm(m, sp, structRNG, i, n)
+			}
+			ids[i] = bd.AddBlock(size, term)
+			grow(ids[i])
+		}
+		// Wire intra-function edges; defer call targets to the second
+		// phase (callees may not be built yet).
+		for i := 0; i < n-1; i++ {
+			b := bd.Block(ids[i])
+			next := ids[i+1]
+			switch b.Term {
+			case isa.TermFallthrough:
+				bd.SetFallthrough(ids[i], next)
+			case isa.TermCondBranch:
+				taken, loop := condTarget(structRNG, m, ids, i)
+				bd.SetCond(ids[i], taken, next)
+				pTaken[ids[i]] = drawBias(behavRNG, m, loop)
+			case isa.TermJump:
+				// A forward skip within the function.
+				bd.SetJump(ids[i], forwardTarget(structRNG, ids, i))
+			case isa.TermIndirectJump:
+				targets := forwardFanout(structRNG, ids, i, m.IndirectFanout)
+				if len(targets) == 0 {
+					b.Term = isa.TermFallthrough
+					bd.SetFallthrough(ids[i], next)
+					break
+				}
+				bd.SetIndirect(ids[i], targets, program.NoBlock)
+				siteWeights[ids[i]] = indirectWeights(behavRNG, len(targets))
+			case isa.TermCall, isa.TermIndirectCall:
+				calls = append(calls, pending{block: ids[i], spec: si, kind: b.Term, next: next})
+			}
+		}
+	}
+
+	// Second phase: the call graph. Each function links against a fixed
+	// callee set drawn from strictly deeper levels, with utility helpers
+	// mixed in everywhere (shared serialization/RPC/compression code).
+	calleeSets := buildCalleeSets(m, specs, rng.Fork())
+	for _, c := range calls {
+		set := calleeSets[c.spec]
+		if len(set) == 0 {
+			// Deepest level: nothing to call; degrade to fall-through.
+			bd.Block(c.block).Term = isa.TermFallthrough
+			bd.SetFallthrough(c.block, c.next)
+			continue
+		}
+		if c.kind == isa.TermCall {
+			callee := set[behavRNG.Intn(len(set))]
+			entry := bd.Func(funcOf[callee]).Entry
+			bd.SetCall(c.block, entry, c.next)
+			continue
+		}
+		// Indirect call: a fanout of candidate callees with skewed weights.
+		fan := m.IndirectFanout
+		if fan > len(set) {
+			fan = len(set)
+		}
+		targets := make([]program.BlockID, 0, fan)
+		seen := make(map[int]bool, fan)
+		for len(targets) < fan {
+			cs := set[behavRNG.Intn(len(set))]
+			if seen[cs] {
+				if len(seen) == len(set) {
+					break
+				}
+				continue
+			}
+			seen[cs] = true
+			targets = append(targets, bd.Func(funcOf[cs]).Entry)
+		}
+		bd.SetIndirect(c.block, targets, c.next)
+		siteWeights[c.block] = indirectWeights(behavRNG, len(targets))
+	}
+
+	prog, err := bd.Finish(0x400000)
+	if err != nil {
+		return nil, err
+	}
+	app.Prog = prog
+	app.pTaken = pTaken
+	app.siteWeights = siteWeights
+	for si, sp := range specs {
+		if sp.service {
+			app.serviceEntries = append(app.serviceEntries, prog.Func(funcOf[si]).Entry)
+		}
+	}
+	app.serviceZipf = stats.NewZipf(len(app.serviceEntries), m.ZipfRequest)
+	return app, nil
+}
+
+func checkModel(m Model) error {
+	switch {
+	case m.Name == "":
+		return fmt.Errorf("workload: model needs a name")
+	case m.Funcs < m.ServiceFuncs+m.UtilityFuncs || m.ServiceFuncs < 1:
+		return fmt.Errorf("workload %s: inconsistent function counts", m.Name)
+	case m.Levels < 2:
+		return fmt.Errorf("workload %s: need at least 2 call-graph levels", m.Name)
+	case m.BlocksMin < 2 || m.BlocksMax < m.BlocksMin:
+		return fmt.Errorf("workload %s: bad blocks-per-function range", m.Name)
+	case m.BlockBytesMin < 4 || m.BlockBytesMax < m.BlockBytesMin:
+		return fmt.Errorf("workload %s: bad block-size range", m.Name)
+	case m.PCond+m.PCall+m.PICall+m.PIJump > 0.95:
+		return fmt.Errorf("workload %s: terminator probabilities exceed budget", m.Name)
+	}
+	return nil
+}
+
+// makeSpecs assigns every function a call-graph level and role. Service
+// functions sit at level 0, utility helpers at the deepest level, everything
+// else spread across the middle.
+func makeSpecs(m Model, rng *stats.RNG) []funcSpec {
+	specs := make([]funcSpec, 0, m.Funcs)
+	for i := 0; i < m.ServiceFuncs; i++ {
+		specs = append(specs, funcSpec{name: fmt.Sprintf("svc_%d", i), level: 0, service: true})
+	}
+	middle := m.Funcs - m.ServiceFuncs - m.UtilityFuncs
+	for i := 0; i < middle; i++ {
+		lvl := 1
+		if m.Levels > 2 {
+			lvl = 1 + rng.Intn(m.Levels-2)
+		}
+		specs = append(specs, funcSpec{name: fmt.Sprintf("fn_%d", i), level: lvl})
+	}
+	for i := 0; i < m.UtilityFuncs; i++ {
+		specs = append(specs, funcSpec{
+			name:    fmt.Sprintf("util_%d", i),
+			level:   m.Levels - 1,
+			utility: true,
+			kernel:  i < m.KernelUtilities,
+		})
+	}
+	// JIT marking: a fraction of the non-service middle functions.
+	if m.JITFraction > 0 {
+		for i := range specs {
+			if !specs[i].service && !specs[i].utility && rng.Bool(m.JITFraction) {
+				specs[i].jit = true
+			}
+		}
+	}
+	return specs
+}
+
+// buildCalleeSets links each function against callees at strictly deeper
+// levels; utility helpers are preferentially shared.
+func buildCalleeSets(m Model, specs []funcSpec, rng *stats.RNG) [][]int {
+	byLevel := make([][]int, m.Levels)
+	for i, sp := range specs {
+		byLevel[sp.level] = append(byLevel[sp.level], i)
+	}
+	var utilities []int
+	for i, sp := range specs {
+		if sp.utility {
+			utilities = append(utilities, i)
+		}
+	}
+	sets := make([][]int, len(specs))
+	for i, sp := range specs {
+		if sp.level >= m.Levels-1 {
+			continue // deepest level: leaf
+		}
+		want := rng.IntRange(m.CalleeMin, m.CalleeMax)
+		set := make([]int, 0, want)
+		// Bounded attempts: sparse levels (or a model without utility
+		// helpers) may not offer `want` distinct deeper callees.
+		for tries := 0; len(set) < want && tries < 64*want; tries++ {
+			var cand int
+			if len(utilities) > 0 && rng.Bool(0.2) {
+				cand = utilities[rng.Intn(len(utilities))]
+			} else {
+				// Mostly call one level down (deep request chains); the
+				// rest jump further, like layered software with shortcuts.
+				lvl := sp.level + 1
+				if !rng.Bool(0.75) {
+					lvl = sp.level + 1 + rng.Intn(m.Levels-1-sp.level)
+				}
+				if len(byLevel[lvl]) == 0 {
+					continue
+				}
+				cand = byLevel[lvl][rng.Intn(len(byLevel[lvl]))]
+			}
+			if specs[cand].level <= sp.level {
+				continue
+			}
+			dup := false
+			for _, s := range set {
+				if s == cand {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				set = append(set, cand)
+			}
+		}
+		sets[i] = set
+	}
+	return sets
+}
+
+func drawTerm(m Model, sp funcSpec, rng *stats.RNG, i, n int) isa.TermKind {
+	x := rng.Float64()
+	switch {
+	case x < m.PCond:
+		return isa.TermCondBranch
+	case x < m.PCond+m.PCall:
+		if sp.level >= m.Levels-1 {
+			return isa.TermFallthrough
+		}
+		return isa.TermCall
+	case x < m.PCond+m.PCall+m.PICall:
+		if sp.level >= m.Levels-1 {
+			return isa.TermFallthrough
+		}
+		return isa.TermIndirectCall
+	case x < m.PCond+m.PCall+m.PICall+m.PIJump:
+		if i+2 >= n {
+			return isa.TermFallthrough
+		}
+		return isa.TermIndirectJump
+	case x < m.PCond+m.PCall+m.PICall+m.PIJump+0.06 && i+2 < n:
+		return isa.TermJump
+	default:
+		return isa.TermFallthrough
+	}
+}
+
+// condTarget picks the taken side of a conditional branch: a backward
+// target (loop) with probability PLoopBack, otherwise a forward skip.
+func condTarget(rng *stats.RNG, m Model, ids []program.BlockID, i int) (program.BlockID, bool) {
+	if i > 0 && rng.Bool(m.PLoopBack) {
+		// Loop back a short distance.
+		back := rng.IntRange(1, min(i, 4))
+		return ids[i-back], true
+	}
+	return forwardTarget(rng, ids, i), false
+}
+
+// forwardTarget picks a block a short hop ahead of i. Skips are kept short
+// (1-3 blocks) so an execution path still visits most of a function's
+// blocks — long skips would hollow out the per-request call tree that
+// gives these workloads their data-center-scale instruction footprints.
+func forwardTarget(rng *stats.RNG, ids []program.BlockID, i int) program.BlockID {
+	hi := i + 3
+	if hi > len(ids)-1 {
+		hi = len(ids) - 1
+	}
+	return ids[rng.IntRange(i+1, hi)]
+}
+
+// forwardFanout returns up to fan distinct forward targets (for switch-like
+// indirect jumps).
+func forwardFanout(rng *stats.RNG, ids []program.BlockID, i, fan int) []program.BlockID {
+	avail := len(ids) - (i + 1)
+	if avail <= 0 {
+		return nil
+	}
+	if fan > avail {
+		fan = avail
+	}
+	perm := rng.Perm(avail)
+	targets := make([]program.BlockID, fan)
+	for k := 0; k < fan; k++ {
+		targets[k] = ids[i+1+perm[k]]
+	}
+	return targets
+}
+
+// drawBias assigns a branch's taken probability. Loops are taken-biased
+// with geometric trip counts; straight-line branches are mostly strongly
+// biased with a hard-to-predict minority.
+func drawBias(rng *stats.RNG, m Model, loop bool) float64 {
+	if loop {
+		return 0.5 + rng.Float64()*0.35 // mean trip count ~2-6
+	}
+	if rng.Bool(m.PBiasStrong) {
+		p := 0.03 + rng.Float64()*0.09
+		if rng.Bool(0.5) {
+			return 1 - p
+		}
+		return p
+	}
+	return 0.3 + rng.Float64()*0.4
+}
+
+// indirectWeights builds skewed selection weights for an indirect site.
+func indirectWeights(rng *stats.RNG, n int) []float64 {
+	z := stats.NewZipf(n, 1.1)
+	w := make([]float64, n)
+	rot := rng.Intn(n)
+	for i := 0; i < n; i++ {
+		w[(i+rot)%n] = z.Prob(i)
+	}
+	return w
+}

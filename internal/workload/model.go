@@ -1,0 +1,205 @@
+// Package workload synthesizes the nine data-center applications the paper
+// evaluates. Real traces of drupal, cassandra, finagle-http, etc. are not
+// available, so each application is modeled as a parameterized program: a
+// layered (acyclic) call graph of functions built from basic blocks with a
+// realistic terminator mix, biased conditional branches, loops, indirect
+// dispatch, a Zipf-skewed request mix over service entry points, and — for
+// the HHVM applications — a JIT-compiled code fraction that Ripple must
+// refuse to instrument.
+//
+// The models are tuned to reproduce the properties the paper identifies as
+// load-bearing for I-cache studies: every request walks a deep call tree
+// whose instruction footprint alone exceeds the 32 KiB L1I several times
+// over (the paper's "millions of unique instructions per request"), so
+// lines are evicted *within* a request along a largely deterministic path
+// — which is precisely what gives Ripple predictable cue blocks; reuse
+// distances vary widely across the run; and compulsory miss rates are very
+// low (no scanning).
+package workload
+
+// Model is the full parameterization of one synthetic application.
+type Model struct {
+	Name string
+	Seed uint64
+
+	// Static shape.
+	Funcs         int // total functions
+	ServiceFuncs  int // request-handler entry functions (call-graph roots)
+	UtilityFuncs  int // hot leaf helpers reachable from everywhere
+	Levels        int // call-graph layers; calls go strictly downward
+	BlocksMin     int // blocks per function, inclusive range
+	BlocksMax     int
+	BlockBytesMin int // original code bytes per block, inclusive range
+	BlockBytesMax int
+
+	// Terminator mix for non-final blocks (probabilities; remainder
+	// becomes plain fall-through/jump). PCall controls the branching
+	// factor of the per-request call tree: with B non-final blocks per
+	// function, each function execution performs ~B*(PCall+PICall) calls,
+	// and a request expands to roughly that branching factor raised to
+	// the number of call-graph levels.
+	PCond  float64
+	PCall  float64
+	PICall float64
+	PIJump float64
+
+	// PLoopBack is the probability that a conditional branch targets a
+	// backward block (forming a loop) rather than a forward one.
+	PLoopBack float64
+	// PBiasStrong is the probability that a conditional branch is strongly
+	// biased (easy to predict); the rest hover near 50/50 and make their
+	// lines hard-to-prefetch under FDIP.
+	PBiasStrong float64
+
+	// CalleeMin/Max bound how many distinct callees a call-site-bearing
+	// function links against.
+	CalleeMin int
+	CalleeMax int
+	// IndirectFanout is the number of candidate targets at indirect sites.
+	IndirectFanout int
+
+	// ZipfRequest is the skew of the request mix over service functions.
+	ZipfRequest float64
+	// RequestsPerBurst controls how many requests of the same type arrive
+	// back to back (temporal locality between requests).
+	RequestsPerBurst int
+
+	// JITFraction is the fraction of non-service functions emitted as
+	// JIT-compiled code (address-unstable; not instrumentable by Ripple).
+	JITFraction float64
+
+	// KernelUtilities marks that many of the utility helpers as
+	// kernel-mode code (network/syscall paths): traced and cached like
+	// everything else, but not injectable. The paper measures <1% of
+	// misses from kernel code for most apps and ~15% for the HHVM trio.
+	KernelUtilities int
+
+	// PhaseRequests, when positive, rotates the request popularity
+	// ranking every that-many requests, creating execution *phases* in
+	// which the same cache line is cache-friendly and cache-averse at
+	// different times — the dynamic reuse-distance variance the paper
+	// identifies as the reason static classifications fail (Sec. II-D).
+	// Zero keeps a single phase for the whole trace.
+	PhaseRequests int
+}
+
+// Catalog returns the nine applications of the paper's evaluation, in the
+// alphabetical order used by its figures.
+func Catalog() []Model {
+	return []Model{
+		{
+			// NoSQL database: deep stacks, large mixed footprint.
+			Name: "cassandra", Seed: 0xCA55A,
+			Funcs: 1150, ServiceFuncs: 36, UtilityFuncs: 40, Levels: 8,
+			BlocksMin: 6, BlocksMax: 12, BlockBytesMin: 24, BlockBytesMax: 96,
+			PCond: 0.28, PCall: 0.28, PICall: 0.04, PIJump: 0.02,
+			PLoopBack: 0.12, PBiasStrong: 0.8,
+			CalleeMin: 3, CalleeMax: 8, IndirectFanout: 6,
+			ZipfRequest: 0.9, RequestsPerBurst: 3, JITFraction: 0, KernelUtilities: 4,
+		},
+		{
+			// HHVM PHP CMS: biggest footprint, half the executed code JIT.
+			Name: "drupal", Seed: 0xD2074,
+			Funcs: 1500, ServiceFuncs: 48, UtilityFuncs: 48, Levels: 8,
+			BlocksMin: 6, BlocksMax: 12, BlockBytesMin: 24, BlockBytesMax: 88,
+			PCond: 0.28, PCall: 0.29, PICall: 0.05, PIJump: 0.03,
+			PLoopBack: 0.11, PBiasStrong: 0.76,
+			CalleeMin: 3, CalleeMax: 9, IndirectFanout: 8,
+			ZipfRequest: 0.8, RequestsPerBurst: 2, JITFraction: 0.5, KernelUtilities: 10,
+		},
+		{
+			// Twitter microblogging service on Finagle.
+			Name: "finagle-chirper", Seed: 0xF14C4,
+			Funcs: 1300, ServiceFuncs: 28, UtilityFuncs: 36, Levels: 8,
+			BlocksMin: 5, BlocksMax: 11, BlockBytesMin: 24, BlockBytesMax: 80,
+			PCond: 0.28, PCall: 0.31, PICall: 0.04, PIJump: 0.02,
+			PLoopBack: 0.12, PBiasStrong: 0.78,
+			CalleeMin: 3, CalleeMax: 8, IndirectFanout: 6,
+			ZipfRequest: 1.0, RequestsPerBurst: 4, JITFraction: 0, KernelUtilities: 4,
+		},
+		{
+			// Twitter HTTP server on Finagle; the paper's Fig. 6 app.
+			Name: "finagle-http", Seed: 0xF147B,
+			Funcs: 1050, ServiceFuncs: 24, UtilityFuncs: 32, Levels: 8,
+			BlocksMin: 5, BlocksMax: 11, BlockBytesMin: 24, BlockBytesMax: 80,
+			PCond: 0.28, PCall: 0.3, PICall: 0.04, PIJump: 0.02,
+			PLoopBack: 0.12, PBiasStrong: 0.79,
+			CalleeMin: 3, CalleeMax: 8, IndirectFanout: 6,
+			ZipfRequest: 1.05, RequestsPerBurst: 4, JITFraction: 0, KernelUtilities: 4,
+		},
+		{
+			// Stream processing: bursty, repetitive pipelines; the most
+			// cache-friendly of the Java apps.
+			Name: "kafka", Seed: 0x6AF6A,
+			Funcs: 1100, ServiceFuncs: 26, UtilityFuncs: 40, Levels: 7,
+			BlocksMin: 6, BlocksMax: 12, BlockBytesMin: 24, BlockBytesMax: 88,
+			PCond: 0.28, PCall: 0.29, PICall: 0.04, PIJump: 0.02,
+			PLoopBack: 0.15, PBiasStrong: 0.82,
+			CalleeMin: 3, CalleeMax: 8, IndirectFanout: 6,
+			ZipfRequest: 1.1, RequestsPerBurst: 6, JITFraction: 0, KernelUtilities: 4,
+		},
+		{
+			// HHVM wiki engine.
+			Name: "mediawiki", Seed: 0x3ED1A,
+			Funcs: 1550, ServiceFuncs: 52, UtilityFuncs: 48, Levels: 8,
+			BlocksMin: 6, BlocksMax: 12, BlockBytesMin: 24, BlockBytesMax: 88,
+			PCond: 0.28, PCall: 0.29, PICall: 0.05, PIJump: 0.03,
+			PLoopBack: 0.11, PBiasStrong: 0.75,
+			CalleeMin: 3, CalleeMax: 9, IndirectFanout: 8,
+			ZipfRequest: 0.75, RequestsPerBurst: 2, JITFraction: 0.5, KernelUtilities: 10,
+		},
+		{
+			// Java servlet container.
+			Name: "tomcat", Seed: 0x70C47,
+			Funcs: 1200, ServiceFuncs: 32, UtilityFuncs: 36, Levels: 8,
+			BlocksMin: 5, BlocksMax: 11, BlockBytesMin: 24, BlockBytesMax: 84,
+			PCond: 0.28, PCall: 0.3, PICall: 0.04, PIJump: 0.02,
+			PLoopBack: 0.12, PBiasStrong: 0.78,
+			CalleeMin: 3, CalleeMax: 8, IndirectFanout: 7,
+			ZipfRequest: 0.95, RequestsPerBurst: 3, JITFraction: 0, KernelUtilities: 4,
+		},
+		{
+			// Generated RTL simulator: enormous straight-line functions,
+			// highly predictable branches, shallow calls; each "request"
+			// is one evaluation pass over the design. The outlier app:
+			// near-total coverage and accuracy in the paper (Figs. 9, 10).
+			Name: "verilator", Seed: 0x5E211,
+			Funcs: 520, ServiceFuncs: 2, UtilityFuncs: 12, Levels: 5,
+			BlocksMin: 14, BlocksMax: 36, BlockBytesMin: 48, BlockBytesMax: 160,
+			PCond: 0.18, PCall: 0.14, PICall: 0.01, PIJump: 0.01,
+			PLoopBack: 0.06, PBiasStrong: 0.97,
+			CalleeMin: 2, CalleeMax: 6, IndirectFanout: 3,
+			ZipfRequest: 2.2, RequestsPerBurst: 1, JITFraction: 0,
+		},
+		{
+			// HHVM CMS.
+			Name: "wordpress", Seed: 0x30D29,
+			Funcs: 1450, ServiceFuncs: 50, UtilityFuncs: 48, Levels: 8,
+			BlocksMin: 6, BlocksMax: 12, BlockBytesMin: 24, BlockBytesMax: 88,
+			PCond: 0.28, PCall: 0.28, PICall: 0.05, PIJump: 0.03,
+			PLoopBack: 0.11, PBiasStrong: 0.76,
+			CalleeMin: 3, CalleeMax: 9, IndirectFanout: 8,
+			ZipfRequest: 0.8, RequestsPerBurst: 2, JITFraction: 0.5, KernelUtilities: 10,
+		},
+	}
+}
+
+// Names returns the catalog application names in figure order.
+func Names() []string {
+	ms := Catalog()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// ByName returns the catalog model with the given name.
+func ByName(name string) (Model, bool) {
+	for _, m := range Catalog() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Model{}, false
+}

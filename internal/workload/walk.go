@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"fmt"
+
+	"ripple/internal/isa"
+	"ripple/internal/program"
+	"ripple/internal/stats"
+)
+
+// Trace synthesizes a steady-state basic-block execution trace of at least
+// minBlocks block executions (it always finishes the in-flight request, so
+// the result may run slightly longer).
+//
+// input selects one of the application's input configurations (the paper's
+// '#0'..'#3'): different inputs shift the request popularity ranking,
+// perturb a subset of branch biases, and re-skew indirect dispatch — enough
+// to move the hot footprint while keeping substantial overlap, which is
+// what makes cross-input profiles useful but input-specific profiles ~17%
+// better (Fig. 13).
+func (a *App) Trace(input int, minBlocks int) []program.BlockID {
+	w := a.newWalker(input)
+	trace := make([]program.BlockID, 0, minBlocks+256)
+	for len(trace) < minBlocks {
+		trace = w.request(trace)
+	}
+	return trace
+}
+
+// walker holds the per-input dynamic state of one trace synthesis run.
+type walker struct {
+	app     *App
+	rng     *stats.RNG
+	pTaken  []float64 // per-input perturbed copy
+	svcPerm []int     // per-input popularity remap of service functions
+	stack   []program.BlockID
+
+	burstLeft int
+	burstSvc  int
+
+	// Phase rotation state (PhaseRequests > 0).
+	requests int
+	phaseRNG *stats.RNG
+}
+
+func (a *App) newWalker(input int) *walker {
+	if input < 0 {
+		panic(fmt.Sprintf("workload %s: negative input %d", a.Model.Name, input))
+	}
+	rng := stats.NewRNG(a.Model.Seed ^ (0x9E3779B97F4A7C15 * uint64(input+1)))
+	w := &walker{
+		app:     a,
+		rng:     rng,
+		svcPerm: identity(len(a.serviceEntries)),
+		stack:   make([]program.BlockID, 0, 64),
+	}
+	w.pTaken = append([]float64(nil), a.pTaken...)
+	w.phaseRNG = rng.Fork()
+	if input > 0 {
+		w.perturb(rng.Fork())
+	}
+	return w
+}
+
+func identity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// perturb applies the per-input behavioral shift: ~25% of the service
+// popularity ranks are swapped and ~15% of conditional branches get their
+// bias jittered (occasionally flipped).
+func (w *walker) perturb(rng *stats.RNG) {
+	n := len(w.svcPerm)
+	for i := 0; i < n/4; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		w.svcPerm[a], w.svcPerm[b] = w.svcPerm[b], w.svcPerm[a]
+	}
+	for b := range w.pTaken {
+		if w.pTaken[b] == 0 || !rng.Bool(0.15) {
+			continue
+		}
+		if rng.Bool(0.25) {
+			w.pTaken[b] = 1 - w.pTaken[b] // flipped phase behavior
+		} else {
+			d := (rng.Float64() - 0.5) * 0.3
+			w.pTaken[b] = clamp01(w.pTaken[b]+d, 0.02, 0.98)
+		}
+	}
+}
+
+func clamp01(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// request executes one service request and appends its block sequence.
+func (w *walker) request(trace []program.BlockID) []program.BlockID {
+	a := w.app
+	if pr := a.Model.PhaseRequests; pr > 0 && w.requests > 0 && w.requests%pr == 0 {
+		// Phase change: rotate the popularity ranking so a different
+		// subset of the code becomes hot.
+		n := len(w.svcPerm)
+		rot := 1 + w.phaseRNG.Intn(n-1)
+		rotated := make([]int, n)
+		for i, v := range w.svcPerm {
+			rotated[(i+rot)%n] = v
+		}
+		w.svcPerm = rotated
+		w.burstLeft = 0
+	}
+	w.requests++
+	if w.burstLeft == 0 {
+		w.burstSvc = w.svcPerm[a.serviceZipf.Sample(w.rng)]
+		w.burstLeft = max(1, a.Model.RequestsPerBurst)
+	}
+	w.burstLeft--
+	cur := a.serviceEntries[w.burstSvc]
+	w.stack = w.stack[:0]
+
+	prog := a.Prog
+	for {
+		trace = append(trace, cur)
+		b := prog.Block(cur)
+		switch b.Term {
+		case isa.TermFallthrough:
+			cur = b.FallThrough
+		case isa.TermJump:
+			cur = b.TakenTarget
+		case isa.TermCondBranch:
+			if w.rng.Bool(w.pTaken[b.ID]) {
+				cur = b.TakenTarget
+			} else {
+				cur = b.FallThrough
+			}
+		case isa.TermCall:
+			w.stack = append(w.stack, b.FallThrough)
+			cur = b.TakenTarget
+		case isa.TermIndirectCall:
+			w.stack = append(w.stack, b.FallThrough)
+			cur = w.pickIndirect(b)
+		case isa.TermIndirectJump:
+			cur = w.pickIndirect(b)
+		case isa.TermRet:
+			if len(w.stack) == 0 {
+				return trace // request complete
+			}
+			cur = w.stack[len(w.stack)-1]
+			w.stack = w.stack[:len(w.stack)-1]
+		default:
+			panic(fmt.Sprintf("workload %s: unhandled terminator %v", a.Model.Name, b.Term))
+		}
+	}
+}
+
+func (w *walker) pickIndirect(b *program.Block) program.BlockID {
+	weights := w.app.siteWeights[b.ID]
+	return b.IndirectTargets[w.rng.WeightedChoice(weights)]
+}
+
+// RequestBoundaries returns the trace indices at which new requests begin
+// (service entry executions following a request-ending return, including
+// index 0). Diagnostics and tests use it to study per-request structure.
+func (a *App) RequestBoundaries(trace []program.BlockID) []int {
+	entries := make(map[program.BlockID]bool, len(a.serviceEntries))
+	for _, e := range a.serviceEntries {
+		entries[e] = true
+	}
+	var out []int
+	depth := 0
+	for i, bid := range trace {
+		if depth == 0 && entries[bid] {
+			out = append(out, i)
+		}
+		switch a.Prog.Block(bid).Term {
+		case isa.TermCall, isa.TermIndirectCall:
+			depth++
+		case isa.TermRet:
+			if depth > 0 {
+				depth--
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,435 @@
+package workload
+
+import (
+	"testing"
+
+	"ripple/internal/isa"
+	"ripple/internal/program"
+)
+
+// tinyModel is a fast-to-build model used by most tests.
+func tinyModel() Model {
+	return Model{
+		Name: "tiny", Seed: 99,
+		Funcs: 40, ServiceFuncs: 4, UtilityFuncs: 4, Levels: 4,
+		BlocksMin: 3, BlocksMax: 7, BlockBytesMin: 16, BlockBytesMax: 64,
+		PCond: 0.3, PCall: 0.25, PICall: 0.05, PIJump: 0.03,
+		PLoopBack: 0.1, PBiasStrong: 0.8,
+		CalleeMin: 1, CalleeMax: 3, IndirectFanout: 3,
+		ZipfRequest: 1.0, RequestsPerBurst: 2,
+	}
+}
+
+func TestCatalogBuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds all nine applications")
+	}
+	names := map[string]bool{}
+	for _, m := range Catalog() {
+		if names[m.Name] {
+			t.Fatalf("duplicate catalog name %q", m.Name)
+		}
+		names[m.Name] = true
+		app, err := Build(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if err := app.Prog.Validate(); err != nil {
+			t.Fatalf("%s: built program invalid: %v", m.Name, err)
+		}
+		if app.Prog.TotalBytes() < 100<<10 {
+			t.Fatalf("%s: text only %d bytes; data-center app models need multi-100KB footprints", m.Name, app.Prog.TotalBytes())
+		}
+	}
+	if len(names) != 9 {
+		t.Fatalf("catalog has %d apps, want 9", len(names))
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("finagle-http"); !ok {
+		t.Fatal("finagle-http missing from catalog")
+	}
+	if _, ok := ByName("nosuch"); ok {
+		t.Fatal("ByName accepted an unknown name")
+	}
+	if len(Names()) != len(Catalog()) {
+		t.Fatal("Names/Catalog length mismatch")
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	a, err := Build(tinyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(tinyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Prog.NumBlocks() != b.Prog.NumBlocks() || a.Prog.TotalBytes() != b.Prog.TotalBytes() {
+		t.Fatal("same-seed builds differ structurally")
+	}
+	ta := a.Trace(0, 5000)
+	tb := b.Trace(0, 5000)
+	if len(ta) != len(tb) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+}
+
+func TestSeedChangesProgram(t *testing.T) {
+	m := tinyModel()
+	a, _ := Build(m)
+	m.Seed++
+	b, _ := Build(m)
+	if a.Prog.TotalBytes() == b.Prog.TotalBytes() && a.Prog.NumBlocks() == b.Prog.NumBlocks() {
+		ta, tb := a.Trace(0, 2000), b.Trace(0, 2000)
+		same := len(ta) == len(tb)
+		if same {
+			for i := range ta {
+				if ta[i] != tb[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical apps")
+		}
+	}
+}
+
+// TestTraceIsCFGConsistent verifies the walker only takes legal CFG edges:
+// every consecutive pair in the trace must be explainable by the previous
+// block's terminator given a call stack.
+func TestTraceIsCFGConsistent(t *testing.T) {
+	app, err := Build(tinyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := app.Trace(0, 20000)
+	var stack []program.BlockID
+	for i := 0; i+1 < len(tr); i++ {
+		b := app.Prog.Block(tr[i])
+		next := tr[i+1]
+		switch b.Term {
+		case isa.TermFallthrough:
+			if next != b.FallThrough {
+				t.Fatalf("pos %d: fallthrough to %d, trace goes to %d", i, b.FallThrough, next)
+			}
+		case isa.TermJump:
+			if next != b.TakenTarget {
+				t.Fatalf("pos %d: jump to %d, trace goes to %d", i, b.TakenTarget, next)
+			}
+		case isa.TermCondBranch:
+			if next != b.TakenTarget && next != b.FallThrough {
+				t.Fatalf("pos %d: cond successors %d/%d, trace goes to %d", i, b.TakenTarget, b.FallThrough, next)
+			}
+		case isa.TermCall:
+			if next != b.TakenTarget {
+				t.Fatalf("pos %d: call to %d, trace goes to %d", i, b.TakenTarget, next)
+			}
+			stack = append(stack, b.FallThrough)
+		case isa.TermIndirectCall:
+			if !contains(b.IndirectTargets, next) {
+				t.Fatalf("pos %d: icall to non-candidate %d", i, next)
+			}
+			stack = append(stack, b.FallThrough)
+		case isa.TermIndirectJump:
+			if !contains(b.IndirectTargets, next) {
+				t.Fatalf("pos %d: ijump to non-candidate %d", i, next)
+			}
+		case isa.TermRet:
+			if len(stack) > 0 {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if next != top {
+					t.Fatalf("pos %d: ret to %d, stack says %d", i, next, top)
+				}
+			} else if !app.isServiceEntry(next) {
+				// Request boundary: the next block must be a service entry.
+				t.Fatalf("pos %d: request boundary jumps to non-entry %d", i, next)
+			}
+		}
+	}
+}
+
+func contains(xs []program.BlockID, x program.BlockID) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// isServiceEntry is a test helper: whether bid is a request entry block.
+func (a *App) isServiceEntry(bid program.BlockID) bool {
+	for _, e := range a.serviceEntries {
+		if e == bid {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTraceMinLengthHonored(t *testing.T) {
+	app, _ := Build(tinyModel())
+	for _, n := range []int{1, 100, 5000} {
+		tr := app.Trace(0, n)
+		if len(tr) < n {
+			t.Fatalf("Trace(%d) returned %d blocks", n, len(tr))
+		}
+	}
+}
+
+func TestInputsDifferButOverlap(t *testing.T) {
+	app, _ := Build(tinyModel())
+	t0 := app.Trace(0, 10000)
+	t1 := app.Trace(1, 10000)
+	// Different inputs must produce different traces...
+	diff := false
+	for i := 0; i < min(len(t0), len(t1)); i++ {
+		if t0[i] != t1[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("inputs 0 and 1 produced identical traces")
+	}
+	// ...but over substantially overlapping code (cross-input profiles
+	// must remain useful, Fig. 13).
+	s0 := blockSet(t0)
+	s1 := blockSet(t1)
+	inter := 0
+	for b := range s1 {
+		if s0[b] {
+			inter++
+		}
+	}
+	if frac := float64(inter) / float64(len(s1)); frac < 0.5 {
+		t.Fatalf("only %.0f%% of input-1 blocks appear in input-0", frac*100)
+	}
+}
+
+func blockSet(tr []program.BlockID) map[program.BlockID]bool {
+	s := make(map[program.BlockID]bool)
+	for _, b := range tr {
+		s[b] = true
+	}
+	return s
+}
+
+func TestInputDeterminism(t *testing.T) {
+	app, _ := Build(tinyModel())
+	a := app.Trace(2, 3000)
+	b := app.Trace(2, 3000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("input-2 traces diverge at %d", i)
+		}
+	}
+}
+
+func TestJITFractionMarksBlocks(t *testing.T) {
+	m := tinyModel()
+	m.JITFraction = 0.5
+	m.Funcs = 120
+	app, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jit := 0
+	for i := range app.Prog.Blocks {
+		if app.Prog.Blocks[i].JIT {
+			jit++
+		}
+	}
+	frac := float64(jit) / float64(app.Prog.NumBlocks())
+	if frac < 0.2 || frac > 0.7 {
+		t.Fatalf("JIT block fraction %.2f, want roughly half of the middle functions", frac)
+	}
+	// Service entries are never JIT.
+	for _, e := range app.serviceEntries {
+		if app.Prog.Block(e).JIT {
+			t.Fatal("service entry marked JIT")
+		}
+	}
+}
+
+func TestCheckModelRejections(t *testing.T) {
+	bad := func(mut func(*Model)) Model {
+		m := tinyModel()
+		mut(&m)
+		return m
+	}
+	cases := []Model{
+		bad(func(m *Model) { m.Name = "" }),
+		bad(func(m *Model) { m.ServiceFuncs = 0 }),
+		bad(func(m *Model) { m.Funcs = 5 }), // fewer than service+utility
+		bad(func(m *Model) { m.Levels = 1 }),
+		bad(func(m *Model) { m.BlocksMin = 1 }),
+		bad(func(m *Model) { m.BlockBytesMax = m.BlockBytesMin - 1 }),
+		bad(func(m *Model) { m.PCond = 0.9; m.PCall = 0.5 }),
+	}
+	for i, m := range cases {
+		if _, err := Build(m); err == nil {
+			t.Fatalf("case %d: invalid model accepted", i)
+		}
+	}
+}
+
+func TestNegativeInputPanics(t *testing.T) {
+	app, _ := Build(tinyModel())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative input did not panic")
+		}
+	}()
+	app.Trace(-1, 10)
+}
+
+func TestKernelUtilitiesMarked(t *testing.T) {
+	m := tinyModel()
+	m.KernelUtilities = 2
+	app, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernelFuncs := 0
+	for fi := range app.Prog.Funcs {
+		f := &app.Prog.Funcs[fi]
+		anyKernel := false
+		for _, b := range f.Blocks {
+			if app.Prog.Block(b).Kernel {
+				anyKernel = true
+			}
+		}
+		if anyKernel {
+			kernelFuncs++
+			// Whole function is kernel, not just some blocks.
+			for _, b := range f.Blocks {
+				if !app.Prog.Block(b).Kernel {
+					t.Fatalf("func %s partially kernel", f.Name)
+				}
+			}
+		}
+	}
+	if kernelFuncs != 2 {
+		t.Fatalf("%d kernel functions, want 2", kernelFuncs)
+	}
+}
+
+func TestBurstsRepeatServices(t *testing.T) {
+	m := tinyModel()
+	m.RequestsPerBurst = 4
+	app, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := app.Trace(0, 30_000)
+	bounds := app.RequestBoundaries(tr)
+	if len(bounds) < 20 {
+		t.Fatalf("only %d requests in 30k blocks", len(bounds))
+	}
+	same := 0
+	for i := 1; i < len(bounds); i++ {
+		if tr[bounds[i]] == tr[bounds[i-1]] {
+			same++
+		}
+	}
+	// With bursts of 4, at least ~60% of consecutive requests share a
+	// service (3 of every 4 transitions stay within a burst).
+	if frac := float64(same) / float64(len(bounds)-1); frac < 0.5 {
+		t.Fatalf("burst locality %.2f, want >= 0.5", frac)
+	}
+
+	// Without bursts, consecutive repeats should be much rarer (Zipf can
+	// still repeat the hottest service).
+	m2 := tinyModel()
+	m2.RequestsPerBurst = 1
+	app2, _ := Build(m2)
+	tr2 := app2.Trace(0, 30_000)
+	b2 := app2.RequestBoundaries(tr2)
+	same2 := 0
+	for i := 1; i < len(b2); i++ {
+		if tr2[b2[i]] == tr2[b2[i-1]] {
+			same2++
+		}
+	}
+	if float64(same2)/float64(len(b2)-1) >= float64(same)/float64(len(bounds)-1) {
+		t.Fatal("burst=1 shows no less locality than burst=4")
+	}
+}
+
+func TestRequestBoundariesStartAtZero(t *testing.T) {
+	app, _ := Build(tinyModel())
+	tr := app.Trace(0, 1000)
+	bounds := app.RequestBoundaries(tr)
+	if len(bounds) == 0 || bounds[0] != 0 {
+		t.Fatalf("boundaries = %v", bounds[:min(len(bounds), 3)])
+	}
+}
+
+func TestPhasesShiftHotSet(t *testing.T) {
+	m := tinyModel()
+	m.PhaseRequests = 50
+	m.ZipfRequest = 1.5 // strong skew so the hot set is distinct per phase
+	app, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := app.Trace(0, 40_000)
+	// Compare the hot-block distributions of the first and last quarters:
+	// with phase rotation, the most-executed service blocks must differ.
+	q := len(tr) / 4
+	top := func(seg []program.BlockID) program.BlockID {
+		counts := map[program.BlockID]int{}
+		for _, b := range seg {
+			if app.isServiceEntry(b) {
+				counts[b]++
+			}
+		}
+		var best program.BlockID
+		bestN := -1
+		for b, n := range counts {
+			if n > bestN {
+				best, bestN = b, n
+			}
+		}
+		return best
+	}
+	if top(tr[:q]) == top(tr[3*q:]) {
+		t.Fatal("phase rotation left the hottest service unchanged across the trace")
+	}
+
+	// Without phases, determinism check: the single hot service persists.
+	m2 := tinyModel()
+	m2.ZipfRequest = 1.5
+	app2, _ := Build(m2)
+	tr2 := app2.Trace(0, 40_000)
+	if top(tr2[:q]) != top(tr2[3*q:]) {
+		t.Fatal("phase-less trace shifted its hot service")
+	}
+}
+
+func TestBuildWithoutUtilitiesTerminates(t *testing.T) {
+	m := tinyModel()
+	m.UtilityFuncs = 0
+	m.Funcs = 12
+	m.Levels = 5 // sparse middle levels: callee search must not spin
+	app, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_ = app.Trace(0, 500)
+}

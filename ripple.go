@@ -1,0 +1,241 @@
+// Package ripple is the public API of the Ripple reproduction: a
+// profile-guided instruction-cache replacement toolkit (Khan et al.,
+// ISCA 2021) together with every substrate it needs — synthetic
+// data-center workloads, an Intel-PT-like control-flow trace codec, a
+// branch-predicted frontend with instruction prefetchers, a three-level
+// instruction cache hierarchy with pluggable replacement policies, and
+// offline Belady/Demand-MIN oracles.
+//
+// The pipeline, end to end:
+//
+//	app, _ := ripple.BuildWorkload(ripple.MustWorkload("finagle-http"))
+//	profile := app.Trace(0, 600_000)                    // PT-style profile
+//	out, _ := ripple.Optimize(app.Prog, profile,        // analyze+tune+inject
+//	    ripple.DefaultAnalysisConfig(),
+//	    ripple.TuneConfig{Params: ripple.DefaultParams(), Policy: "lru", Prefetcher: "fdip"})
+//	fmt.Println(out.Tune.BestPoint().SpeedupPct)        // % IPC gain over LRU
+//
+// Everything is deterministic: identical seeds produce identical programs,
+// traces, analyses, and simulation results.
+package ripple
+
+import (
+	"io"
+
+	"ripple/internal/cache"
+	"ripple/internal/core"
+	"ripple/internal/frontend"
+	"ripple/internal/layout"
+	"ripple/internal/lbr"
+	"ripple/internal/opt"
+	"ripple/internal/prefetch"
+	"ripple/internal/program"
+	"ripple/internal/replacement"
+	"ripple/internal/trace"
+	"ripple/internal/workload"
+)
+
+// Re-exported types. Each alias is the canonical definition; see the
+// internal package docs for details.
+type (
+	// Program is a static application image: functions, basic blocks,
+	// layout.
+	Program = program.Program
+	// BlockID identifies a basic block; traces are []BlockID.
+	BlockID = program.BlockID
+	// Builder assembles custom Programs block by block.
+	Builder = program.Builder
+
+	// Model parameterizes a synthetic data-center application.
+	Model = workload.Model
+	// App is a built application: program plus dynamic behavior.
+	App = workload.App
+
+	// Params is the simulated machine configuration (Table II).
+	Params = frontend.Params
+	// Options configures one simulation run.
+	Options = frontend.Options
+	// Result carries a run's measurements (IPC, MPKI, coverage, ...).
+	Result = frontend.Result
+	// HintMode selects invalidate vs. demote execution of hints.
+	HintMode = frontend.HintMode
+
+	// CacheConfig sizes a cache level.
+	CacheConfig = cache.Config
+	// Policy is the replacement-policy interface; implement it to plug a
+	// custom policy into the L1I (Ripple is policy-agnostic).
+	Policy = cache.Policy
+	// AccessInfo is the metadata a Policy observes per access.
+	AccessInfo = cache.AccessInfo
+	// Prefetcher is the instruction-prefetch interface.
+	Prefetcher = prefetch.Prefetcher
+
+	// Analysis is Ripple's eviction analysis over a profile.
+	Analysis = core.Analysis
+	// AnalysisConfig controls the analysis (target L1I, window cap).
+	AnalysisConfig = core.AnalysisConfig
+	// Plan is a link-time injection plan (cue block -> victim lines).
+	Plan = core.Plan
+	// TuneConfig describes the configuration a plan is tuned for.
+	TuneConfig = core.TuneConfig
+	// TuneResult is a threshold sweep's outcome.
+	TuneResult = core.TuneResult
+	// Outcome bundles the full pipeline result.
+	Outcome = core.Outcome
+
+	// TraceStats reports a PT encode's density.
+	TraceStats = trace.Stats
+
+	// AccessEvent is one recorded cache-line access (demand or prefetch);
+	// Result.Stream holds these when Options.RecordStream is set.
+	AccessEvent = opt.Event
+
+	// LBRConfig parameterizes LBR-style profile sampling.
+	LBRConfig = lbr.Config
+	// LBRProfile is a sampled (fragment-based) profile.
+	LBRProfile = lbr.Profile
+)
+
+// Hint execution modes.
+const (
+	// HintInvalidate drops victims from the L1I (cldemote-like).
+	HintInvalidate = frontend.HintInvalidate
+	// HintDemote moves victims to the LRU tail instead (Sec. IV variant).
+	HintDemote = frontend.HintDemote
+)
+
+// DefaultParams returns the paper's Table II machine: 32KiB/8-way L1I,
+// 1MiB L2, 10MiB L3, 64B lines, 3/12/36/260-cycle latencies.
+func DefaultParams() Params { return frontend.DefaultParams() }
+
+// DefaultAnalysisConfig analyzes against the Table II L1I.
+func DefaultAnalysisConfig() AnalysisConfig { return core.DefaultAnalysisConfig() }
+
+// Workloads returns the models of the paper's nine applications.
+func Workloads() []Model { return workload.Catalog() }
+
+// WorkloadNames lists the nine application names in figure order.
+func WorkloadNames() []string { return workload.Names() }
+
+// Workload returns the catalog model with the given name.
+func Workload(name string) (Model, bool) { return workload.ByName(name) }
+
+// MustWorkload returns a catalog model or panics on an unknown name; for
+// examples and tests.
+func MustWorkload(name string) Model {
+	m, ok := workload.ByName(name)
+	if !ok {
+		panic("ripple: unknown workload " + name)
+	}
+	return m
+}
+
+// BuildWorkload constructs an application from a model (deterministic in
+// the model's seed).
+func BuildWorkload(m Model) (*App, error) { return workload.Build(m) }
+
+// NewPolicy builds a replacement policy by name: lru, random, srrip,
+// drrip, ghrp, ghrp-orig, hawkeye, harmony.
+func NewPolicy(name string) (Policy, error) { return replacement.New(name) }
+
+// PolicyNames lists the available replacement policies.
+func PolicyNames() []string { return replacement.Names() }
+
+// NewPrefetcher builds a prefetcher by name (none, nlp, fdip) for a
+// program.
+func NewPrefetcher(name string, prog *Program) (Prefetcher, error) {
+	return prefetch.New(name, prog)
+}
+
+// PrefetcherNames lists the available prefetchers.
+func PrefetcherNames() []string { return prefetch.Names() }
+
+// Simulate drives a basic-block trace through the configured frontend and
+// returns its measurements.
+func Simulate(p Params, prog *Program, tr []BlockID, opts Options) (Result, error) {
+	return frontend.Run(p, prog, tr, opts)
+}
+
+// Speedup returns the percentage speedup of r over baseline.
+func Speedup(baseline, r Result) float64 { return frontend.Speedup(baseline, r) }
+
+// Analyze replays the ideal replacement policy over a profiled trace and
+// computes Ripple's eviction windows and cue-block probabilities.
+func Analyze(prog *Program, tr []BlockID, cfg AnalysisConfig) (*Analysis, error) {
+	return core.Analyze(prog, tr, cfg)
+}
+
+// Tune sweeps the invalidation threshold and returns the best plan for the
+// configured policy and prefetcher.
+func Tune(a *Analysis, tr []BlockID, cfg TuneConfig) (*TuneResult, error) {
+	return core.Tune(a, tr, cfg)
+}
+
+// RunPlan simulates a (possibly nil) plan applied to prog over the trace.
+func RunPlan(prog *Program, tr []BlockID, cfg TuneConfig, plan *Plan) (Result, error) {
+	return core.RunPlan(prog, tr, cfg, plan)
+}
+
+// Optimize runs the whole Ripple pipeline: analysis, tuning, injection.
+func Optimize(prog *Program, tr []BlockID, acfg AnalysisConfig, tcfg TuneConfig) (*Outcome, error) {
+	return core.Optimize(prog, tr, acfg, tcfg)
+}
+
+// DynamicOverheadPct returns the share of a run's dynamic instructions
+// spent on injected hints (Fig. 12).
+func DynamicOverheadPct(r Result) float64 { return core.DynamicOverheadPct(r) }
+
+// EncodeTrace writes a basic-block trace as a PT-like packet stream.
+func EncodeTrace(w io.Writer, prog *Program, tr []BlockID) (TraceStats, error) {
+	return trace.Encode(w, prog, tr)
+}
+
+// DecodeTrace reconstructs a basic-block trace from a packet stream.
+func DecodeTrace(r io.Reader, prog *Program) ([]BlockID, error) {
+	return trace.Decode(r, prog)
+}
+
+// IdealMisses replays the prefetch-aware ideal replacement policy
+// (Demand-MIN) over a recorded access stream (Options.RecordStream) and
+// returns the demand misses an ideal cache replacement would incur.
+func IdealMisses(stream []AccessEvent, l1i CacheConfig) uint64 {
+	return opt.Simulate(stream, l1i, opt.ModeDemandMIN, false).DemandMisses
+}
+
+// AnalyzeMulti analyzes several independent profiles together (merged
+// multi-input profiles, or the fragments of an LBR-style sampler).
+func AnalyzeMulti(prog *Program, traces [][]BlockID, cfg AnalysisConfig) (*Analysis, error) {
+	return core.AnalyzeMulti(prog, traces, cfg)
+}
+
+// SampleLBR acquires an LBR-style sampled profile from a ground-truth
+// trace: short control-flow fragments captured at a jittered interval,
+// the way perf/AutoFDO profile production services. Feed the fragments to
+// AnalyzeMulti to compare profile sources (the `lbr` experiment).
+func SampleLBR(trace []BlockID, cfg LBRConfig) (*LBRProfile, error) {
+	return lbr.Sample(trace, cfg)
+}
+
+// LayoutProfile aggregates the dynamic counts the code-layout optimizer
+// consumes.
+type LayoutProfile = layout.Profile
+
+// LayoutOptions selects code-layout transformations.
+type LayoutOptions = layout.Options
+
+// DefaultLayoutOptions enables C3 function clustering and hot/cold block
+// reordering.
+func DefaultLayoutOptions() LayoutOptions { return layout.DefaultOptions() }
+
+// ProfileLayout builds a code-layout profile from an executed trace.
+func ProfileLayout(prog *Program, tr []BlockID) *LayoutProfile {
+	return layout.ProfileFromTrace(prog, tr)
+}
+
+// OptimizeLayout applies BOLT/C3-style profile-guided code layout: hot
+// blocks pack first within functions and call chains cluster in the text
+// order. IDs are stable, so the same trace (and Ripple's pipeline) can run
+// on the optimized image.
+func OptimizeLayout(prog *Program, prof *LayoutProfile, opts LayoutOptions) (*Program, error) {
+	return layout.Optimize(prog, prof, opts)
+}

@@ -1,0 +1,220 @@
+package ripple_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ripple"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline integration test")
+	}
+	app, err := ripple.BuildWorkload(ripple.MustWorkload("finagle-http"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := app.Trace(0, 420_000)
+
+	tcfg := ripple.TuneConfig{
+		Params:       ripple.DefaultParams(),
+		Policy:       "lru",
+		Prefetcher:   "none",
+		Thresholds:   []float64{0.45, 0.55, 0.65, 0.75, 0.85, 0.95},
+		WarmupBlocks: 140_000,
+	}
+	out, err := ripple.Optimize(app.Prog, profile, ripple.DefaultAnalysisConfig(), tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := out.Tune.BestPoint()
+	if best.SpeedupPct <= 0 {
+		t.Fatalf("tuned Ripple-LRU not faster than LRU: %+.2f%%", best.SpeedupPct)
+	}
+	if out.StaticOverheadPct <= 0 || out.StaticOverheadPct > 5 {
+		t.Fatalf("static overhead %.2f%% outside the paper's envelope", out.StaticOverheadPct)
+	}
+
+	// Re-evaluate the winner with full instrumentation.
+	tcfg.MeasureAccuracy = true
+	res, err := ripple.RunPlan(app.Prog, profile, tcfg, out.Tune.BestPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() <= 0 {
+		t.Fatal("no replacement coverage")
+	}
+	if res.MPKI() >= out.Tune.Baseline.MPKI() {
+		t.Fatalf("no miss reduction: %.2f vs %.2f", res.MPKI(), out.Tune.Baseline.MPKI())
+	}
+	if ov := ripple.DynamicOverheadPct(res); ov <= 0 || ov > 11 {
+		t.Fatalf("dynamic overhead %.2f%% outside the paper's envelope", ov)
+	}
+	if acc := res.HintAccuracy(); acc < 0.3 || acc > 1 {
+		t.Fatalf("hint accuracy %.2f implausible", acc)
+	}
+}
+
+func TestPublicTraceCodec(t *testing.T) {
+	app, err := ripple.BuildWorkload(ripple.MustWorkload("kafka"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := app.Trace(0, 5_000)
+	var buf bytes.Buffer
+	stats, err := ripple.EncodeTrace(&buf, app.Prog, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Blocks != uint64(len(tr)) {
+		t.Fatalf("encoded %d of %d blocks", stats.Blocks, len(tr))
+	}
+	got, err := ripple.DecodeTrace(&buf, app.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Fatalf("codec roundtrip diverged at %d", i)
+		}
+	}
+}
+
+func TestPublicIdealMisses(t *testing.T) {
+	app, err := ripple.BuildWorkload(ripple.MustWorkload("tomcat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := app.Trace(0, 60_000)
+	params := ripple.DefaultParams()
+	pol, err := ripple.NewPolicy("lru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ripple.Simulate(params, app.Prog, tr, ripple.Options{
+		Policy:       pol,
+		RecordStream: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := ripple.IdealMisses(res.Stream, params.L1I)
+	if ideal > res.L1I.DemandMisses {
+		t.Fatalf("ideal misses %d exceed LRU misses %d", ideal, res.L1I.DemandMisses)
+	}
+	if ideal == 0 {
+		t.Fatal("suspiciously perfect ideal cache")
+	}
+}
+
+func TestPolicyAndPrefetcherRegistries(t *testing.T) {
+	app, _ := ripple.BuildWorkload(ripple.MustWorkload("cassandra"))
+	for _, name := range ripple.PolicyNames() {
+		if _, err := ripple.NewPolicy(name); err != nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+	}
+	for _, name := range ripple.PrefetcherNames() {
+		if _, err := ripple.NewPrefetcher(name, app.Prog); err != nil {
+			t.Fatalf("NewPrefetcher(%q): %v", name, err)
+		}
+	}
+	if len(ripple.WorkloadNames()) != 9 {
+		t.Fatalf("workload catalog has %d entries", len(ripple.WorkloadNames()))
+	}
+}
+
+func TestMustWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustWorkload did not panic on unknown name")
+		}
+	}()
+	ripple.MustWorkload("unknown-app")
+}
+
+func TestPublicLayoutAPI(t *testing.T) {
+	app, err := ripple.BuildWorkload(ripple.MustWorkload("verilator"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := app.Trace(0, 50_000)
+	prof := ripple.ProfileLayout(app.Prog, tr)
+	opt, err := ripple.OptimizeLayout(app.Prog, prof, ripple.DefaultLayoutOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.NumBlocks() != app.Prog.NumBlocks() {
+		t.Fatal("layout changed the program structure")
+	}
+	// The same trace simulates on both images.
+	params := ripple.DefaultParams()
+	pol, _ := ripple.NewPolicy("lru")
+	if _, err := ripple.Simulate(params, opt, tr, ripple.Options{Policy: pol}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicLBRAPI(t *testing.T) {
+	app, err := ripple.BuildWorkload(ripple.MustWorkload("kafka"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := app.Trace(0, 30_000)
+	prof, err := ripple.SampleLBR(tr, ripple.LBRConfig{Interval: 1000, Depth: 512, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Fragments) == 0 {
+		t.Fatal("no fragments")
+	}
+	a, err := ripple.AnalyzeMulti(app.Prog, prof.Fragments, ripple.DefaultAnalysisConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceBlocks != prof.SampledBlocks {
+		t.Fatalf("analysis saw %d blocks, profile sampled %d", a.TraceBlocks, prof.SampledBlocks)
+	}
+}
+
+func TestWorkloadLookup(t *testing.T) {
+	if _, ok := ripple.Workload("drupal"); !ok {
+		t.Fatal("drupal missing")
+	}
+	if _, ok := ripple.Workload("nope"); ok {
+		t.Fatal("unknown workload found")
+	}
+}
+
+// TestSeedRobustness guards against the headline result being a seed
+// artifact: regenerating finagle-http with different seeds, tuned Ripple
+// must still beat LRU.
+func TestSeedRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full pipelines")
+	}
+	base := ripple.MustWorkload("finagle-http")
+	for _, seed := range []uint64{base.Seed, 0xDEAD01, 0xBEEF02} {
+		m := base
+		m.Seed = seed
+		app, err := ripple.BuildWorkload(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profile := app.Trace(0, 420_000)
+		out, err := ripple.Optimize(app.Prog, profile, ripple.DefaultAnalysisConfig(), ripple.TuneConfig{
+			Params:       ripple.DefaultParams(),
+			Policy:       "lru",
+			Prefetcher:   "none",
+			Thresholds:   []float64{0.45, 0.55, 0.65, 0.85},
+			WarmupBlocks: 140_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp := out.Tune.BestPoint().SpeedupPct; sp <= 0 {
+			t.Errorf("seed %#x: tuned ripple not faster than LRU (%.2f%%)", seed, sp)
+		}
+	}
+}
