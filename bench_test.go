@@ -73,6 +73,32 @@ func BenchmarkWindowCap(b *testing.B)  { benchExperiment(b, "windowcap") }
 func BenchmarkHintCost(b *testing.B)   { benchExperiment(b, "hintcost") }
 func BenchmarkPhases(b *testing.B)     { benchExperiment(b, "phases") }
 
+// --- parallel runner benchmarks ---
+
+// benchSuiteRun measures a full fresh-suite computation of fig3 (three
+// applications, six policies each — 18 independent simulations) at a given
+// worker count. A fresh suite per iteration keeps the in-process cache
+// cold, so this measures real simulation throughput, serial vs parallel.
+func benchSuiteRun(b *testing.B, workers int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := experiment.New(experiment.Config{
+			Apps:         []string{"finagle-http", "kafka", "verilator"},
+			TraceBlocks:  60_000,
+			WarmupBlocks: 20_000,
+			Thresholds:   []float64{0.55, 0.95},
+			Workers:      workers,
+			Log:          nil,
+		})
+		if _, err := s.Tables("fig3"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuiteSerial(b *testing.B)    { benchSuiteRun(b, 1) }
+func BenchmarkSuiteParallel4(b *testing.B) { benchSuiteRun(b, 4) }
+
 // --- substrate micro-benchmarks ---
 
 func benchApp(b *testing.B) *ripple.App {

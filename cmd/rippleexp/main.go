@@ -2,11 +2,20 @@
 // table and figure has an experiment ID (see -list), and `rippleexp -run
 // all` regenerates the whole evaluation section.
 //
+// Simulations fan out across a worker pool (-j, default GOMAXPROCS);
+// results are deterministic for any worker count. With -cachedir the
+// results are also persisted content-addressed on disk, so a repeated or
+// partially-overlapping invocation only simulates what changed; -cache=off
+// disables the persistent store even when -cachedir is set (the in-process
+// cache always remains).
+//
 // Usage:
 //
 //	rippleexp -list
 //	rippleexp -run fig7
 //	rippleexp -run all -blocks 600000 -apps finagle-http,verilator
+//	rippleexp -run all -j 8 -cachedir ~/.cache/rippleexp
+//	rippleexp -run fig7 -cachedir ~/.cache/rippleexp -cache=off
 package main
 
 import (
@@ -25,6 +34,9 @@ func main() {
 	blocks := flag.Int("blocks", 0, "trace length in basic blocks (default 600000)")
 	warmup := flag.Int("warmup", 0, "warmup blocks excluded from measurement (default blocks/3)")
 	apps := flag.String("apps", "", "comma-separated application subset (default: all nine)")
+	workers := flag.Int("j", 0, "number of parallel simulation workers (default GOMAXPROCS)")
+	cachedir := flag.String("cachedir", "", "directory for the persistent result store (default: no persistence)")
+	cacheMode := flag.String("cache", "on", "result store mode: on or off (off ignores -cachedir)")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	flag.Parse()
 
@@ -40,12 +52,28 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *cacheMode != "on" && *cacheMode != "off" {
+		fmt.Fprintln(os.Stderr, "rippleexp: -cache must be 'on' or 'off'")
+		os.Exit(2)
+	}
 
-	cfg := experiment.DefaultConfig()
-	cfg.TraceBlocks = *blocks
-	cfg.WarmupBlocks = *warmup
+	// Leave unset fields zero: experiment.New centralizes the defaults.
+	// Only flags the user actually passed override the config, so e.g.
+	// `-apps x` does not silently reset the trace length.
+	cfg := experiment.Config{Log: os.Stderr, Workers: *workers}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "blocks":
+			cfg.TraceBlocks = *blocks
+		case "warmup":
+			cfg.WarmupBlocks = *warmup
+		}
+	})
 	if *apps != "" {
 		cfg.Apps = strings.Split(*apps, ",")
+	}
+	if *cacheMode == "on" {
+		cfg.CacheDir = *cachedir
 	}
 	if *quiet {
 		cfg.Log = nil

@@ -3,13 +3,24 @@
 // Ripple injection plan applied, and reports the paper's metrics: IPC,
 // MPKI, coverage, accuracy, and instruction overheads.
 //
+// Comma-separated -policy/-prefetcher values sweep the cross product: the
+// configurations simulate in parallel across -j workers and print one
+// summary line each, in argument order. With -cachedir, sweep results
+// persist in a content-addressed store keyed by the input file contents
+// and the full configuration, so repeated sweeps only simulate what
+// changed.
+//
 // Usage:
 //
 //	ripplesim -prog /tmp/fh.prog -pt /tmp/fh.pt -policy lru -prefetcher fdip
 //	ripplesim -prog /tmp/fh.prog -pt /tmp/fh.pt -plan /tmp/fh.plan -accuracy
+//	ripplesim -prog /tmp/fh.prog -pt /tmp/fh.pt -policy lru,srrip,drrip -prefetcher none,fdip -j 4 -cachedir /tmp/simcache
 package main
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,6 +32,7 @@ import (
 	"ripple/internal/prefetch"
 	"ripple/internal/program"
 	"ripple/internal/replacement"
+	"ripple/internal/runner"
 	"ripple/internal/trace"
 )
 
@@ -29,15 +41,26 @@ func main() {
 	ptPath := flag.String("pt", "", "PT trace from ripplegen (required)")
 	traceProgPath := flag.String("trace-prog", "", "program image the trace was recorded against, when -prog is a rewritten image (default: -prog)")
 	planPath := flag.String("plan", "", "optional injection plan from rippleanalyze")
-	policy := flag.String("policy", "lru", "replacement policy ("+strings.Join(replacement.Names(), ", ")+")")
-	prefetcher := flag.String("prefetcher", "fdip", "prefetcher ("+strings.Join(prefetch.Names(), ", ")+")")
+	policy := flag.String("policy", "lru", "replacement policy, or comma-separated list to sweep ("+strings.Join(replacement.Names(), ", ")+")")
+	prefetcher := flag.String("prefetcher", "fdip", "prefetcher, or comma-separated list to sweep ("+strings.Join(prefetch.Names(), ", ")+")")
 	warmup := flag.Int("warmup", 0, "warmup blocks excluded from measurement")
 	accuracy := flag.Bool("accuracy", false, "score replacement decisions against the Belady oracle")
 	demote := flag.Bool("demote", false, "execute hints as LRU demotions instead of invalidations")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the report")
+	workers := flag.Int("j", 0, "parallel workers for sweep mode (default GOMAXPROCS)")
+	cachedir := flag.String("cachedir", "", "persistent result store for sweep mode (default: none)")
 	flag.Parse()
 
-	if err := run(*progPath, *traceProgPath, *ptPath, *planPath, *policy, *prefetcher, *warmup, *accuracy, *demote, *jsonOut); err != nil {
+	policies := strings.Split(*policy, ",")
+	prefetchers := strings.Split(*prefetcher, ",")
+	var err error
+	if len(policies) > 1 || len(prefetchers) > 1 {
+		err = sweep(*progPath, *traceProgPath, *ptPath, *planPath, policies, prefetchers,
+			*warmup, *accuracy, *demote, *jsonOut, *workers, *cachedir)
+	} else {
+		err = run(*progPath, *traceProgPath, *ptPath, *planPath, *policy, *prefetcher, *warmup, *accuracy, *demote, *jsonOut)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ripplesim:", err)
 		os.Exit(1)
 	}
@@ -119,10 +142,143 @@ func run(progPath, traceProgPath, ptPath, planPath, policy, prefetcher string, w
 	return nil
 }
 
+// sweep simulates every policy × prefetcher combination in parallel and
+// prints one summary line per configuration, in argument order. Results
+// are deterministic regardless of worker count; with a cache directory
+// they are keyed by the SHA-256 of the input files plus the full
+// configuration, so editing the trace or plan invalidates exactly the
+// affected entries.
+func sweep(progPath, traceProgPath, ptPath, planPath string, policies, prefetchers []string,
+	warmup int, accuracy, demote, jsonOut bool, workers int, cachedir string) error {
+	if progPath == "" || ptPath == "" {
+		return fmt.Errorf("-prog and -pt are required")
+	}
+	if traceProgPath == "" {
+		traceProgPath = progPath
+	}
+	prog, tr, err := load(progPath, traceProgPath, ptPath)
+	if err != nil {
+		return err
+	}
+	planHash := "none"
+	if planPath != "" {
+		f, err := os.Open(planPath)
+		if err != nil {
+			return err
+		}
+		plan, err := core.LoadPlan(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		prog = plan.Apply(prog)
+		if h, err := fileHash(planPath); err == nil {
+			planHash = h
+		}
+	}
+	progHash, err := fileHash(progPath)
+	if err != nil {
+		return err
+	}
+	ptHash, err := fileHash(ptPath)
+	if err != nil {
+		return err
+	}
+	params := frontend.DefaultParams()
+	base := fmt.Sprintf("rsim1|prog=%s|pt=%s|plan=%s|params=%+v|warmup=%d|acc=%t|demote=%t",
+		progHash, ptHash, planHash, params, warmup, accuracy, demote)
+
+	var store *runner.Store
+	if cachedir != "" {
+		if store, err = runner.OpenStore(cachedir); err != nil {
+			return err
+		}
+	}
+	pool := runner.New(runner.Options{Workers: workers, Store: store, Log: os.Stderr})
+	hints := frontend.HintInvalidate
+	if demote {
+		hints = frontend.HintDemote
+	}
+	job := func(pol, pf string) runner.Job {
+		sig := fmt.Sprintf("%s|pol=%s|pf=%s", base, pol, pf)
+		return runner.NewJob(sig, pol+"/"+pf, float64(len(tr)),
+			func(context.Context) (*frontend.Result, error) {
+				p, err := replacement.New(pol)
+				if err != nil {
+					return nil, err
+				}
+				pre, err := prefetch.New(pf, prog)
+				if err != nil {
+					return nil, err
+				}
+				r, err := frontend.Run(params, prog, tr, frontend.Options{
+					Policy:          p,
+					Prefetcher:      pre,
+					Hints:           hints,
+					MeasureAccuracy: accuracy,
+					WarmupBlocks:    warmup,
+				})
+				if err != nil {
+					return nil, err
+				}
+				return &r, nil
+			})
+	}
+	var jobs []runner.Job
+	for _, pol := range policies {
+		for _, pf := range prefetchers {
+			jobs = append(jobs, job(pol, pf))
+		}
+	}
+	ctx := context.Background()
+	if err := pool.RunAll(ctx, jobs); err != nil {
+		return err
+	}
+	var out []map[string]interface{}
+	for _, pol := range policies {
+		for _, pf := range prefetchers {
+			v, err := pool.Do(ctx, job(pol, pf))
+			if err != nil {
+				return err
+			}
+			res := *(v.(*frontend.Result))
+			if jsonOut {
+				out = append(out, resultJSON(res))
+				continue
+			}
+			fmt.Printf("%-10s %-10s IPC %.3f  MPKI %6.2f  cycles %d\n",
+				pol, pf, res.IPC(), res.MPKI(), res.Cycles)
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	return nil
+}
+
+// fileHash returns the SHA-256 hex of a file's contents.
+func fileHash(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.Sum256(data)
+	return hex.EncodeToString(h[:]), nil
+}
+
 // emitJSON writes the run's metrics as a single JSON object, for scripted
 // consumers (dashboards, regression checks).
 func emitJSON(res frontend.Result) error {
-	out := map[string]interface{}{
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(resultJSON(res))
+}
+
+// resultJSON flattens a result into the JSON schema emitJSON documents.
+func resultJSON(res frontend.Result) map[string]interface{} {
+	return map[string]interface{}{
 		"program":           res.Program,
 		"policy":            res.Policy,
 		"prefetcher":        res.Prefetcher,
@@ -144,9 +300,6 @@ func emitJSON(res frontend.Result) error {
 		"dynamic_overhead":  core.DynamicOverheadPct(res),
 		"branch_mpki":       res.BranchMPKI,
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
 }
 
 // load reads the simulation image and decodes the trace against the image

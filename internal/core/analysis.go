@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ripple/internal/cache"
 	"ripple/internal/frontend"
@@ -71,8 +72,11 @@ type Analysis struct {
 	// number of distinct eviction windows of that line containing the
 	// block.
 	pairWindows map[pairKey]uint32
-	// cues caches the per-window cue selection (threshold-independent).
-	cues []CueChoice
+	// cues caches the per-window cue selection (threshold-independent);
+	// cueOnce makes the lazy computation safe when one Analysis is shared
+	// by concurrent PlanAt callers (the parallel experiment runner).
+	cues    []CueChoice
+	cueOnce sync.Once
 	// mark/markGen implement O(1) per-window candidate deduplication.
 	mark    []uint32
 	markGen uint32
@@ -198,9 +202,11 @@ type CueChoice struct {
 // invalidation threshold, so it is computed once and cached; PlanAt then
 // filters it per threshold.
 func (a *Analysis) selectCues() []CueChoice {
-	if a.cues != nil {
-		return a.cues
-	}
+	a.cueOnce.Do(a.computeCues)
+	return a.cues
+}
+
+func (a *Analysis) computeCues() {
 	choices := make([]CueChoice, 0, len(a.windows))
 	for _, w := range a.windows {
 		a.markGen++
@@ -222,7 +228,6 @@ func (a *Analysis) selectCues() []CueChoice {
 		}
 	}
 	a.cues = choices
-	return choices
 }
 
 // Candidates returns the candidate cue blocks of the given victim line

@@ -2,6 +2,8 @@ package experiment
 
 import (
 	"bytes"
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -440,6 +442,141 @@ func TestDemoteAndGranularityOnSmallSuite(t *testing.T) {
 	}
 	if len(gran.Rows()) != 1 {
 		t.Fatalf("granularity rows = %v", gran.Rows())
+	}
+}
+
+// TestParallelMatchesSerial is the determinism contract of the runner
+// rewiring: the rendered output of a suite at -j 8 must be byte-identical
+// to the same suite at -j 1.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the suite twice")
+	}
+	render := func(workers int) string {
+		s := New(Config{
+			Apps:         []string{"finagle-http", "kafka"},
+			TraceBlocks:  30_000,
+			WarmupBlocks: 10_000,
+			Thresholds:   []float64{0.55, 0.95},
+			Workers:      workers,
+			Log:          nil,
+		})
+		var buf bytes.Buffer
+		// fig8 exercises the ripple pipeline under the Random policy, where
+		// concurrent PlanAt calls once raced on the shared per-app Analysis.
+		for _, id := range []string{"fig2", "fig8", "demote"} {
+			if err := s.Run(id, &buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.String()
+	}
+	serial, parallel := render(1), render(8)
+	if serial != parallel {
+		t.Fatalf("parallel output diverges from serial:\n--- j=1\n%s\n--- j=8\n%s", serial, parallel)
+	}
+}
+
+// TestWarmStoreSkipsAllSimulation is the incremental-rerun contract: a
+// second suite sharing the cache directory must serve the same experiment
+// without computing a single job, and render byte-identically.
+func TestWarmStoreSkipsAllSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+	cfg := Config{
+		Apps:         []string{"kafka"},
+		TraceBlocks:  30_000,
+		WarmupBlocks: 10_000,
+		Thresholds:   []float64{0.55, 0.95},
+		CacheDir:     dir,
+		Log:          nil,
+	}
+	s1 := New(cfg)
+	var cold bytes.Buffer
+	if err := s1.Run("fig1", &cold); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Stats().Computed == 0 {
+		t.Fatal("cold suite computed nothing")
+	}
+
+	s2 := New(cfg)
+	var warm bytes.Buffer
+	if err := s2.Run("fig1", &warm); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.Computed != 0 {
+		t.Fatalf("warm suite recomputed %d job(s): %+v", st.Computed, st)
+	}
+	if cold.String() != warm.String() {
+		t.Fatalf("cache round trip changed the render:\n--- cold\n%s\n--- warm\n%s", cold.String(), warm.String())
+	}
+}
+
+// TestPartialOverlapIsIncremental: a different experiment that shares
+// primitives (compulsory reuses fig1's none/lru runs) must be assembled
+// entirely from store hits in a fresh process.
+func TestPartialOverlapIsIncremental(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+	cfg := Config{
+		Apps:         []string{"kafka"},
+		TraceBlocks:  30_000,
+		WarmupBlocks: 10_000,
+		Thresholds:   []float64{0.55, 0.95},
+		CacheDir:     dir,
+		Log:          nil,
+	}
+	s1 := New(cfg)
+	if _, err := s1.Tables("fig1"); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(cfg)
+	if _, err := s2.Tables("compulsory"); err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.Computed != 0 {
+		t.Fatalf("overlapping experiment re-simulated %d job(s): %+v", st.Computed, st)
+	}
+	if st.StoreHits == 0 {
+		t.Fatalf("overlapping experiment never consulted the store: %+v", st)
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := NewTable("rt", "round trip", "app", "a", "b").WithMean()
+	tb.Note = "a note"
+	tb.AddRowF("x", "%.2f", 1.25, math.NaN())
+	tb.AddRow("y", "hello", "world")
+	data, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	var want, got bytes.Buffer
+	tb.Render(&want)
+	back.Render(&got)
+	if want.String() != got.String() {
+		t.Fatalf("render changed across JSON round trip:\n--- want\n%s\n--- got\n%s", want.String(), got.String())
+	}
+	if v, ok := back.Value("x", "a"); !ok || v != 1.25 {
+		t.Fatalf("Value after round trip = %v,%v", v, ok)
+	}
+	if _, ok := back.Value("y", "a"); ok {
+		t.Fatal("string cell became numeric across round trip")
+	}
+	m1, ok1 := tb.Mean("b")
+	m2, ok2 := back.Mean("b")
+	if ok1 != ok2 || (ok1 && !(math.IsNaN(m1) && math.IsNaN(m2)) && m1 != m2) {
+		t.Fatalf("mean changed across round trip: %v,%v vs %v,%v", m1, ok1, m2, ok2)
 	}
 }
 

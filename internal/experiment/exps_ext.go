@@ -12,6 +12,7 @@ import (
 	"ripple/internal/prefetch"
 	"ripple/internal/program"
 	"ripple/internal/replacement"
+	"ripple/internal/runner"
 	"ripple/internal/workload"
 )
 
@@ -27,80 +28,102 @@ func (s *Suite) extApps() []string {
 	return extApps
 }
 
+// archGeoms are the I-cache geometries of the Arch experiment.
+var archGeoms = []struct {
+	name string
+	cfg  cache.Config
+}{
+	{"16KB/4w", cache.Config{SizeBytes: 16 << 10, Ways: 4, LineBytes: 64}},
+	{"32KB/8w", cache.Config{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64}},
+	{"64KB/8w", cache.Config{SizeBytes: 64 << 10, Ways: 8, LineBytes: 64}},
+}
+
+// archCell tunes one application against one plan geometry and evaluates
+// the plan on every run geometry.
+func (s *Suite) archCell(app string, planIdx int) runner.Job {
+	planGeo := archGeoms[planIdx]
+	cost := float64(s.cfg.TraceBlocks) * float64(len(s.cfg.Thresholds)+2*len(archGeoms))
+	return s.cell("arch", fmt.Sprintf("%s@%s", app, planGeo.name), cost, func() ([]float64, error) {
+		st, err := s.state(app)
+		if err != nil {
+			return nil, err
+		}
+		tr := s.trace(st, 0)
+		acfg := core.DefaultAnalysisConfig()
+		acfg.L1I = planGeo.cfg
+		a, err := core.Analyze(st.app.Prog, tr, acfg)
+		if err != nil {
+			return nil, err
+		}
+		tuneParams := s.cfg.Params
+		tuneParams.L1I = planGeo.cfg
+		tcfg := core.TuneConfig{
+			Params:       tuneParams,
+			Policy:       "lru",
+			Prefetcher:   "none",
+			Thresholds:   s.cfg.Thresholds,
+			WarmupBlocks: s.cfg.WarmupBlocks,
+		}
+		tuned, err := core.Tune(a, tr, tcfg)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, 0, len(archGeoms))
+		for _, runGeo := range archGeoms {
+			runParams := s.cfg.Params
+			runParams.L1I = runGeo.cfg
+			rcfg := tcfg
+			rcfg.Params = runParams
+			base, err := core.RunPlan(st.app.Prog, tr, rcfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.RunPlan(st.app.Prog, tr, rcfg, tuned.BestPlan)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, speedupPct(base.Cycles, res.Cycles))
+		}
+		s.logf("[%s] arch %s done", app, planGeo.name)
+		return row, nil
+	})
+}
+
 // Arch reproduces the Sec. V discussion: Ripple generates binaries per
 // target I-cache geometry. For each application the plan is tuned against
 // three geometries; each plan is then evaluated on every geometry. The
 // diagonal (matched target) should dominate its column — running a binary
 // optimized for the wrong cache forfeits most of the gain.
 func (s *Suite) Arch() (*Table, error) {
-	geoms := []struct {
-		name string
-		cfg  cache.Config
-	}{
-		{"16KB/4w", cache.Config{SizeBytes: 16 << 10, Ways: 4, LineBytes: 64}},
-		{"32KB/8w", cache.Config{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64}},
-		{"64KB/8w", cache.Config{SizeBytes: 64 << 10, Ways: 8, LineBytes: 64}},
+	var jobs []runner.Job
+	for _, app := range s.extApps() {
+		for i := range archGeoms {
+			jobs = append(jobs, s.archCell(app, i))
+		}
+	}
+	if err := s.warm(jobs...); err != nil {
+		return nil, err
 	}
 	t := NewTable("arch", "Per-target-architecture tuning: plan geometry vs run geometry (% speedup over LRU, no prefetch)",
 		"app/plan-for", "run@16KB/4w%", "run@32KB/8w%", "run@64KB/8w%")
 	for _, app := range s.extApps() {
-		st, err := s.state(app)
-		if err != nil {
-			return nil, err
-		}
-		tr := s.trace(st, 0)
-		for _, planGeo := range geoms {
-			acfg := core.DefaultAnalysisConfig()
-			acfg.L1I = planGeo.cfg
-			a, err := core.Analyze(st.app.Prog, tr, acfg)
+		for i, planGeo := range archGeoms {
+			row, err := s.cellRow(s.archCell(app, i))
 			if err != nil {
 				return nil, err
-			}
-			tuneParams := s.cfg.Params
-			tuneParams.L1I = planGeo.cfg
-			tcfg := core.TuneConfig{
-				Params:       tuneParams,
-				Policy:       "lru",
-				Prefetcher:   "none",
-				Thresholds:   s.cfg.Thresholds,
-				WarmupBlocks: s.cfg.WarmupBlocks,
-			}
-			tuned, err := core.Tune(a, tr, tcfg)
-			if err != nil {
-				return nil, err
-			}
-			row := make([]float64, 0, len(geoms))
-			for _, runGeo := range geoms {
-				runParams := s.cfg.Params
-				runParams.L1I = runGeo.cfg
-				rcfg := tcfg
-				rcfg.Params = runParams
-				base, err := core.RunPlan(st.app.Prog, tr, rcfg, nil)
-				if err != nil {
-					return nil, err
-				}
-				res, err := core.RunPlan(st.app.Prog, tr, rcfg, tuned.BestPlan)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, speedupPct(base.Cycles, res.Cycles))
 			}
 			t.AddRowF(fmt.Sprintf("%s@%s", app, planGeo.name), "%.2f", row...)
 		}
-		s.logf("[%s] arch done", app)
 	}
 	t.Note = "Sec. V: binaries are optimized per I-cache geometry; mismatched targets lose gain"
 	return t, nil
 }
 
-// Merged extends Fig. 13: a plan tuned on the union of input #0 and #1
-// profiles, evaluated on unseen inputs #2 and #3, against the single-input
-// plan. Merged profiles should generalize at least as well.
-func (s *Suite) Merged() (*Table, error) {
-	t := NewTable("merged", "Profile merging: plan from input #0 vs inputs {#0,#1}, evaluated on #2/#3 (FDIP+LRU, % speedup)",
-		"application", "single#0%", "merged#0+1%").WithMean()
-	tcfg := s.tuneCfg("fdip", "lru", frontend.HintInvalidate)
-	for _, app := range s.extApps() {
+// mergedCell evaluates one application's single-input vs merged-profile
+// plans on the unseen inputs.
+func (s *Suite) mergedCell(app string) runner.Job {
+	cost := float64(s.cfg.TraceBlocks) * float64(len(s.cfg.Thresholds)+8)
+	return s.cell("merged", app, cost, func() ([]float64, error) {
 		st, err := s.state(app)
 		if err != nil {
 			return nil, err
@@ -109,6 +132,7 @@ func (s *Suite) Merged() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		tcfg := s.tuneCfg("fdip", "lru", frontend.HintInvalidate)
 		acfg := core.DefaultAnalysisConfig()
 		acfg.L1I = s.cfg.Params.L1I
 		multi, err := core.AnalyzeMulti(st.app.Prog,
@@ -127,7 +151,7 @@ func (s *Suite) Merged() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			sr, err := core.RunPlan(st.app.Prog, tr, tcfg, ev.tune.BestPlan)
+			sr, err := core.RunPlan(st.app.Prog, tr, tcfg, ev.BestPlan)
 			if err != nil {
 				return nil, err
 			}
@@ -138,24 +162,38 @@ func (s *Suite) Merged() (*Table, error) {
 			single += speedupPct(base.Cycles, sr.Cycles) / 2
 			merged += speedupPct(base.Cycles, mr.Cycles) / 2
 		}
-		t.AddRowF(app, "%.2f", single, merged)
 		s.logf("[%s] merged done", app)
+		return []float64{single, merged}, nil
+	})
+}
+
+// Merged extends Fig. 13: a plan tuned on the union of input #0 and #1
+// profiles, evaluated on unseen inputs #2 and #3, against the single-input
+// plan. Merged profiles should generalize at least as well.
+func (s *Suite) Merged() (*Table, error) {
+	var jobs []runner.Job
+	for _, app := range s.extApps() {
+		jobs = append(jobs, s.mergedCell(app))
+	}
+	if err := s.warm(jobs...); err != nil {
+		return nil, err
+	}
+	t := NewTable("merged", "Profile merging: plan from input #0 vs inputs {#0,#1}, evaluated on #2/#3 (FDIP+LRU, % speedup)",
+		"application", "single#0%", "merged#0+1%").WithMean()
+	for _, app := range s.extApps() {
+		row, err := s.cellRow(s.mergedCell(app))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowF(app, "%.2f", row...)
 	}
 	return t, nil
 }
 
-// LBR compares profile sources (Sec. III-A names both PT and LBR): a full
-// PT trace, PT *burst* sampling (periodic multi-thousand-block captures,
-// the AutoFDO-style production compromise), and classic 32-deep LBR
-// samples. An eviction window spans hundreds-to-thousands of blocks, so
-// 32-block LBR fragments witness essentially none (the analysis finds no
-// windows at all), bursts recover most of the signal, and the full trace
-// is the ceiling — quantifying why the paper profiles with PT.
-func (s *Suite) LBR() (*Table, error) {
-	t := NewTable("lbr", "Profile source: full PT vs PT-burst sampling vs LBR (no prefetch, LRU)",
-		"application", "pt%", "burst%", "lbr%", "burst-windows", "lbr-windows", "pt-windows")
-	tcfg := s.tuneCfg("none", "lru", frontend.HintInvalidate)
-	for _, app := range s.extApps() {
+// lbrCell compares one application's profile sources.
+func (s *Suite) lbrCell(app string) runner.Job {
+	cost := float64(s.cfg.TraceBlocks) * float64(3*len(s.cfg.Thresholds)+6)
+	return s.cell("lbr", app, cost, func() ([]float64, error) {
 		st, err := s.state(app)
 		if err != nil {
 			return nil, err
@@ -165,7 +203,7 @@ func (s *Suite) LBR() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-
+		tcfg := s.tuneCfg("none", "lru", frontend.HintInvalidate)
 		sampled := func(cfg lbr.Config) (*core.TuneResult, int, error) {
 			prof, err := lbr.Sample(tr, cfg)
 			if err != nil {
@@ -192,26 +230,52 @@ func (s *Suite) LBR() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRowF(app, "%.2f",
-			ev.tune.BestPoint().SpeedupPct,
+		s.logf("[%s] lbr done", app)
+		return []float64{
+			ev.BestPoint().SpeedupPct,
 			burst.BestPoint().SpeedupPct,
 			classic.BestPoint().SpeedupPct,
 			float64(burstWin),
 			float64(lbrWin),
-			float64(ev.analysis.Windows))
-		s.logf("[%s] lbr done", app)
+			float64(ev.AnalysisWindows),
+		}, nil
+	})
+}
+
+// LBR compares profile sources (Sec. III-A names both PT and LBR): a full
+// PT trace, PT *burst* sampling (periodic multi-thousand-block captures,
+// the AutoFDO-style production compromise), and classic 32-deep LBR
+// samples. An eviction window spans hundreds-to-thousands of blocks, so
+// 32-block LBR fragments witness essentially none (the analysis finds no
+// windows at all), bursts recover most of the signal, and the full trace
+// is the ceiling — quantifying why the paper profiles with PT.
+func (s *Suite) LBR() (*Table, error) {
+	var jobs []runner.Job
+	for _, app := range s.extApps() {
+		jobs = append(jobs, s.lbrCell(app))
+	}
+	if err := s.warm(jobs...); err != nil {
+		return nil, err
+	}
+	t := NewTable("lbr", "Profile source: full PT vs PT-burst sampling vs LBR (no prefetch, LRU)",
+		"application", "pt%", "burst%", "lbr%", "burst-windows", "lbr-windows", "pt-windows")
+	for _, app := range s.extApps() {
+		row, err := s.cellRow(s.lbrCell(app))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowF(app, "%.2f", row...)
 	}
 	t.Note = "eviction windows span hundreds of blocks: LBR depth cannot see them, PT bursts can"
 	return t, nil
 }
 
-// XPrefetch evaluates the temporal record/replay prefetcher (TIFS-like)
-// the paper's related work contrasts FDIP against: effective but at an
-// on-chip metadata cost far beyond Table I, and still improved by Ripple.
-func (s *Suite) XPrefetch() (*Table, error) {
-	t := NewTable("xprefetch", "Temporal (record/replay) prefetching vs the paper's baselines (LRU, % speedup over no-prefetch LRU)",
-		"application", "nlp%", "fdip%", "tifs%", "ripple-tifs%", "tifs-metadata")
-	for _, app := range s.extApps() {
+// xprefetchCell evaluates temporal prefetching for one application; the
+// final element is the TIFS metadata footprint in KB (-1 when the
+// prefetcher exposes no accounting).
+func (s *Suite) xprefetchCell(app string) runner.Job {
+	cost := float64(s.cfg.TraceBlocks) * float64(len(s.cfg.Thresholds)+6)
+	return s.cell("xprefetch", app, cost, func() ([]float64, error) {
 		st, err := s.state(app)
 		if err != nil {
 			return nil, err
@@ -229,7 +293,7 @@ func (s *Suite) XPrefetch() (*Table, error) {
 			return nil, err
 		}
 
-		// TIFS baseline (not cached by the panel runner).
+		// TIFS baseline (not part of the standard panel cross-product).
 		pol, _ := replacement.New("lru")
 		tf, err := prefetch.New("tifs", st.app.Prog)
 		if err != nil {
@@ -243,9 +307,9 @@ func (s *Suite) XPrefetch() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		meta := "n/a"
+		metaKB := -1.0
 		if tp, ok := tf.(*prefetch.TIFS); ok {
-			meta = fmt.Sprintf("%dKB", tp.MetadataBytes()>>10)
+			metaKB = float64(tp.MetadataBytes() >> 10)
 		}
 
 		// Ripple on top of TIFS.
@@ -262,28 +326,54 @@ func (s *Suite) XPrefetch() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-
-		t.AddRow(app,
-			fmt.Sprintf("%.2f", speedupPct(base.Cycles, nlp.Cycles)),
-			fmt.Sprintf("%.2f", speedupPct(base.Cycles, fdip.Cycles)),
-			fmt.Sprintf("%.2f", speedupPct(base.Cycles, tifsRes.Cycles)),
-			fmt.Sprintf("%.2f", speedupPct(base.Cycles, rippleTifs.Cycles)),
-			meta)
 		s.logf("[%s] xprefetch done", app)
+		return []float64{
+			speedupPct(base.Cycles, nlp.Cycles),
+			speedupPct(base.Cycles, fdip.Cycles),
+			speedupPct(base.Cycles, tifsRes.Cycles),
+			speedupPct(base.Cycles, rippleTifs.Cycles),
+			metaKB,
+		}, nil
+	})
+}
+
+// XPrefetch evaluates the temporal record/replay prefetcher (TIFS-like)
+// the paper's related work contrasts FDIP against: effective but at an
+// on-chip metadata cost far beyond Table I, and still improved by Ripple.
+func (s *Suite) XPrefetch() (*Table, error) {
+	var jobs []runner.Job
+	for _, app := range s.extApps() {
+		jobs = append(jobs, s.xprefetchCell(app))
+	}
+	if err := s.warm(jobs...); err != nil {
+		return nil, err
+	}
+	t := NewTable("xprefetch", "Temporal (record/replay) prefetching vs the paper's baselines (LRU, % speedup over no-prefetch LRU)",
+		"application", "nlp%", "fdip%", "tifs%", "ripple-tifs%", "tifs-metadata")
+	for _, app := range s.extApps() {
+		row, err := s.cellRow(s.xprefetchCell(app))
+		if err != nil {
+			return nil, err
+		}
+		meta := "n/a"
+		if row[4] >= 0 {
+			meta = fmt.Sprintf("%dKB", int64(row[4]))
+		}
+		t.AddRow(app,
+			fmt.Sprintf("%.2f", row[0]),
+			fmt.Sprintf("%.2f", row[1]),
+			fmt.Sprintf("%.2f", row[2]),
+			fmt.Sprintf("%.2f", row[3]),
+			meta)
 	}
 	t.Note = "record/replay prefetching needs orders of magnitude more metadata than Table I budgets"
 	return t, nil
 }
 
-// Layout is the injection-placement ablation: the tuned plan executed
-// with layout-neutral placement (padding/NOP slots — the pipeline
-// default) vs. naive full relayout, which shifts every downstream byte,
-// remaps the hot footprint across cache sets, and invalidates the profile
-// the plan was computed from.
-func (s *Suite) Layout() (*Table, error) {
-	t := NewTable("layout", "Injection placement: layout-neutral vs full relayout (no prefetch, LRU, % speedup)",
-		"application", "preserve%", "shift%").WithMean()
-	for _, app := range s.extApps() {
+// layoutCell evaluates one application's placement pair.
+func (s *Suite) layoutCell(app string) runner.Job {
+	cost := float64(s.cfg.TraceBlocks) * float64(len(s.cfg.Thresholds)+5)
+	return s.cell("layout", app, cost, func() ([]float64, error) {
 		st, err := s.state(app)
 		if err != nil {
 			return nil, err
@@ -298,29 +388,48 @@ func (s *Suite) Layout() (*Table, error) {
 		}
 		shiftCfg := s.tuneCfg("none", "lru", frontend.HintInvalidate)
 		shiftCfg.ShiftLayout = true
-		shifted, err := core.RunPlan(st.app.Prog, s.trace(st, 0), shiftCfg, ev.tune.BestPlan)
+		shifted, err := core.RunPlan(st.app.Prog, s.trace(st, 0), shiftCfg, ev.BestPlan)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRowF(app, "%.2f",
-			speedupPct(base.Cycles, ev.best.Cycles),
-			speedupPct(base.Cycles, shifted.Cycles))
+		return []float64{
+			speedupPct(base.Cycles, ev.Best.Cycles),
+			speedupPct(base.Cycles, shifted.Cycles),
+		}, nil
+	})
+}
+
+// Layout is the injection-placement ablation: the tuned plan executed
+// with layout-neutral placement (padding/NOP slots — the pipeline
+// default) vs. naive full relayout, which shifts every downstream byte,
+// remaps the hot footprint across cache sets, and invalidates the profile
+// the plan was computed from.
+func (s *Suite) Layout() (*Table, error) {
+	var jobs []runner.Job
+	for _, app := range s.extApps() {
+		jobs = append(jobs, s.layoutCell(app))
+	}
+	if err := s.warm(jobs...); err != nil {
+		return nil, err
+	}
+	t := NewTable("layout", "Injection placement: layout-neutral vs full relayout (no prefetch, LRU, % speedup)",
+		"application", "preserve%", "shift%").WithMean()
+	for _, app := range s.extApps() {
+		row, err := s.cellRow(s.layoutCell(app))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowF(app, "%.2f", row...)
 	}
 	t.Note = "relayout invalidates the profiled line-to-set mapping; padding placement keeps it"
 	return t, nil
 }
 
-// CodeLayout compares Ripple against the code-layout-optimization family
-// the paper's introduction cites (AutoFDO/BOLT-style function clustering
-// and hot/cold block reordering) and shows the two compose: the layout
-// optimizer and Ripple consume the same profile, and Ripple's analysis is
-// re-run on the optimized image before injection, as a production pipeline
-// would do.
-func (s *Suite) CodeLayout() (*Table, error) {
-	t := NewTable("codelayout", "Code layout (BOLT/C3-style) vs Ripple vs both (no prefetch, LRU, % speedup over baseline)",
-		"application", "layout%", "ripple%", "layout+ripple%").WithMean()
-	tcfg := s.tuneCfg("none", "lru", frontend.HintInvalidate)
-	for _, app := range s.extApps() {
+// codeLayoutCell evaluates layout-only / ripple-only / composed for one
+// application.
+func (s *Suite) codeLayoutCell(app string) runner.Job {
+	cost := float64(s.cfg.TraceBlocks) * float64(2*len(s.cfg.Thresholds)+6)
+	return s.cell("codelayout", app, cost, func() ([]float64, error) {
 		st, err := s.state(app)
 		if err != nil {
 			return nil, err
@@ -334,6 +443,7 @@ func (s *Suite) CodeLayout() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		tcfg := s.tuneCfg("none", "lru", frontend.HintInvalidate)
 
 		prof := layout.ProfileFromTrace(st.app.Prog, tr)
 		optProg, err := layout.Optimize(st.app.Prog, prof, layout.DefaultOptions())
@@ -359,15 +469,73 @@ func (s *Suite) CodeLayout() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-
-		t.AddRowF(app, "%.2f",
-			speedupPct(base.Cycles, layoutOnly.Cycles),
-			speedupPct(base.Cycles, ev.best.Cycles),
-			speedupPct(base.Cycles, both.Cycles))
 		s.logf("[%s] codelayout done", app)
+		return []float64{
+			speedupPct(base.Cycles, layoutOnly.Cycles),
+			speedupPct(base.Cycles, ev.Best.Cycles),
+			speedupPct(base.Cycles, both.Cycles),
+		}, nil
+	})
+}
+
+// CodeLayout compares Ripple against the code-layout-optimization family
+// the paper's introduction cites (AutoFDO/BOLT-style function clustering
+// and hot/cold block reordering) and shows the two compose: the layout
+// optimizer and Ripple consume the same profile, and Ripple's analysis is
+// re-run on the optimized image before injection, as a production pipeline
+// would do.
+func (s *Suite) CodeLayout() (*Table, error) {
+	var jobs []runner.Job
+	for _, app := range s.extApps() {
+		jobs = append(jobs, s.codeLayoutCell(app))
+	}
+	if err := s.warm(jobs...); err != nil {
+		return nil, err
+	}
+	t := NewTable("codelayout", "Code layout (BOLT/C3-style) vs Ripple vs both (no prefetch, LRU, % speedup over baseline)",
+		"application", "layout%", "ripple%", "layout+ripple%").WithMean()
+	for _, app := range s.extApps() {
+		row, err := s.cellRow(s.codeLayoutCell(app))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowF(app, "%.2f", row...)
 	}
 	t.Note = "layout packs hot lines; Ripple fixes replacement; gains stack when composed"
 	return t, nil
+}
+
+// windowCaps are the MaxWindowBlocks settings of the WindowCap ablation.
+var windowCaps = []int{64, 512, 2048}
+
+// windowCapCell runs the analysis and tuning at one window cap.
+func (s *Suite) windowCapCell(app string, wc int) runner.Job {
+	cost := float64(s.cfg.TraceBlocks) * float64(len(s.cfg.Thresholds)+2)
+	return s.cell("windowcap", fmt.Sprintf("%s/%d", app, wc), cost, func() ([]float64, error) {
+		st, err := s.state(app)
+		if err != nil {
+			return nil, err
+		}
+		tr := s.trace(st, 0)
+		tcfg := s.tuneCfg("none", "lru", frontend.HintInvalidate)
+		acfg := core.DefaultAnalysisConfig()
+		acfg.L1I = s.cfg.Params.L1I
+		acfg.MaxWindowBlocks = wc
+		a, err := core.Analyze(st.app.Prog, tr, acfg)
+		if err != nil {
+			return nil, err
+		}
+		tuned, err := core.Tune(a, tr, tcfg)
+		if err != nil {
+			return nil, err
+		}
+		s.logf("[%s] windowcap %d done", app, wc)
+		return []float64{
+			float64(a.Windows),
+			float64(tuned.BestPlan.WindowsCovered),
+			tuned.BestPoint().SpeedupPct,
+		}, nil
+	})
 }
 
 // WindowCap is the MaxWindowBlocks design-choice ablation DESIGN.md calls
@@ -375,47 +543,34 @@ func (s *Suite) CodeLayout() (*Table, error) {
 // Too small and cue candidates near the victim's last use are lost; the
 // default (2048) captures nearly all windows at tractable analysis cost.
 func (s *Suite) WindowCap() (*Table, error) {
-	caps := []int{64, 512, 2048}
+	var jobs []runner.Job
+	for _, app := range s.extApps() {
+		for _, wc := range windowCaps {
+			jobs = append(jobs, s.windowCapCell(app, wc))
+		}
+	}
+	if err := s.warm(jobs...); err != nil {
+		return nil, err
+	}
 	t := NewTable("windowcap", "Analysis window cap ablation (no prefetch, LRU, tuned speedup %)",
 		"app/cap", "windows", "covered@best", "speedup%")
-	tcfg := s.tuneCfg("none", "lru", frontend.HintInvalidate)
 	for _, app := range s.extApps() {
-		st, err := s.state(app)
-		if err != nil {
-			return nil, err
-		}
-		tr := s.trace(st, 0)
-		for _, wc := range caps {
-			acfg := core.DefaultAnalysisConfig()
-			acfg.L1I = s.cfg.Params.L1I
-			acfg.MaxWindowBlocks = wc
-			a, err := core.Analyze(st.app.Prog, tr, acfg)
+		for _, wc := range windowCaps {
+			row, err := s.cellRow(s.windowCapCell(app, wc))
 			if err != nil {
 				return nil, err
 			}
-			tuned, err := core.Tune(a, tr, tcfg)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRowF(fmt.Sprintf("%s/%d", app, wc), "%.2f",
-				float64(a.Windows),
-				float64(tuned.BestPlan.WindowsCovered),
-				tuned.BestPoint().SpeedupPct)
+			t.AddRowF(fmt.Sprintf("%s/%d", app, wc), "%.2f", row...)
 		}
-		s.logf("[%s] windowcap done", app)
 	}
 	return t, nil
 }
 
-// HintCost is the hint-execution-cost sensitivity ablation: the frontend
-// charges each executed invalidate HintCPI cycles (a dependency-free µop;
-// default 0.12). The conclusions must not hinge on that constant, so the
-// tuned plan is re-evaluated with the hint priced at zero and at a full
-// average instruction (BaseCPI).
-func (s *Suite) HintCost() (*Table, error) {
-	t := NewTable("hintcost", "Hint execution cost sensitivity (no prefetch, LRU, % speedup over LRU)",
-		"application", "free%", "default%", "full-instr%").WithMean()
-	for _, app := range s.extApps() {
+// hintCostCell re-prices one application's tuned plan at three hint
+// costs.
+func (s *Suite) hintCostCell(app string) runner.Job {
+	cost := float64(s.cfg.TraceBlocks) * float64(len(s.cfg.Thresholds)+8)
+	return s.cell("hintcost", app, cost, func() ([]float64, error) {
 		st, err := s.state(app)
 		if err != nil {
 			return nil, err
@@ -434,16 +589,94 @@ func (s *Suite) HintCost() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.RunPlan(st.app.Prog, s.trace(st, 0), tcfg, ev.tune.BestPlan)
+			res, err := core.RunPlan(st.app.Prog, s.trace(st, 0), tcfg, ev.BestPlan)
 			if err != nil {
 				return nil, err
 			}
 			row = append(row, speedupPct(base.Cycles, res.Cycles))
 		}
+		return row, nil
+	})
+}
+
+// HintCost is the hint-execution-cost sensitivity ablation: the frontend
+// charges each executed invalidate HintCPI cycles (a dependency-free µop;
+// default 0.12). The conclusions must not hinge on that constant, so the
+// tuned plan is re-evaluated with the hint priced at zero and at a full
+// average instruction (BaseCPI).
+func (s *Suite) HintCost() (*Table, error) {
+	var jobs []runner.Job
+	for _, app := range s.extApps() {
+		jobs = append(jobs, s.hintCostCell(app))
+	}
+	if err := s.warm(jobs...); err != nil {
+		return nil, err
+	}
+	t := NewTable("hintcost", "Hint execution cost sensitivity (no prefetch, LRU, % speedup over LRU)",
+		"application", "free%", "default%", "full-instr%").WithMean()
+	for _, app := range s.extApps() {
+		row, err := s.cellRow(s.hintCostCell(app))
+		if err != nil {
+			return nil, err
+		}
 		t.AddRowF(app, "%.2f", row...)
 	}
 	t.Note = "dynamic hint counts are ~0.2% of instructions, so even full-price hints barely move the result"
 	return t, nil
+}
+
+// phasesCell builds one (possibly phased) variant of an application and
+// measures LRU MPKI, Ripple's tuned speedup, and the ideal limit.
+func (s *Suite) phasesCell(appName string, phased bool) runner.Job {
+	variant := "steady"
+	if phased {
+		variant = "phased"
+	}
+	cost := float64(s.cfg.TraceBlocks) * float64(len(s.cfg.Thresholds)+3)
+	return s.cell("phases", appName+"/"+variant, cost, func() ([]float64, error) {
+		model, ok := workload.ByName(appName)
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown app %q", appName)
+		}
+		m := model
+		if phased {
+			m.PhaseRequests = 60
+			m.Name = appName + "-phased"
+		}
+		tcfg := s.tuneCfg("none", "lru", frontend.HintInvalidate)
+		app, err := workload.Build(m)
+		if err != nil {
+			return nil, err
+		}
+		tr := app.Trace(0, s.cfg.TraceBlocks)
+		pol, _ := replacement.New("lru")
+		base, err := frontend.Run(s.cfg.Params, app.Prog, tr, frontend.Options{
+			Policy:       pol,
+			RecordStream: true,
+			WarmupBlocks: s.cfg.WarmupBlocks,
+		})
+		if err != nil {
+			return nil, err
+		}
+		idealMisses := opt.Simulate(base.Stream, s.cfg.Params.L1I, opt.ModeDemandMIN, false).DemandMisses
+		base.Stream = nil
+		acfg := core.DefaultAnalysisConfig()
+		acfg.L1I = s.cfg.Params.L1I
+		a, err := core.Analyze(app.Prog, tr, acfg)
+		if err != nil {
+			return nil, err
+		}
+		tuned, err := core.Tune(a, tr, tcfg)
+		if err != nil {
+			return nil, err
+		}
+		s.logf("[%s] phases %s done", appName, variant)
+		return []float64{
+			base.MPKI(),
+			tuned.BestPoint().SpeedupPct,
+			speedupPct(base.Cycles, idealCyclesFrom(base, idealMisses)),
+		}, nil
+	})
 }
 
 // Phases exercises the dynamic reuse-distance variance the paper blames
@@ -453,54 +686,29 @@ func (s *Suite) HintCost() (*Table, error) {
 // next. Ripple's profile covers all phases and its cue probabilities stay
 // predictive, so the gains survive phase churn.
 func (s *Suite) Phases() (*Table, error) {
+	var jobs []runner.Job
+	for _, appName := range s.extApps() {
+		for _, phased := range []bool{false, true} {
+			jobs = append(jobs, s.phasesCell(appName, phased))
+		}
+	}
+	if err := s.warm(jobs...); err != nil {
+		return nil, err
+	}
 	t := NewTable("phases", "Phase-varying request mixes (no prefetch, LRU)",
 		"app/variant", "lru-mpki", "ripple%", "ideal%")
-	tcfg := s.tuneCfg("none", "lru", frontend.HintInvalidate)
 	for _, appName := range s.extApps() {
-		model, ok := workload.ByName(appName)
-		if !ok {
-			return nil, fmt.Errorf("experiment: unknown app %q", appName)
-		}
 		for _, phased := range []bool{false, true} {
-			m := model
+			row, err := s.cellRow(s.phasesCell(appName, phased))
+			if err != nil {
+				return nil, err
+			}
 			label := appName + "/steady"
 			if phased {
-				m.PhaseRequests = 60
-				m.Name = appName + "-phased"
 				label = appName + "/phased"
 			}
-			app, err := workload.Build(m)
-			if err != nil {
-				return nil, err
-			}
-			tr := app.Trace(0, s.cfg.TraceBlocks)
-			pol, _ := replacement.New("lru")
-			base, err := frontend.Run(s.cfg.Params, app.Prog, tr, frontend.Options{
-				Policy:       pol,
-				RecordStream: true,
-				WarmupBlocks: s.cfg.WarmupBlocks,
-			})
-			if err != nil {
-				return nil, err
-			}
-			idealMisses := opt.Simulate(base.Stream, s.cfg.Params.L1I, opt.ModeDemandMIN, false).DemandMisses
-			base.Stream = nil
-			acfg := core.DefaultAnalysisConfig()
-			acfg.L1I = s.cfg.Params.L1I
-			a, err := core.Analyze(app.Prog, tr, acfg)
-			if err != nil {
-				return nil, err
-			}
-			tuned, err := core.Tune(a, tr, tcfg)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRowF(label, "%.2f",
-				base.MPKI(),
-				tuned.BestPoint().SpeedupPct,
-				speedupPct(base.Cycles, idealCyclesFrom(base, idealMisses)))
+			t.AddRowF(label, "%.2f", row...)
 		}
-		s.logf("[%s] phases done", appName)
 	}
 	t.Note = "Ripple's profile spans the phases, so cue probabilities remain predictive"
 	return t, nil

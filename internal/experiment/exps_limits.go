@@ -13,6 +13,9 @@ import (
 // all) over the LRU baseline without prefetching. Paper: 11-47%, mean
 // 17.7%.
 func (s *Suite) Fig1() (*Table, error) {
+	if err := s.warm(s.crossJobs(s.cfg.Apps, []string{"none"}, []string{"lru"})...); err != nil {
+		return nil, err
+	}
 	t := NewTable("fig1", "Ideal I-cache speedup over LRU baseline, no prefetching (%)",
 		"application", "ideal-speedup%").WithMean()
 	for _, app := range s.cfg.Apps {
@@ -32,6 +35,11 @@ func (s *Suite) Fig1() (*Table, error) {
 // replacement policy. Paper: 13.4% and 16.6% means vs. a 17.7% ideal
 // cache.
 func (s *Suite) Fig2() (*Table, error) {
+	jobs := s.crossJobs(s.cfg.Apps, []string{"none", "fdip"}, []string{"lru"})
+	jobs = append(jobs, s.oracleJobs(s.cfg.Apps, []string{"fdip"})...)
+	if err := s.warm(jobs...); err != nil {
+		return nil, err
+	}
 	t := NewTable("fig2", "FDIP speedup over no-prefetch LRU baseline (%)",
 		"application", "fdip+lru%", "fdip+ideal-repl%", "ideal-cache%").WithMean()
 	for _, app := range s.cfg.Apps {
@@ -65,6 +73,11 @@ var fig3Policies = []string{"hawkeye", "harmony", "srrip", "drrip", "ghrp"}
 // all under FDIP. Paper: none of them beat LRU although ideal replacement
 // gains 3.16%.
 func (s *Suite) Fig3() (*Table, error) {
+	jobs := s.crossJobs(s.cfg.Apps, []string{"fdip"}, append([]string{"lru"}, fig3Policies...))
+	jobs = append(jobs, s.oracleJobs(s.cfg.Apps, []string{"fdip"})...)
+	if err := s.warm(jobs...); err != nil {
+		return nil, err
+	}
 	cols := append(append([]string{}, fig3Policies...), "ideal")
 	for i, c := range cols {
 		cols[i] = c + "%"
@@ -153,6 +166,11 @@ func (s *Suite) Tab2() (*Table, error) {
 // MIN), plus the NLP+ideal datapoint. Paper (FDIP): 1.35% + 1.81% = 3.16%;
 // NLP+ideal: 3.87%.
 func (s *Suite) Obs12() (*Table, error) {
+	jobs := s.crossJobs(s.cfg.Apps, []string{"fdip", "nlp"}, []string{"lru"})
+	jobs = append(jobs, s.oracleJobs(s.cfg.Apps, []string{"fdip", "nlp"})...)
+	if err := s.warm(jobs...); err != nil {
+		return nil, err
+	}
 	t := NewTable("obs12", "Decomposition of prefetch-aware ideal replacement gains (% speedup over LRU, same prefetcher)",
 		"application", "fdip obs1(pollute)%", "fdip obs2(demand-min)%", "fdip total%", "nlp ideal%").WithMean()
 	for _, app := range s.cfg.Apps {
@@ -194,6 +212,9 @@ func (s *Suite) Obs12() (*Table, error) {
 // compulsory (first-touch) MPKI per application. Paper: 0.1-0.3, mean
 // 0.16 — scans are rare, which is why SRRIP/DRRIP lose on I-caches.
 func (s *Suite) Compulsory() (*Table, error) {
+	if err := s.warm(s.crossJobs(s.cfg.Apps, []string{"none"}, []string{"lru"})...); err != nil {
+		return nil, err
+	}
 	t := NewTable("compulsory", "Compulsory MPKI (no prefetching, LRU)",
 		"application", "compulsory-mpki").WithMean()
 	for _, app := range s.cfg.Apps {

@@ -1,12 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"ripple/internal/cache"
 	"ripple/internal/core"
 	"ripple/internal/frontend"
 	"ripple/internal/opt"
+	"ripple/internal/runner"
 	"ripple/internal/workload"
 )
 
@@ -18,6 +20,12 @@ var panelPrefetchers = []string{"none", "nlp", "fdip"}
 // one panel per prefetcher. Paper means: Ripple-LRU +1.25%/+2.13%/+1.4%
 // under none/NLP/FDIP, vs. ideal +3.36%/+3.87%/+3.16%.
 func (s *Suite) Fig7() ([]*Table, error) {
+	jobs := s.crossJobs(s.cfg.Apps, panelPrefetchers, []string{"lru", "hawkeye", "drrip", "srrip", "ghrp"})
+	jobs = append(jobs, s.rippleJobs(s.cfg.Apps, panelPrefetchers, []string{"random", "lru"})...)
+	jobs = append(jobs, s.oracleJobs(s.cfg.Apps, panelPrefetchers)...)
+	if err := s.warm(jobs...); err != nil {
+		return nil, err
+	}
 	var out []*Table
 	for _, pf := range panelPrefetchers {
 		t := NewTable("fig7-"+pf,
@@ -42,7 +50,7 @@ func (s *Suite) Fig7() ([]*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				row = append(row, speedupPct(base.Cycles, ev.best.Cycles))
+				row = append(row, speedupPct(base.Cycles, ev.Best.Cycles))
 			}
 			idealRepl, err := s.idealReplacementCycles(app, pf)
 			if err != nil {
@@ -65,6 +73,12 @@ func (s *Suite) Fig7() ([]*Table, error) {
 // policy avoids under none/NLP/FDIP (19% absolute mean reduction vs.
 // 42.5% ideal).
 func (s *Suite) Fig8() ([]*Table, error) {
+	jobs := s.crossJobs(s.cfg.Apps, panelPrefetchers, []string{"lru"})
+	jobs = append(jobs, s.rippleJobs(s.cfg.Apps, panelPrefetchers, []string{"random", "lru"})...)
+	jobs = append(jobs, s.oracleJobs(s.cfg.Apps, panelPrefetchers)...)
+	if err := s.warm(jobs...); err != nil {
+		return nil, err
+	}
 	var out []*Table
 	for _, pf := range panelPrefetchers {
 		t := NewTable("fig8-"+pf,
@@ -88,7 +102,7 @@ func (s *Suite) Fig8() ([]*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				row = append(row, reduction(float64(ev.best.L1I.DemandMisses+ev.best.LateMisses)))
+				row = append(row, reduction(float64(ev.Best.L1I.DemandMisses+ev.Best.LateMisses)))
 			}
 			ideal, err := s.oracleMissCount(app, pf, opt.ModeDemandMIN)
 			if err != nil {
@@ -110,6 +124,9 @@ func (s *Suite) Fig8() ([]*Table, error) {
 // invalidations). Paper: >50% mean; below 50% only for the three JIT-heavy
 // HHVM apps; 98.7% for verilator.
 func (s *Suite) Fig9() (*Table, error) {
+	if err := s.warm(s.rippleJobs(s.cfg.Apps, panelPrefetchers, []string{"lru"})...); err != nil {
+		return nil, err
+	}
 	t := NewTable("fig9", "Ripple-LRU replacement coverage (%)",
 		"application", "none%", "nlp%", "fdip%").WithMean()
 	for _, app := range s.cfg.Apps {
@@ -119,7 +136,7 @@ func (s *Suite) Fig9() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, ev.best.Coverage()*100)
+			row = append(row, ev.Best.Coverage()*100)
 		}
 		t.AddRowF(app, "%.1f", row...)
 	}
@@ -131,6 +148,9 @@ func (s *Suite) Fig9() (*Table, error) {
 // underlying LRU's own accuracy and the combined accuracy, under FDIP.
 // Paper: Ripple 92% mean (min 88%), LRU 77.8%, combined 86%.
 func (s *Suite) Fig10() (*Table, error) {
+	if err := s.warm(s.rippleJobs(s.cfg.Apps, []string{"fdip"}, []string{"lru"})...); err != nil {
+		return nil, err
+	}
 	t := NewTable("fig10", "Replacement accuracy under FDIP (%)",
 		"application", "ripple%", "lru%", "combined%").WithMean()
 	for _, app := range s.cfg.Apps {
@@ -139,9 +159,9 @@ func (s *Suite) Fig10() (*Table, error) {
 			return nil, err
 		}
 		t.AddRowF(app, "%.1f",
-			ev.best.HintAccuracy()*100,
-			ev.best.PolicyAccuracy()*100,
-			ev.best.CombinedAccuracy()*100)
+			ev.Best.HintAccuracy()*100,
+			ev.Best.PolicyAccuracy()*100,
+			ev.Best.CombinedAccuracy()*100)
 	}
 	t.Note = "paper means: ripple 92%, LRU 77.8%, combined 86%"
 	return t, nil
@@ -150,6 +170,9 @@ func (s *Suite) Fig10() (*Table, error) {
 // Fig11 reproduces Figure 11: the static instruction overhead of the
 // injected binaries. Paper: <4.4% everywhere, 3.4% mean.
 func (s *Suite) Fig11() (*Table, error) {
+	if err := s.warm(s.rippleJobs(s.cfg.Apps, panelPrefetchers, []string{"lru"})...); err != nil {
+		return nil, err
+	}
 	t := NewTable("fig11", "Static instruction overhead of injection (%)",
 		"application", "none%", "nlp%", "fdip%").WithMean()
 	for _, app := range s.cfg.Apps {
@@ -159,7 +182,7 @@ func (s *Suite) Fig11() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, ev.staticOv)
+			row = append(row, ev.StaticOv)
 		}
 		t.AddRowF(app, "%.2f", row...)
 	}
@@ -171,6 +194,9 @@ func (s *Suite) Fig11() (*Table, error) {
 // hints. Paper: 2.2% mean, ~10% for verilator (where coverage is almost
 // total).
 func (s *Suite) Fig12() (*Table, error) {
+	if err := s.warm(s.rippleJobs(s.cfg.Apps, panelPrefetchers, []string{"lru"})...); err != nil {
+		return nil, err
+	}
 	t := NewTable("fig12", "Dynamic instruction overhead of injection (%)",
 		"application", "none%", "nlp%", "fdip%").WithMean()
 	for _, app := range s.cfg.Apps {
@@ -180,7 +206,7 @@ func (s *Suite) Fig12() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, core.DynamicOverheadPct(ev.best))
+			row = append(row, core.DynamicOverheadPct(ev.Best))
 		}
 		t.AddRowF(app, "%.2f", row...)
 	}
@@ -188,15 +214,11 @@ func (s *Suite) Fig12() (*Table, error) {
 	return t, nil
 }
 
-// Fig13 reproduces Figure 13: cross-input generalization under FDIP+LRU.
-// Each application is optimized with the input-#0 profile and evaluated on
-// inputs #1-#3, against plans tuned on each input's own profile. Paper:
-// input-specific profiles give 17% more IPC gain.
-func (s *Suite) Fig13() (*Table, error) {
-	t := NewTable("fig13", "Cross-input speedup under FDIP+LRU (%, mean over inputs #1-#3)",
-		"application", "profile#0%", "input-specific%").WithMean()
-	tcfg := s.tuneCfg("fdip", "lru", frontend.HintInvalidate)
-	for _, app := range s.cfg.Apps {
+// fig13Cell computes one application's cross-input row: the input-#0
+// plan's mean speedup on inputs #1-#3 vs. input-specific retuning.
+func (s *Suite) fig13Cell(app string) runner.Job {
+	cost := float64(s.cfg.TraceBlocks) * float64(3*(len(s.cfg.Thresholds)+4))
+	return s.cell("fig13", app, cost, func() ([]float64, error) {
 		st, err := s.state(app)
 		if err != nil {
 			return nil, err
@@ -205,6 +227,7 @@ func (s *Suite) Fig13() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		tcfg := s.tuneCfg("fdip", "lru", frontend.HintInvalidate)
 		var genSum, specSum float64
 		for input := 1; input <= 3; input++ {
 			tr := s.trace(st, input)
@@ -212,7 +235,7 @@ func (s *Suite) Fig13() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			gen, err := core.RunPlan(st.app.Prog, tr, tcfg, ev.tune.BestPlan)
+			gen, err := core.RunPlan(st.app.Prog, tr, tcfg, ev.BestPlan)
 			if err != nil {
 				return nil, err
 			}
@@ -230,8 +253,31 @@ func (s *Suite) Fig13() (*Table, error) {
 			}
 			specSum += tune.BestPoint().SpeedupPct
 		}
-		t.AddRowF(app, "%.2f", genSum/3, specSum/3)
 		s.logf("[%s] fig13 done", app)
+		return []float64{genSum / 3, specSum / 3}, nil
+	})
+}
+
+// Fig13 reproduces Figure 13: cross-input generalization under FDIP+LRU.
+// Each application is optimized with the input-#0 profile and evaluated on
+// inputs #1-#3, against plans tuned on each input's own profile. Paper:
+// input-specific profiles give 17% more IPC gain.
+func (s *Suite) Fig13() (*Table, error) {
+	var jobs []runner.Job
+	for _, app := range s.cfg.Apps {
+		jobs = append(jobs, s.fig13Cell(app))
+	}
+	if err := s.warm(jobs...); err != nil {
+		return nil, err
+	}
+	t := NewTable("fig13", "Cross-input speedup under FDIP+LRU (%, mean over inputs #1-#3)",
+		"application", "profile#0%", "input-specific%").WithMean()
+	for _, app := range s.cfg.Apps {
+		row, err := s.cellRow(s.fig13Cell(app))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowF(app, "%.2f", row...)
 	}
 	t.Note = "paper: input-specific profiles give 17% more IPC gain"
 	return t, nil
@@ -242,24 +288,34 @@ func (s *Suite) Fig13() (*Table, error) {
 // the 40-60% threshold band; per-app optima between 45% and 65%.
 func (s *Suite) Fig6() (*Table, error) {
 	const app = "finagle-http"
-	st, err := s.state(app)
+	curveJob := runner.NewJob(s.cellSig("fig6", app), "fig6 "+app,
+		float64(s.cfg.TraceBlocks)*11,
+		func(context.Context) (*[]core.ThresholdPoint, error) {
+			st, err := s.state(app)
+			if err != nil {
+				return nil, err
+			}
+			a, err := s.analysisFor(app)
+			if err != nil {
+				return nil, err
+			}
+			tcfg := s.tuneCfg("fdip", "lru", frontend.HintInvalidate)
+			tcfg.MeasureAccuracy = true
+			tcfg.Thresholds = []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95}
+			tune, err := core.Tune(a, s.trace(st, 0), tcfg)
+			if err != nil {
+				return nil, err
+			}
+			return &tune.Curve, nil
+		})
+	v, err := s.pool.Do(s.ctx, curveJob)
 	if err != nil {
 		return nil, err
 	}
-	a, err := s.analysisFor(app)
-	if err != nil {
-		return nil, err
-	}
-	tcfg := s.tuneCfg("fdip", "lru", frontend.HintInvalidate)
-	tcfg.MeasureAccuracy = true
-	tcfg.Thresholds = []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95}
-	tune, err := core.Tune(a, s.trace(st, 0), tcfg)
-	if err != nil {
-		return nil, err
-	}
+	curve := *(v.(*[]core.ThresholdPoint))
 	t := NewTable("fig6", "Coverage vs. accuracy vs. threshold (finagle-http, FDIP+LRU)",
 		"threshold", "coverage%", "accuracy%", "mpki", "speedup%")
-	for _, pt := range tune.Curve {
+	for _, pt := range curve {
 		t.AddRowF(fmt.Sprintf("%.2f", pt.Threshold), "%.2f",
 			pt.Coverage*100, pt.Accuracy*100, pt.MPKI, pt.SpeedupPct)
 	}
@@ -309,14 +365,10 @@ func (s *Suite) Fig5() (*Table, error) {
 	return t, nil
 }
 
-// Demote reproduces the Sec. IV "invalidation vs. reducing LRU priority"
-// experiment: the tuned Ripple-LRU plan executed with demote hints instead
-// of invalidations, under FDIP. Paper: demotion nudges the mean speedup
-// from 1.6% to 1.7% (all apps but verilator benefit).
-func (s *Suite) Demote() (*Table, error) {
-	t := NewTable("demote", "Ripple-LRU with invalidate vs. demote hints, FDIP (% speedup over LRU)",
-		"application", "invalidate%", "demote%").WithMean()
-	for _, app := range s.cfg.Apps {
+// demoteCell evaluates one application's invalidate-vs-demote pair.
+func (s *Suite) demoteCell(app string) runner.Job {
+	cost := float64(s.cfg.TraceBlocks) * float64(len(s.cfg.Thresholds)+5)
+	return s.cell("demote", app, cost, func() ([]float64, error) {
 		st, err := s.state(app)
 		if err != nil {
 			return nil, err
@@ -330,26 +382,46 @@ func (s *Suite) Demote() (*Table, error) {
 			return nil, err
 		}
 		dcfg := s.tuneCfg("fdip", "lru", frontend.HintDemote)
-		dem, err := core.RunPlan(st.app.Prog, s.trace(st, 0), dcfg, ev.tune.BestPlan)
+		dem, err := core.RunPlan(st.app.Prog, s.trace(st, 0), dcfg, ev.BestPlan)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRowF(app, "%.2f",
-			speedupPct(base.Cycles, ev.best.Cycles),
-			speedupPct(base.Cycles, dem.Cycles))
+		return []float64{
+			speedupPct(base.Cycles, ev.Best.Cycles),
+			speedupPct(base.Cycles, dem.Cycles),
+		}, nil
+	})
+}
+
+// Demote reproduces the Sec. IV "invalidation vs. reducing LRU priority"
+// experiment: the tuned Ripple-LRU plan executed with demote hints instead
+// of invalidations, under FDIP. Paper: demotion nudges the mean speedup
+// from 1.6% to 1.7% (all apps but verilator benefit).
+func (s *Suite) Demote() (*Table, error) {
+	var jobs []runner.Job
+	for _, app := range s.cfg.Apps {
+		jobs = append(jobs, s.demoteCell(app))
+	}
+	if err := s.warm(jobs...); err != nil {
+		return nil, err
+	}
+	t := NewTable("demote", "Ripple-LRU with invalidate vs. demote hints, FDIP (% speedup over LRU)",
+		"application", "invalidate%", "demote%").WithMean()
+	for _, app := range s.cfg.Apps {
+		row, err := s.cellRow(s.demoteCell(app))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowF(app, "%.2f", row...)
 	}
 	t.Note = "paper: demote variant slightly ahead on average (1.6% -> 1.7%)"
 	return t, nil
 }
 
-// Granularity reproduces the Sec. III-C invalidation-granularity ablation:
-// the tuned plan's line-granularity victims vs. the same victims widened
-// to whole basic blocks, under FDIP+LRU.
-func (s *Suite) Granularity() (*Table, error) {
-	t := NewTable("granularity", "Victim granularity: cache line vs. whole block, FDIP+LRU (% speedup over LRU)",
-		"application", "line%", "block%").WithMean()
-	tcfg := s.tuneCfg("fdip", "lru", frontend.HintInvalidate)
-	for _, app := range s.cfg.Apps {
+// granularityCell evaluates one application's line-vs-block pair.
+func (s *Suite) granularityCell(app string) runner.Job {
+	cost := float64(s.cfg.TraceBlocks) * float64(len(s.cfg.Thresholds)+5)
+	return s.cell("granularity", app, cost, func() ([]float64, error) {
 		st, err := s.state(app)
 		if err != nil {
 			return nil, err
@@ -362,14 +434,38 @@ func (s *Suite) Granularity() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		wide := ev.tune.BestPlan.ExpandVictimsToBlocks(st.app.Prog)
+		tcfg := s.tuneCfg("fdip", "lru", frontend.HintInvalidate)
+		wide := ev.BestPlan.ExpandVictimsToBlocks(st.app.Prog)
 		wr, err := core.RunPlan(st.app.Prog, s.trace(st, 0), tcfg, wide)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRowF(app, "%.2f",
-			speedupPct(base.Cycles, ev.best.Cycles),
-			speedupPct(base.Cycles, wr.Cycles))
+		return []float64{
+			speedupPct(base.Cycles, ev.Best.Cycles),
+			speedupPct(base.Cycles, wr.Cycles),
+		}, nil
+	})
+}
+
+// Granularity reproduces the Sec. III-C invalidation-granularity ablation:
+// the tuned plan's line-granularity victims vs. the same victims widened
+// to whole basic blocks, under FDIP+LRU.
+func (s *Suite) Granularity() (*Table, error) {
+	var jobs []runner.Job
+	for _, app := range s.cfg.Apps {
+		jobs = append(jobs, s.granularityCell(app))
+	}
+	if err := s.warm(jobs...); err != nil {
+		return nil, err
+	}
+	t := NewTable("granularity", "Victim granularity: cache line vs. whole block, FDIP+LRU (% speedup over LRU)",
+		"application", "line%", "block%").WithMean()
+	for _, app := range s.cfg.Apps {
+		row, err := s.cellRow(s.granularityCell(app))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowF(app, "%.2f", row...)
 	}
 	return t, nil
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 )
@@ -74,11 +75,36 @@ func Describe(id string) (string, bool) {
 }
 
 // Tables computes the tables of one experiment without rendering them.
+// With a result store configured, finished experiments are additionally
+// cached whole (keyed by the full config signature plus the experiment
+// ID), so a repeat invocation skips even the serial assembly work that
+// stitches cell results into tables.
 func (s *Suite) Tables(id string) ([]*Table, error) {
 	for _, e := range registry {
-		if e.id == id {
-			return e.run(s)
+		if e.id != id {
+			continue
 		}
+		store := s.pool.Store()
+		sig := s.tableSig(id)
+		if store != nil {
+			if raw, ok := store.Get(sig); ok {
+				var tables []*Table
+				if json.Unmarshal(raw, &tables) == nil {
+					s.logf("[%s] tables served from cache", id)
+					return tables, nil
+				}
+			}
+		}
+		tables, err := e.run(s)
+		if err != nil {
+			return nil, err
+		}
+		if store != nil {
+			if err := store.Put(sig, tables); err != nil {
+				s.logf("[%s] table cache write failed: %v", id, err)
+			}
+		}
+		return tables, nil
 	}
 	return nil, fmt.Errorf("experiment: unknown id %q (have %v)", id, IDs())
 }

@@ -1,9 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"sync"
 	"time"
 
 	"ripple/internal/core"
@@ -12,6 +15,7 @@ import (
 	"ripple/internal/prefetch"
 	"ripple/internal/program"
 	"ripple/internal/replacement"
+	"ripple/internal/runner"
 	"ripple/internal/workload"
 )
 
@@ -31,6 +35,15 @@ type Config struct {
 	Thresholds []float64
 	// Log receives progress lines (nil silences them).
 	Log io.Writer
+	// Workers bounds how many simulation jobs run concurrently; <= 0
+	// uses GOMAXPROCS. Every job is deterministic and self-seeded, so
+	// results are bit-identical for any worker count.
+	Workers int
+	// CacheDir, when non-empty, persists every job result in a
+	// content-addressed store so repeated and partially-overlapping
+	// suite runs across processes are incremental. Empty disables
+	// persistence (results are still memoized in-process).
+	CacheDir string
 }
 
 // DefaultConfig returns the standard suite configuration.
@@ -45,107 +58,167 @@ func DefaultConfig() Config {
 	}
 }
 
-// Suite runs experiments against a shared, lazily populated result cache,
-// so e.g. Fig. 7 and Fig. 8 (speedup and MPKI of the same configurations)
-// cost one set of simulations.
+// normalize fills zero-valued fields with their defaults. It is the one
+// place default resolution happens: New applies it, and callers
+// (cmd/rippleexp, benchmarks) must leave unset fields zero rather than
+// re-deriving defaults themselves.
+func (c Config) normalize() Config {
+	def := DefaultConfig()
+	if c.Params.L1I.SizeBytes == 0 {
+		c.Params = def.Params
+	}
+	if c.TraceBlocks == 0 {
+		c.TraceBlocks = def.TraceBlocks
+	}
+	if c.WarmupBlocks == 0 {
+		c.WarmupBlocks = c.TraceBlocks / 3
+	}
+	if len(c.Apps) == 0 {
+		c.Apps = def.Apps
+	}
+	if len(c.Thresholds) == 0 {
+		c.Thresholds = def.Thresholds
+	}
+	return c
+}
+
+// Suite runs experiments against a shared result cache, so e.g. Fig. 7
+// and Fig. 8 (speedup and MPKI of the same configurations) cost one set
+// of simulations. Simulations execute as runner jobs: independent cells
+// fan out across a worker pool, results are memoized in-process and —
+// with CacheDir set — persisted content-addressed on disk, keyed by the
+// full run signature (workload-generator version, machine params, trace
+// length, warmup, app, policy, prefetcher, thresholds).
 type Suite struct {
 	cfg  Config
+	pool *runner.Pool
+	log  io.Writer // serialized; shared with the pool
+	ctx  context.Context
+	base string // signature prefix shared by every job of this config
+
+	mu   sync.Mutex
 	apps map[string]*appState
 }
 
-type runKey struct {
-	prefetcher string
-	policy     string
-	accuracy   bool
-}
-
-type rippleKey struct {
-	prefetcher string
-	policy     string
-}
-
-// rippleEval is the cached outcome of the full Ripple pipeline for one
-// (app, prefetcher, policy) cell: the tuned plan plus a re-evaluation of
-// the winning plan with accuracy instrumentation.
-type rippleEval struct {
-	analysis *core.Analysis
-	tune     *core.TuneResult
-	best     frontend.Result
-	staticOv float64
-}
-
+// appState holds the per-application substrate that cannot (or need not)
+// be persisted: the built program, synthesized traces, and the eviction
+// analysis, which carries live *program.Program references. All fields
+// build lazily and at most once; jobs running on different workers share
+// them read-only.
 type appState struct {
-	model  workload.Model
-	app    *workload.App
+	model workload.Model
+
+	once sync.Once
+	app  *workload.App
+	err  error
+
+	tmu    sync.Mutex
 	traces map[int][]program.BlockID
 
+	aonce    sync.Once
 	analysis *core.Analysis
-	runs     map[runKey]frontend.Result
-	// oracleMisses caches, per prefetcher, the demand-miss counts of the
-	// offline oracle modes replayed over the stream recorded under LRU.
-	oracleMisses map[string]map[opt.Mode]uint64
-	ripple       map[rippleKey]*rippleEval
+	aerr     error
 }
 
 // New builds a suite. Invalid app names surface on first use.
 func New(cfg Config) *Suite {
-	def := DefaultConfig()
-	if cfg.Params.L1I.SizeBytes == 0 {
-		cfg.Params = def.Params
+	cfg = cfg.normalize()
+	var store *runner.Store
+	if cfg.CacheDir != "" {
+		st, err := runner.OpenStore(cfg.CacheDir)
+		if err != nil && cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "experiment: result cache disabled: %v\n", err)
+		}
+		store = st
 	}
-	if cfg.TraceBlocks == 0 {
-		cfg.TraceBlocks = def.TraceBlocks
+	pool := runner.New(runner.Options{Workers: cfg.Workers, Store: store, Log: cfg.Log})
+	s := &Suite{
+		cfg:  cfg,
+		pool: pool,
+		log:  pool.LogWriter(),
+		ctx:  context.Background(),
+		apps: make(map[string]*appState),
 	}
-	if cfg.WarmupBlocks == 0 {
-		cfg.WarmupBlocks = cfg.TraceBlocks / 3
-	}
-	if len(cfg.Apps) == 0 {
-		cfg.Apps = def.Apps
-	}
-	if len(cfg.Thresholds) == 0 {
-		cfg.Thresholds = def.Thresholds
-	}
-	return &Suite{cfg: cfg, apps: make(map[string]*appState)}
+	s.base = fmt.Sprintf("rexp1|wl=%s|params=%+v|blocks=%d|warmup=%d",
+		workload.GeneratorVersion, cfg.Params, cfg.TraceBlocks, cfg.WarmupBlocks)
+	return s
 }
 
 // Apps returns the application names the suite covers, in figure order.
 func (s *Suite) Apps() []string { return s.cfg.Apps }
 
+// Stats reports what the underlying job runner has done so far (jobs
+// computed, store hits, coalesced calls, summed simulation wall time).
+func (s *Suite) Stats() runner.Stats { return s.pool.Stats() }
+
 func (s *Suite) logf(format string, args ...interface{}) {
 	if s.cfg.Log != nil {
-		fmt.Fprintf(s.cfg.Log, format+"\n", args...)
+		fmt.Fprintf(s.log, format+"\n", args...)
 	}
 }
 
-// state lazily builds the application and its input-#0 trace.
+// --- job signatures ---------------------------------------------------
+
+func (s *Suite) thSig() string { return fmt.Sprintf("%v", s.cfg.Thresholds) }
+
+func (s *Suite) runSig(app, prefetcher, policy string, accuracy bool) string {
+	return fmt.Sprintf("%s|run|app=%s|pf=%s|pol=%s|acc=%t", s.base, app, prefetcher, policy, accuracy)
+}
+
+func (s *Suite) oracleSig(app, prefetcher string) string {
+	return fmt.Sprintf("%s|oracle|app=%s|pf=%s", s.base, app, prefetcher)
+}
+
+func (s *Suite) rippleSig(app, prefetcher, policy string) string {
+	return fmt.Sprintf("%s|ripple|th=%s|app=%s|pf=%s|pol=%s", s.base, s.thSig(), app, prefetcher, policy)
+}
+
+func (s *Suite) cellSig(exp, key string) string {
+	return fmt.Sprintf("%s|cell|th=%s|exp=%s|key=%s", s.base, s.thSig(), exp, key)
+}
+
+func (s *Suite) tableSig(id string) string {
+	return fmt.Sprintf("%s|table|th=%s|apps=%s|id=%s", s.base, s.thSig(), strings.Join(s.cfg.Apps, ","), id)
+}
+
+// warm fans a batch of jobs out across the worker pool before table
+// assembly; assembly then reads every cell from the in-process cache.
+func (s *Suite) warm(jobs ...runner.Job) error { return s.pool.RunAll(s.ctx, jobs) }
+
+// --- per-application substrate ----------------------------------------
+
+// state lazily builds the application and its state slot; builds for
+// different applications proceed in parallel, each at most once.
 func (s *Suite) state(name string) (*appState, error) {
-	if st, ok := s.apps[name]; ok {
-		return st, nil
-	}
-	m, ok := workload.ByName(name)
+	s.mu.Lock()
+	st, ok := s.apps[name]
 	if !ok {
-		return nil, fmt.Errorf("experiment: unknown application %q", name)
+		m, known := workload.ByName(name)
+		if !known {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("experiment: unknown application %q", name)
+		}
+		st = &appState{model: m, traces: make(map[int][]program.BlockID)}
+		s.apps[name] = st
 	}
-	t0 := time.Now()
-	app, err := workload.Build(m)
-	if err != nil {
-		return nil, err
+	s.mu.Unlock()
+	st.once.Do(func() {
+		t0 := time.Now()
+		st.app, st.err = workload.Build(st.model)
+		if st.err == nil {
+			s.logf("[%s] built (%d blocks of code) in %v", name, st.app.Prog.NumBlocks(), time.Since(t0).Round(time.Millisecond))
+		}
+	})
+	if st.err != nil {
+		return nil, st.err
 	}
-	st := &appState{
-		model:        m,
-		app:          app,
-		traces:       map[int][]program.BlockID{},
-		runs:         map[runKey]frontend.Result{},
-		oracleMisses: map[string]map[opt.Mode]uint64{},
-		ripple:       map[rippleKey]*rippleEval{},
-	}
-	s.apps[name] = st
-	s.logf("[%s] built (%d blocks of code) in %v", name, app.Prog.NumBlocks(), time.Since(t0).Round(time.Millisecond))
 	return st, nil
 }
 
 // trace lazily synthesizes the trace for one input configuration.
 func (s *Suite) trace(st *appState, input int) []program.BlockID {
+	st.tmu.Lock()
+	defer st.tmu.Unlock()
 	if tr, ok := st.traces[input]; ok {
 		return tr
 	}
@@ -154,76 +227,149 @@ func (s *Suite) trace(st *appState, input int) []program.BlockID {
 	return tr
 }
 
-// run simulates (and caches) one (app, prefetcher, policy) cell on the
-// input-#0 trace of the unmodified binary.
-func (s *Suite) run(name, prefetcher, policy string, accuracy bool) (frontend.Result, error) {
+// analysisFor lazily runs Ripple's eviction analysis on the input-#0
+// trace. The analysis holds live program references, so it is memoized
+// in-process only; jobs that depend on it persist their own outputs.
+func (s *Suite) analysisFor(name string) (*core.Analysis, error) {
 	st, err := s.state(name)
 	if err != nil {
-		return frontend.Result{}, err
+		return nil, err
 	}
-	key := runKey{prefetcher: prefetcher, policy: policy, accuracy: accuracy}
-	if r, ok := st.runs[key]; ok {
-		return r, nil
-	}
-	pol, err := replacement.New(policy)
-	if err != nil {
-		return frontend.Result{}, err
-	}
-	pf, err := prefetch.New(prefetcher, st.app.Prog)
-	if err != nil {
-		return frontend.Result{}, err
-	}
-	t0 := time.Now()
-	r, err := frontend.Run(s.cfg.Params, st.app.Prog, s.trace(st, 0), frontend.Options{
-		Policy:          pol,
-		Prefetcher:      pf,
-		MeasureAccuracy: accuracy,
-		WarmupBlocks:    s.cfg.WarmupBlocks,
+	st.aonce.Do(func() {
+		acfg := core.DefaultAnalysisConfig()
+		acfg.L1I = s.cfg.Params.L1I
+		t0 := time.Now()
+		st.analysis, st.aerr = core.Analyze(st.app.Prog, s.trace(st, 0), acfg)
+		if st.aerr == nil {
+			s.logf("[%s] eviction analysis: %d windows (%v)", name, st.analysis.Windows, time.Since(t0).Round(time.Millisecond))
+		}
 	})
-	if err != nil {
-		return frontend.Result{}, err
-	}
-	st.runs[key] = r
-	s.logf("[%s] %s/%s: MPKI %.2f, IPC %.3f (%v)", name, prefetcher, policy, r.MPKI(), r.IPC(), time.Since(t0).Round(time.Millisecond))
-	return r, nil
+	return st.analysis, st.aerr
 }
 
-// oracleMissCount replays an offline oracle replacement mode (MIN,
-// Demand-MIN, or pollute-evict) over the access stream recorded under LRU
-// with the given prefetcher, returning the oracle's demand-miss count. The
-// stream is recorded once per prefetcher and all three modes are evaluated
-// together so it never has to be kept around.
+// --- simulation cells (runner jobs) -----------------------------------
+
+// runJob simulates one (app, prefetcher, policy) cell on the input-#0
+// trace of the unmodified binary.
+func (s *Suite) runJob(name, prefetcher, policy string, accuracy bool) runner.Job {
+	cost := float64(s.cfg.TraceBlocks)
+	if accuracy {
+		cost *= 1.5
+	}
+	label := fmt.Sprintf("run %s %s/%s", name, prefetcher, policy)
+	return runner.NewJob(s.runSig(name, prefetcher, policy, accuracy), label, cost,
+		func(context.Context) (*frontend.Result, error) {
+			st, err := s.state(name)
+			if err != nil {
+				return nil, err
+			}
+			pol, err := replacement.New(policy)
+			if err != nil {
+				return nil, err
+			}
+			pf, err := prefetch.New(prefetcher, st.app.Prog)
+			if err != nil {
+				return nil, err
+			}
+			t0 := time.Now()
+			r, err := frontend.Run(s.cfg.Params, st.app.Prog, s.trace(st, 0), frontend.Options{
+				Policy:          pol,
+				Prefetcher:      pf,
+				MeasureAccuracy: accuracy,
+				WarmupBlocks:    s.cfg.WarmupBlocks,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.logf("[%s] %s/%s: MPKI %.2f, IPC %.3f (%v)", name, prefetcher, policy, r.MPKI(), r.IPC(), time.Since(t0).Round(time.Millisecond))
+			return &r, nil
+		})
+}
+
+// run executes (or fetches) one cell through the runner.
+func (s *Suite) run(name, prefetcher, policy string, accuracy bool) (frontend.Result, error) {
+	v, err := s.pool.Do(s.ctx, s.runJob(name, prefetcher, policy, accuracy))
+	if err != nil {
+		return frontend.Result{}, err
+	}
+	return *(v.(*frontend.Result)), nil
+}
+
+// oracleCounts is the persisted outcome of replaying the offline oracle
+// replacement modes over the access stream recorded under LRU with one
+// prefetcher.
+type oracleCounts struct {
+	Min       uint64
+	DemandMin uint64
+	Pollute   uint64
+	LRUMisses uint64
+	LRUResult frontend.Result
+}
+
+// oracleJob records the LRU access stream once per (app, prefetcher) and
+// evaluates all three oracle modes over it, so the stream never has to
+// be kept around (or persisted).
+func (s *Suite) oracleJob(name, prefetcher string) runner.Job {
+	label := fmt.Sprintf("oracle %s %s", name, prefetcher)
+	return runner.NewJob(s.oracleSig(name, prefetcher), label, 2*float64(s.cfg.TraceBlocks),
+		func(context.Context) (*oracleCounts, error) {
+			st, err := s.state(name)
+			if err != nil {
+				return nil, err
+			}
+			pol, _ := replacement.New("lru")
+			pf, err := prefetch.New(prefetcher, st.app.Prog)
+			if err != nil {
+				return nil, err
+			}
+			r, err := frontend.Run(s.cfg.Params, st.app.Prog, s.trace(st, 0), frontend.Options{
+				Policy:       pol,
+				Prefetcher:   pf,
+				RecordStream: true,
+				WarmupBlocks: s.cfg.WarmupBlocks,
+			})
+			if err != nil {
+				return nil, err
+			}
+			oc := &oracleCounts{
+				Min:       opt.Simulate(r.Stream, s.cfg.Params.L1I, opt.ModeMIN, false).DemandMisses,
+				DemandMin: opt.Simulate(r.Stream, s.cfg.Params.L1I, opt.ModeDemandMIN, false).DemandMisses,
+				Pollute:   opt.Simulate(r.Stream, s.cfg.Params.L1I, opt.ModePolluteEvict, false).DemandMisses,
+				LRUMisses: r.L1I.DemandMisses + r.LateMisses,
+			}
+			r.Stream = nil
+			oc.LRUResult = r
+			s.logf("[%s] %s oracles: min=%d demand-min=%d pollute=%d (LRU: %d)",
+				name, prefetcher, oc.Min, oc.DemandMin, oc.Pollute, oc.LRUMisses)
+			return oc, nil
+		})
+}
+
+func (s *Suite) oracle(name, prefetcher string) (*oracleCounts, error) {
+	v, err := s.pool.Do(s.ctx, s.oracleJob(name, prefetcher))
+	if err != nil {
+		return nil, err
+	}
+	return v.(*oracleCounts), nil
+}
+
+// oracleMissCount returns the demand-miss count of one offline oracle
+// replacement mode (MIN, Demand-MIN, or pollute-evict) replayed over the
+// stream recorded under LRU with the given prefetcher.
 func (s *Suite) oracleMissCount(name, prefetcher string, mode opt.Mode) (uint64, error) {
-	st, err := s.state(name)
+	oc, err := s.oracle(name, prefetcher)
 	if err != nil {
 		return 0, err
 	}
-	if byMode, ok := st.oracleMisses[prefetcher]; ok {
-		return byMode[mode], nil
+	switch mode {
+	case opt.ModeMIN:
+		return oc.Min, nil
+	case opt.ModeDemandMIN:
+		return oc.DemandMin, nil
+	case opt.ModePolluteEvict:
+		return oc.Pollute, nil
 	}
-	pol, _ := replacement.New("lru")
-	pf, err := prefetch.New(prefetcher, st.app.Prog)
-	if err != nil {
-		return 0, err
-	}
-	r, err := frontend.Run(s.cfg.Params, st.app.Prog, s.trace(st, 0), frontend.Options{
-		Policy:       pol,
-		Prefetcher:   pf,
-		RecordStream: true,
-		WarmupBlocks: s.cfg.WarmupBlocks,
-	})
-	if err != nil {
-		return 0, err
-	}
-	byMode := make(map[opt.Mode]uint64, 3)
-	for _, m := range []opt.Mode{opt.ModeMIN, opt.ModeDemandMIN, opt.ModePolluteEvict} {
-		byMode[m] = opt.Simulate(r.Stream, s.cfg.Params.L1I, m, false).DemandMisses
-	}
-	st.oracleMisses[prefetcher] = byMode
-	s.logf("[%s] %s oracles: min=%d demand-min=%d pollute=%d (LRU: %d)",
-		name, prefetcher, byMode[opt.ModeMIN], byMode[opt.ModeDemandMIN],
-		byMode[opt.ModePolluteEvict], r.L1I.DemandMisses+r.LateMisses)
-	return byMode[mode], nil
+	return 0, fmt.Errorf("experiment: unknown oracle mode %v", mode)
 }
 
 // idealReplacementCycles estimates the cycle count of the LRU run had it
@@ -251,27 +397,6 @@ func idealCyclesFrom(base frontend.Result, idealMisses uint64) uint64 {
 	return base.Cycles - base.StallCycles + uint64(float64(idealMisses)*penalty)
 }
 
-// analysis lazily runs Ripple's eviction analysis on the input-#0 trace.
-func (s *Suite) analysisFor(name string) (*core.Analysis, error) {
-	st, err := s.state(name)
-	if err != nil {
-		return nil, err
-	}
-	if st.analysis != nil {
-		return st.analysis, nil
-	}
-	acfg := core.DefaultAnalysisConfig()
-	acfg.L1I = s.cfg.Params.L1I
-	t0 := time.Now()
-	a, err := core.Analyze(st.app.Prog, s.trace(st, 0), acfg)
-	if err != nil {
-		return nil, err
-	}
-	st.analysis = a
-	s.logf("[%s] eviction analysis: %d windows (%v)", name, a.Windows, time.Since(t0).Round(time.Millisecond))
-	return a, nil
-}
-
 // tuneCfg assembles the core.TuneConfig for one cell.
 func (s *Suite) tuneCfg(prefetcher, policy string, hints frontend.HintMode) core.TuneConfig {
 	return core.TuneConfig{
@@ -284,44 +409,149 @@ func (s *Suite) tuneCfg(prefetcher, policy string, hints frontend.HintMode) core
 	}
 }
 
-// rippleFor runs (and caches) the full Ripple pipeline for one cell:
-// analysis, threshold tuning, and an accuracy-instrumented evaluation of
-// the winning plan.
+// rippleEval is the persisted outcome of the full Ripple pipeline for
+// one (app, prefetcher, policy) cell: the tuned threshold curve, the
+// winning plan, and a re-evaluation of that plan with accuracy
+// instrumentation.
+type rippleEval struct {
+	Curve   []core.ThresholdPoint
+	BestIdx int
+	// BestPlan is the winning injection plan (needed by the ablations
+	// that re-execute it under other configurations).
+	BestPlan *core.Plan
+	// Best is the accuracy-instrumented evaluation of the winning plan
+	// (Figs. 9-12).
+	Best frontend.Result
+	// StaticOv is the static instruction overhead of injection (%).
+	StaticOv float64
+	// AnalysisWindows is the eviction-window count of the profile the
+	// plan was computed from.
+	AnalysisWindows int
+}
+
+// BestPoint returns the winning curve point.
+func (ev *rippleEval) BestPoint() core.ThresholdPoint { return ev.Curve[ev.BestIdx] }
+
+// rippleJob runs the full Ripple pipeline for one cell: analysis,
+// threshold tuning, and an accuracy-instrumented evaluation of the
+// winning plan.
+func (s *Suite) rippleJob(name, prefetcher, policy string) runner.Job {
+	cost := float64(s.cfg.TraceBlocks) * float64(len(s.cfg.Thresholds)+3)
+	label := fmt.Sprintf("ripple %s %s/%s", name, prefetcher, policy)
+	return runner.NewJob(s.rippleSig(name, prefetcher, policy), label, cost,
+		func(context.Context) (*rippleEval, error) {
+			st, err := s.state(name)
+			if err != nil {
+				return nil, err
+			}
+			a, err := s.analysisFor(name)
+			if err != nil {
+				return nil, err
+			}
+			tcfg := s.tuneCfg(prefetcher, policy, frontend.HintInvalidate)
+			t0 := time.Now()
+			tune, err := core.Tune(a, s.trace(st, 0), tcfg)
+			if err != nil {
+				return nil, err
+			}
+			// Re-evaluate the winner with accuracy instrumentation for
+			// Figs. 9-12.
+			tcfg.MeasureAccuracy = true
+			best, err := core.RunPlan(st.app.Prog, s.trace(st, 0), tcfg, tune.BestPlan)
+			if err != nil {
+				return nil, err
+			}
+			ev := &rippleEval{
+				Curve:           tune.Curve,
+				BestIdx:         tune.Best,
+				BestPlan:        tune.BestPlan,
+				Best:            best,
+				AnalysisWindows: a.Windows,
+			}
+			injected := tune.BestPlan.ApplyPreservingLayout(st.app.Prog)
+			if orig := st.app.Prog.StaticInstrs(); orig > 0 {
+				ev.StaticOv = float64(injected.StaticInstrs()-orig) / float64(orig) * 100
+			}
+			s.logf("[%s] ripple-%s/%s: th=%.2f speedup %.2f%%, coverage %.0f%% (%v)",
+				name, policy, prefetcher, ev.BestPoint().Threshold, ev.BestPoint().SpeedupPct,
+				best.Coverage()*100, time.Since(t0).Round(time.Second))
+			return ev, nil
+		})
+}
+
+// rippleFor runs (or fetches) the full Ripple pipeline for one cell.
 func (s *Suite) rippleFor(name, prefetcher, policy string) (*rippleEval, error) {
-	st, err := s.state(name)
+	v, err := s.pool.Do(s.ctx, s.rippleJob(name, prefetcher, policy))
 	if err != nil {
 		return nil, err
 	}
-	key := rippleKey{prefetcher: prefetcher, policy: policy}
-	if ev, ok := st.ripple[key]; ok {
-		return ev, nil
-	}
-	a, err := s.analysisFor(name)
+	return v.(*rippleEval), nil
+}
+
+// cell wraps one experiment's per-application tail computation as a
+// persistable job returning a numeric row. Cells may freely call
+// s.run/s.rippleFor/s.oracle — nested job requests coalesce through the
+// pool and compute inline on the calling worker, so they cannot
+// deadlock.
+func (s *Suite) cell(exp, key string, cost float64, f func() ([]float64, error)) runner.Job {
+	return runner.NewJob(s.cellSig(exp, key), exp+" "+key, cost,
+		func(context.Context) (*[]float64, error) {
+			row, err := f()
+			if err != nil {
+				return nil, err
+			}
+			return &row, nil
+		})
+}
+
+// cellRow executes (or fetches) a cell and returns its row.
+func (s *Suite) cellRow(j runner.Job) ([]float64, error) {
+	v, err := s.pool.Do(s.ctx, j)
 	if err != nil {
 		return nil, err
 	}
-	tcfg := s.tuneCfg(prefetcher, policy, frontend.HintInvalidate)
-	t0 := time.Now()
-	tune, err := core.Tune(a, s.trace(st, 0), tcfg)
-	if err != nil {
-		return nil, err
+	return *(v.(*[]float64)), nil
+}
+
+// --- warm-up job enumeration ------------------------------------------
+
+// crossJobs enumerates the run jobs of an apps × prefetchers × policies
+// cross-product.
+func (s *Suite) crossJobs(apps, prefetchers, policies []string) []runner.Job {
+	var jobs []runner.Job
+	for _, app := range apps {
+		for _, pf := range prefetchers {
+			for _, pol := range policies {
+				jobs = append(jobs, s.runJob(app, pf, pol, false))
+			}
+		}
 	}
-	// Re-evaluate the winner with accuracy instrumentation for Figs. 9-12.
-	tcfg.MeasureAccuracy = true
-	best, err := core.RunPlan(st.app.Prog, s.trace(st, 0), tcfg, tune.BestPlan)
-	if err != nil {
-		return nil, err
+	return jobs
+}
+
+// oracleJobs enumerates oracle jobs for apps × prefetchers.
+func (s *Suite) oracleJobs(apps, prefetchers []string) []runner.Job {
+	var jobs []runner.Job
+	for _, app := range apps {
+		for _, pf := range prefetchers {
+			jobs = append(jobs, s.oracleJob(app, pf))
+		}
 	}
-	injected := tune.BestPlan.ApplyPreservingLayout(st.app.Prog)
-	ev := &rippleEval{analysis: a, tune: tune, best: best}
-	if orig := st.app.Prog.StaticInstrs(); orig > 0 {
-		ev.staticOv = float64(injected.StaticInstrs()-orig) / float64(orig) * 100
+	return jobs
+}
+
+// rippleJobs enumerates Ripple pipeline jobs for apps × prefetchers ×
+// policies.
+func (s *Suite) rippleJobs(apps, prefetchers, policies []string) []runner.Job {
+	var jobs []runner.Job
+	for _, app := range apps {
+		for _, pf := range prefetchers {
+			for _, pol := range policies {
+				jobs = append(jobs, s.rippleJob(app, pf, pol))
+			}
+		}
 	}
-	st.ripple[key] = ev
-	s.logf("[%s] ripple-%s/%s: th=%.2f speedup %.2f%%, coverage %.0f%% (%v)",
-		name, policy, prefetcher, tune.BestPoint().Threshold, tune.BestPoint().SpeedupPct,
-		best.Coverage()*100, time.Since(t0).Round(time.Second))
-	return ev, nil
+	return jobs
 }
 
 // speedupPct converts a cycle pair into percentage speedup.

@@ -1,0 +1,362 @@
+// Package runner schedules independent, deterministic simulation jobs
+// across a worker pool and memoizes their results in memory and in an
+// optional content-addressed on-disk store.
+//
+// A Job couples a stable string signature with the computation it
+// identifies: equal signatures MUST mean bit-identical results, because
+// the pool deduplicates concurrent requests (singleflight), serves
+// repeats from memory, and serves later processes from the store without
+// ever re-running the job. Determinism is the caller's contract; jobs
+// that need randomness must derive it from Seed(sig) (or an equivalent
+// signature-keyed seed) rather than any shared or time-dependent source,
+// so results do not depend on scheduling order or worker count.
+//
+// The pool executes batches largest-cost-first so long-pole jobs start
+// early, captures panics as errors, honors context cancellation (pending
+// jobs are skipped, running jobs finish, workers drain), and reports
+// structured progress (jobs done/total, per-job wall time, store
+// hit/miss counts) to an optional log writer.
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job is one unit of deterministic work, identified by its signature.
+type Job struct {
+	// Sig is the full run signature: every input that can change the
+	// result must be encoded in it (see the package comment).
+	Sig string
+	// Label is the short human-readable name used in progress logs.
+	Label string
+	// Cost is a relative scheduling hint; batches run largest-first.
+	Cost float64
+
+	run    func(context.Context) (any, error)
+	decode func([]byte) (any, error)
+}
+
+// NewJob builds a job whose result is a *T. Results are persisted as
+// JSON, so T must round-trip through encoding/json.
+func NewJob[T any](sig, label string, cost float64, fn func(context.Context) (*T, error)) Job {
+	return Job{
+		Sig:   sig,
+		Label: label,
+		Cost:  cost,
+		run:   func(ctx context.Context) (any, error) { return fn(ctx) },
+		decode: func(raw []byte) (any, error) {
+			v := new(T)
+			if err := json.Unmarshal(raw, v); err != nil {
+				return nil, err
+			}
+			return v, nil
+		},
+	}
+}
+
+// Seed derives a deterministic 64-bit RNG seed from a job signature
+// (FNV-1a), so each job can own a private random stream that depends
+// only on what the job is, never on when or where it runs.
+func Seed(sig string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(sig); i++ {
+		h ^= uint64(sig[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Options configures a Pool.
+type Options struct {
+	// Workers bounds concurrent job execution; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Store, when non-nil, persists every successful result.
+	Store *Store
+	// Log receives progress lines (nil silences them).
+	Log io.Writer
+}
+
+// Stats summarizes what a pool has done so far.
+type Stats struct {
+	// Computed counts jobs that actually executed.
+	Computed int64
+	// StoreHits counts jobs served from the on-disk store.
+	StoreHits int64
+	// MemHits counts jobs served from (or coalesced with) an earlier
+	// in-process call.
+	MemHits int64
+	// Errors counts failed job executions (including panics).
+	Errors int64
+	// ComputeTime is the summed wall time of executed jobs.
+	ComputeTime time.Duration
+}
+
+// call is one in-flight or completed computation (singleflight slot).
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Pool runs jobs across a bounded set of workers.
+type Pool struct {
+	workers int
+	store   *Store
+	log     *syncWriter
+
+	mu    sync.Mutex
+	calls map[string]*call
+
+	computed    atomic.Int64
+	storeHits   atomic.Int64
+	memHits     atomic.Int64
+	errs        atomic.Int64
+	computeTime atomic.Int64 // nanoseconds
+}
+
+// New builds a pool.
+func New(opts Options) *Pool {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{
+		workers: w,
+		store:   opts.Store,
+		log:     &syncWriter{w: opts.Log},
+		calls:   make(map[string]*call),
+	}
+}
+
+// Workers returns the concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Store returns the persistent store, or nil.
+func (p *Pool) Store() *Store { return p.store }
+
+// LogWriter returns a writer that serializes concurrent writes to the
+// configured log (safe to share with job bodies).
+func (p *Pool) LogWriter() io.Writer { return p.log }
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Computed:    p.computed.Load(),
+		StoreHits:   p.storeHits.Load(),
+		MemHits:     p.memHits.Load(),
+		Errors:      p.errs.Load(),
+		ComputeTime: time.Duration(p.computeTime.Load()),
+	}
+}
+
+func (p *Pool) logf(format string, args ...any) {
+	p.log.printf(format, args...)
+}
+
+// Do returns the job's result, computing it at most once per process:
+// concurrent calls with the same signature coalesce, completed results
+// are served from memory, and (with a store) from disk across processes.
+// A cache miss computes inline on the caller's goroutine, so nested Do
+// calls from inside a running job cannot deadlock.
+func (p *Pool) Do(ctx context.Context, j Job) (any, error) {
+	v, _, err := p.do(ctx, j)
+	return v, err
+}
+
+func (p *Pool) do(ctx context.Context, j Job) (v any, computed bool, err error) {
+	if j.Sig == "" || j.run == nil {
+		return nil, false, errors.New("runner: job missing signature or body")
+	}
+	p.mu.Lock()
+	if c, ok := p.calls[j.Sig]; ok {
+		p.mu.Unlock()
+		select {
+		case <-c.done:
+			p.memHits.Add(1)
+			return c.val, false, c.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	p.calls[j.Sig] = c
+	p.mu.Unlock()
+
+	c.val, computed, c.err = p.compute(ctx, j)
+	if c.err != nil && (errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) {
+		// A canceled attempt must not poison later retries.
+		p.mu.Lock()
+		delete(p.calls, j.Sig)
+		p.mu.Unlock()
+	}
+	close(c.done)
+	return c.val, computed, c.err
+}
+
+func (p *Pool) compute(ctx context.Context, j Job) (any, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	if p.store != nil && j.decode != nil {
+		if raw, ok := p.store.Get(j.Sig); ok {
+			if v, err := j.decode(raw); err == nil {
+				p.storeHits.Add(1)
+				return v, false, nil
+			}
+			// Undecodable payload (schema drift): recompute and overwrite.
+		}
+	}
+	t0 := time.Now()
+	v, err := runSafe(ctx, j)
+	d := time.Since(t0)
+	if err != nil {
+		p.errs.Add(1)
+		return nil, false, err
+	}
+	p.computed.Add(1)
+	p.computeTime.Add(int64(d))
+	if p.store != nil {
+		if perr := p.store.Put(j.Sig, v); perr != nil {
+			p.logf("[runner] warning: persisting %s: %v", j.label(), perr)
+		}
+	}
+	return v, true, nil
+}
+
+// runSafe executes the job body, converting a panic into an error so one
+// bad job cannot take down a whole suite run.
+func runSafe(ctx context.Context, j Job) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: job %s panicked: %v\n%s", j.label(), r, debug.Stack())
+		}
+	}()
+	return j.run(ctx)
+}
+
+func (j Job) label() string {
+	if j.Label != "" {
+		return j.Label
+	}
+	if len(j.Sig) > 48 {
+		return j.Sig[:48] + "..."
+	}
+	return j.Sig
+}
+
+// RunAll executes a batch of jobs across the pool's workers,
+// largest-cost-first (ties broken by signature for a deterministic
+// order). Duplicate signatures are scheduled once. The first job error
+// stops the scheduling of further jobs and is returned after all workers
+// drain; a canceled context likewise skips pending jobs, waits for
+// running ones, and returns the context error.
+func (p *Pool) RunAll(ctx context.Context, jobs []Job) error {
+	seen := make(map[string]bool, len(jobs))
+	q := make([]Job, 0, len(jobs))
+	for _, j := range jobs {
+		if j.Sig != "" && !seen[j.Sig] {
+			seen[j.Sig] = true
+			q = append(q, j)
+		}
+	}
+	if len(q) == 0 {
+		return ctx.Err()
+	}
+	sort.SliceStable(q, func(i, k int) bool {
+		if q[i].Cost != q[k].Cost {
+			return q[i].Cost > q[k].Cost
+		}
+		return q[i].Sig < q[k].Sig
+	})
+
+	workers := p.workers
+	if workers > len(q) {
+		workers = len(q)
+	}
+	var (
+		next    atomic.Int64
+		done    atomic.Int64
+		stop    atomic.Bool
+		errMu   sync.Mutex
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	next.Store(-1)
+	start := time.Now()
+	before := p.Stats()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1))
+				if i >= len(q) {
+					return
+				}
+				j := q[i]
+				t0 := time.Now()
+				_, computed, err := p.do(ctx, j)
+				n := done.Add(1)
+				if err != nil {
+					errMu.Lock()
+					if firstEr == nil {
+						firstEr = fmt.Errorf("runner: job %s: %w", j.label(), err)
+					}
+					errMu.Unlock()
+					stop.Store(true)
+					return
+				}
+				if computed {
+					p.logf("[runner] %d/%d %s (%v)", n, len(q), j.label(), time.Since(t0).Round(time.Millisecond))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := p.Stats()
+	p.logf("[runner] batch: %d jobs in %v — %d computed, %d store hits, %d coalesced (%d workers)",
+		len(q), time.Since(start).Round(time.Millisecond),
+		st.Computed-before.Computed, st.StoreHits-before.StoreHits, st.MemHits-before.MemHits, workers)
+	if firstEr != nil {
+		return firstEr
+	}
+	return ctx.Err()
+}
+
+// syncWriter serializes writes; a nil underlying writer discards them.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(b []byte) (int, error) {
+	if s.w == nil {
+		return len(b), nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(b)
+}
+
+func (s *syncWriter) printf(format string, args ...any) {
+	if s.w == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, format+"\n", args...)
+}

@@ -1,0 +1,106 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// storeVersion is bumped whenever the on-disk entry framing changes;
+// entries written by other versions read as misses.
+const storeVersion = 1
+
+// Store is a content-addressed result store: one JSON file per job,
+// named by the SHA-256 of the job's full signature. Entries embed the
+// signature, so a (vanishingly unlikely) hash collision or a hand-edited
+// file reads as a miss rather than a wrong result. Writes go through a
+// temp file + rename, so concurrent writers and readers — including
+// separate processes sharing one cache directory — never observe a
+// partial entry. Corrupt or stale files are deleted and recomputed.
+type Store struct {
+	dir string
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runner: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Key returns the content address (SHA-256 hex) of a signature.
+func Key(sig string) string {
+	h := sha256.Sum256([]byte(sig))
+	return hex.EncodeToString(h[:])
+}
+
+func (s *Store) path(sig string) string {
+	return filepath.Join(s.dir, Key(sig)+".json")
+}
+
+// entry is the on-disk framing of one result.
+type entry struct {
+	Version int             `json:"v"`
+	Sig     string          `json:"sig"`
+	Result  json.RawMessage `json:"result"`
+}
+
+// Get returns the raw JSON payload stored for sig, or ok=false on any
+// miss — absent, unreadable, corrupt, version-mismatched, or
+// signature-mismatched files all read as misses (invalid files are
+// removed so they cannot shadow a future write).
+func (s *Store) Get(sig string) (raw []byte, ok bool) {
+	path := s.path(sig)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if json.Unmarshal(data, &e) != nil || e.Version != storeVersion || e.Sig != sig || len(e.Result) == 0 {
+		os.Remove(path)
+		return nil, false
+	}
+	return e.Result, true
+}
+
+// Put stores v (JSON-encoded) under sig, atomically replacing any
+// existing entry.
+func (s *Store) Put(sig string, v any) error {
+	res, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runner: encode result: %w", err)
+	}
+	data, err := json.Marshal(entry{Version: storeVersion, Sig: sig, Result: res})
+	if err != nil {
+		return fmt.Errorf("runner: encode entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("runner: store put: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("runner: store put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("runner: store put: %w", err)
+	}
+	if err := os.Rename(tmpName, s.path(sig)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("runner: store put: %w", err)
+	}
+	return nil
+}

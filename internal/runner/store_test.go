@@ -1,0 +1,142 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+type payload struct {
+	Name  string
+	Vals  []float64
+	Count uint64
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := payload{Name: "fh", Vals: []float64{1.5, -2, 0}, Count: 1 << 40}
+	if err := st.Put("sig-a", &in); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := st.Get("sig-a")
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	j := NewJob[payload]("sig-a", "a", 1, nil)
+	v, err := j.decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := v.(*payload)
+	if out.Name != in.Name || out.Count != in.Count || len(out.Vals) != 3 || out.Vals[1] != -2 {
+		t.Fatalf("round trip = %+v", out)
+	}
+}
+
+func TestStoreMissesOnAbsentSig(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get("never-stored"); ok {
+		t.Fatal("phantom hit")
+	}
+}
+
+func TestStoreToleratesCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant garbage exactly where the entry would live.
+	path := filepath.Join(dir, Key("sig-b")+".json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get("sig-b"); ok {
+		t.Fatal("corrupt file served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt file not cleaned up")
+	}
+	// The slot is immediately reusable.
+	if err := st.Put("sig-b", &payload{Name: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get("sig-b"); !ok {
+		t.Fatal("fresh entry missed after corruption cleanup")
+	}
+}
+
+func TestStoreRejectsSigMismatch(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("sig-c", &payload{}); err != nil {
+		t.Fatal(err)
+	}
+	// Move the entry under a different signature's address: the embedded
+	// signature no longer matches and must read as a miss.
+	if err := os.Rename(filepath.Join(dir, Key("sig-c")+".json"), filepath.Join(dir, Key("sig-d")+".json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get("sig-d"); ok {
+		t.Fatal("entry with mismatched signature served")
+	}
+}
+
+func TestKeyIsStableHex(t *testing.T) {
+	if Key("x") != Key("x") || len(Key("x")) != 64 {
+		t.Fatalf("Key = %q", Key("x"))
+	}
+	if Key("x") == Key("y") {
+		t.Fatal("distinct signatures share a key")
+	}
+}
+
+// TestPoolServesFromStoreAcrossPools simulates two processes sharing a
+// cache directory: the second pool must not recompute.
+func TestPoolServesFromStoreAcrossPools(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+	job := func() Job {
+		return NewJob("shared", "shared", 1, func(context.Context) (*payload, error) {
+			runs.Add(1)
+			return &payload{Name: "computed", Count: 9}, nil
+		})
+	}
+	st1, _ := OpenStore(dir)
+	p1 := New(Options{Workers: 1, Store: st1})
+	if _, err := p1.Do(context.Background(), job()); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := OpenStore(dir)
+	p2 := New(Options{Workers: 1, Store: st2})
+	v, err := p2.Do(context.Background(), job())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.(*payload); got.Name != "computed" || got.Count != 9 {
+		t.Fatalf("store result = %+v", got)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("job recomputed despite warm store (%d runs)", runs.Load())
+	}
+	if st := p2.Stats(); st.StoreHits != 1 || st.Computed != 0 {
+		t.Fatalf("second pool stats = %+v", st)
+	}
+}
+
+func TestOpenStoreRejectsEmptyDir(t *testing.T) {
+	if _, err := OpenStore(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}

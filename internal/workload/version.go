@@ -1,0 +1,9 @@
+package workload
+
+// GeneratorVersion identifies the synthetic-workload generator's output.
+// It is part of every persisted simulation-result signature (see
+// internal/runner), so cached results are invalidated whenever the
+// generated programs or traces could differ. Bump it on ANY change that
+// can alter a built application or a synthesized trace: model parameter
+// tables, the builder, the walker, or the stats RNG they draw from.
+const GeneratorVersion = "wl1"
