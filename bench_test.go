@@ -200,6 +200,47 @@ func BenchmarkAnalyze(b *testing.B) {
 	}
 }
 
+// --- streaming vs materialized allocation benchmarks ---
+
+// benchSimStream simulates from a workload stream source built inside
+// the loop: the per-iteration allocation covers the walker plus the
+// simulator's fixed state, and must stay flat as the trace grows (the
+// streaming pipeline's O(1) claim; compare the 50k and 200k B/op).
+func benchSimStream(b *testing.B, blocks int) {
+	app := benchApp(b)
+	params := ripple.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol, _ := ripple.NewPolicy("lru")
+		if _, err := ripple.SimulateSource(params, app.Prog, app.Stream(0, blocks), ripple.Options{Policy: pol}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSimSlice is the materialized path the streaming pipeline
+// replaced: synthesize the whole trace, then simulate it. Allocation
+// scales with the trace length.
+func benchSimSlice(b *testing.B, blocks int) {
+	app := benchApp(b)
+	params := ripple.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol, _ := ripple.NewPolicy("lru")
+		tr := app.Trace(0, blocks)
+		if _, err := ripple.Simulate(params, app.Prog, tr, ripple.Options{Policy: pol}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateStream50k(b *testing.B)  { benchSimStream(b, 50_000) }
+func BenchmarkSimulateStream200k(b *testing.B) { benchSimStream(b, 200_000) }
+func BenchmarkSimulateSlice50k(b *testing.B)   { benchSimSlice(b, 50_000) }
+func BenchmarkSimulateSlice200k(b *testing.B)  { benchSimSlice(b, 200_000) }
+
 // BenchmarkIdealReplay measures the Demand-MIN oracle over a recorded
 // stream.
 func BenchmarkIdealReplay(b *testing.B) {

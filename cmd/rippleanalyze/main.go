@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"ripple/internal/blockseq"
 	"ripple/internal/core"
 	"ripple/internal/frontend"
 	"ripple/internal/program"
@@ -87,7 +88,10 @@ func run(progPath, ptPath, out string, threshold float64, policy, prefetcher str
 	return plan.Save(f)
 }
 
-func load(progPath, ptPath string) (*program.Program, []program.BlockID, error) {
+// load reads the program image and wires a streaming source over the
+// trace file; the analysis and tuning passes each re-decode it, so the
+// trace is never held in memory.
+func load(progPath, ptPath string) (*program.Program, blockseq.Source, error) {
 	pf, err := os.Open(progPath)
 	if err != nil {
 		return nil, nil, err
@@ -97,14 +101,5 @@ func load(progPath, ptPath string) (*program.Program, []program.BlockID, error) 
 	if err != nil {
 		return nil, nil, err
 	}
-	tf, err := os.Open(ptPath)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer tf.Close()
-	tr, err := trace.Decode(tf, prog)
-	if err != nil {
-		return nil, nil, err
-	}
-	return prog, tr, nil
+	return prog, trace.FileSource(ptPath, prog), nil
 }

@@ -24,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"ripple/internal/cliflag"
 	"ripple/internal/experiment"
 )
 
@@ -61,14 +62,12 @@ func main() {
 	// Only flags the user actually passed override the config, so e.g.
 	// `-apps x` does not silently reset the trace length.
 	cfg := experiment.Config{Log: os.Stderr, Workers: *workers}
-	flag.Visit(func(f *flag.Flag) {
-		switch f.Name {
-		case "blocks":
-			cfg.TraceBlocks = *blocks
-		case "warmup":
-			cfg.WarmupBlocks = *warmup
-		}
-	})
+	if cliflag.Passed("blocks") {
+		cfg.TraceBlocks = *blocks
+	}
+	if cliflag.Passed("warmup") {
+		cfg.WarmupBlocks = *warmup
+	}
 	if *apps != "" {
 		cfg.Apps = strings.Split(*apps, ",")
 	}

@@ -51,8 +51,6 @@ func run(appName string, blocks, input int, out string) error {
 	if err != nil {
 		return err
 	}
-	tr := app.Trace(input, blocks)
-
 	progF, err := os.Create(out + ".prog")
 	if err != nil {
 		return err
@@ -67,7 +65,7 @@ func run(appName string, blocks, input int, out string) error {
 		return err
 	}
 	defer ptF.Close()
-	stats, err := trace.Encode(ptF, app.Prog, tr)
+	stats, err := trace.EncodeSource(ptF, app.Prog, app.Stream(input, blocks))
 	if err != nil {
 		return err
 	}

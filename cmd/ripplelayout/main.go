@@ -45,17 +45,10 @@ func run(progPath, ptPath, out string, funcs, blocks bool) error {
 	if err != nil {
 		return err
 	}
-	tf, err := os.Open(ptPath)
+	prof, err := layout.ProfileFromTrace(prog, trace.FileSource(ptPath, prog))
 	if err != nil {
 		return err
 	}
-	tr, err := trace.Decode(tf, prog)
-	tf.Close()
-	if err != nil {
-		return err
-	}
-
-	prof := layout.ProfileFromTrace(prog, tr)
 	opts := layout.DefaultOptions()
 	opts.ReorderFunctions = funcs
 	opts.ReorderBlocks = blocks
@@ -66,7 +59,7 @@ func run(progPath, ptPath, out string, funcs, blocks bool) error {
 
 	hotBytes, hotLines := layout.HotBytes(prog, prof)
 	fmt.Printf("profiled: %d block executions, %.0fKB hot code over %d lines\n",
-		len(tr), float64(hotBytes)/1024, hotLines)
+		prof.TotalBlocks(), float64(hotBytes)/1024, hotLines)
 	fmt.Printf("layout: function reorder=%v, block reorder=%v\n", funcs, blocks)
 
 	of, err := os.Create(out)

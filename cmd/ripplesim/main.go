@@ -27,6 +27,8 @@ import (
 	"os"
 	"strings"
 
+	"ripple/internal/blockseq"
+	"ripple/internal/cliflag"
 	"ripple/internal/core"
 	"ripple/internal/frontend"
 	"ripple/internal/prefetch"
@@ -44,6 +46,7 @@ func main() {
 	policy := flag.String("policy", "lru", "replacement policy, or comma-separated list to sweep ("+strings.Join(replacement.Names(), ", ")+")")
 	prefetcher := flag.String("prefetcher", "fdip", "prefetcher, or comma-separated list to sweep ("+strings.Join(prefetch.Names(), ", ")+")")
 	warmup := flag.Int("warmup", 0, "warmup blocks excluded from measurement")
+	blocks := flag.Int("blocks", 0, "simulate only the first N trace blocks (default: whole trace)")
 	accuracy := flag.Bool("accuracy", false, "score replacement decisions against the Belady oracle")
 	demote := flag.Bool("demote", false, "execute hints as LRU demotions instead of invalidations")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the report")
@@ -53,12 +56,18 @@ func main() {
 
 	policies := strings.Split(*policy, ",")
 	prefetchers := strings.Split(*prefetcher, ",")
+	// -blocks 0 legitimately means "simulate nothing", so "unset" must be
+	// distinguished from the zero value (the flag.Visit discipline).
+	limit := -1
+	if cliflag.Passed("blocks") {
+		limit = *blocks
+	}
 	var err error
 	if len(policies) > 1 || len(prefetchers) > 1 {
 		err = sweep(*progPath, *traceProgPath, *ptPath, *planPath, policies, prefetchers,
-			*warmup, *accuracy, *demote, *jsonOut, *workers, *cachedir)
+			limit, *warmup, *accuracy, *demote, *jsonOut, *workers, *cachedir)
 	} else {
-		err = run(*progPath, *traceProgPath, *ptPath, *planPath, *policy, *prefetcher, *warmup, *accuracy, *demote, *jsonOut)
+		err = run(*progPath, *traceProgPath, *ptPath, *planPath, *policy, *prefetcher, limit, *warmup, *accuracy, *demote, *jsonOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ripplesim:", err)
@@ -66,14 +75,14 @@ func main() {
 	}
 }
 
-func run(progPath, traceProgPath, ptPath, planPath, policy, prefetcher string, warmup int, accuracy, demote, jsonOut bool) error {
+func run(progPath, traceProgPath, ptPath, planPath, policy, prefetcher string, limit, warmup int, accuracy, demote, jsonOut bool) error {
 	if progPath == "" || ptPath == "" {
 		return fmt.Errorf("-prog and -pt are required")
 	}
 	if traceProgPath == "" {
 		traceProgPath = progPath
 	}
-	prog, tr, err := load(progPath, traceProgPath, ptPath)
+	prog, tr, err := load(progPath, traceProgPath, ptPath, limit)
 	if err != nil {
 		return err
 	}
@@ -149,14 +158,14 @@ func run(progPath, traceProgPath, ptPath, planPath, policy, prefetcher string, w
 // configuration, so editing the trace or plan invalidates exactly the
 // affected entries.
 func sweep(progPath, traceProgPath, ptPath, planPath string, policies, prefetchers []string,
-	warmup int, accuracy, demote, jsonOut bool, workers int, cachedir string) error {
+	limit, warmup int, accuracy, demote, jsonOut bool, workers int, cachedir string) error {
 	if progPath == "" || ptPath == "" {
 		return fmt.Errorf("-prog and -pt are required")
 	}
 	if traceProgPath == "" {
 		traceProgPath = progPath
 	}
-	prog, tr, err := load(progPath, traceProgPath, ptPath)
+	prog, tr, err := load(progPath, traceProgPath, ptPath, limit)
 	if err != nil {
 		return err
 	}
@@ -187,6 +196,11 @@ func sweep(progPath, traceProgPath, ptPath, planPath string, policies, prefetche
 	params := frontend.DefaultParams()
 	base := fmt.Sprintf("rsim1|prog=%s|pt=%s|plan=%s|params=%+v|warmup=%d|acc=%t|demote=%t",
 		progHash, ptHash, planHash, params, warmup, accuracy, demote)
+	if limit >= 0 {
+		// Appended only when -blocks was passed, so pre-existing store
+		// entries for whole-trace sweeps stay addressable.
+		base += fmt.Sprintf("|blocks=%d", limit)
+	}
 
 	var store *runner.Store
 	if cachedir != "" {
@@ -201,7 +215,11 @@ func sweep(progPath, traceProgPath, ptPath, planPath string, policies, prefetche
 	}
 	job := func(pol, pf string) runner.Job {
 		sig := fmt.Sprintf("%s|pol=%s|pf=%s", base, pol, pf)
-		return runner.NewJob(sig, pol+"/"+pf, float64(len(tr)),
+		cost := 1.0
+		if n, ok := blockseq.LenHint(tr); ok {
+			cost = float64(n)
+		}
+		return runner.NewJob(sig, pol+"/"+pf, cost,
 			func(context.Context) (*frontend.Result, error) {
 				p, err := replacement.New(pol)
 				if err != nil {
@@ -302,10 +320,13 @@ func resultJSON(res frontend.Result) map[string]interface{} {
 	}
 }
 
-// load reads the simulation image and decodes the trace against the image
-// it was recorded on (block IDs are stable across rewriting, so the block
-// sequence transfers).
-func load(progPath, traceProgPath, ptPath string) (*program.Program, []program.BlockID, error) {
+// load reads the simulation image and wires up a streaming source that
+// decodes the trace against the image it was recorded on (block IDs are
+// stable across rewriting, so the block sequence transfers). The trace is
+// never materialized: each simulation pass re-decodes the file, keeping
+// memory O(1) in the trace length. limit >= 0 caps the source to the
+// first limit blocks.
+func load(progPath, traceProgPath, ptPath string, limit int) (*program.Program, blockseq.Source, error) {
 	loadProg := func(path string) (*program.Program, error) {
 		f, err := os.Open(path)
 		if err != nil {
@@ -327,14 +348,9 @@ func load(progPath, traceProgPath, ptPath string) (*program.Program, []program.B
 			return nil, nil, fmt.Errorf("-trace-prog has %d blocks, -prog has %d: not the same program", decodeProg.NumBlocks(), prog.NumBlocks())
 		}
 	}
-	tf, err := os.Open(ptPath)
-	if err != nil {
-		return nil, nil, err
+	src := trace.FileSource(ptPath, decodeProg)
+	if limit >= 0 {
+		src = blockseq.Limit(src, limit)
 	}
-	defer tf.Close()
-	tr, err := trace.Decode(tf, decodeProg)
-	if err != nil {
-		return nil, nil, err
-	}
-	return prog, tr, nil
+	return prog, src, nil
 }

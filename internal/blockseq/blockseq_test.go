@@ -1,0 +1,117 @@
+package blockseq
+
+import (
+	"errors"
+	"testing"
+
+	"ripple/internal/program"
+)
+
+func drain(t *testing.T, seq Seq) []program.BlockID {
+	t.Helper()
+	var out []program.BlockID
+	for {
+		bid, ok := seq.Next()
+		if !ok {
+			if err := seq.Err(); err != nil {
+				t.Fatalf("unexpected seq error: %v", err)
+			}
+			return out
+		}
+		out = append(out, bid)
+	}
+}
+
+func equal(a, b []program.BlockID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSliceSourceReplays(t *testing.T) {
+	src := Of(3, 1, 4, 1, 5)
+	first := drain(t, src.Open())
+	second := drain(t, src.Open())
+	if !equal(first, second) || !equal(first, []program.BlockID{3, 1, 4, 1, 5}) {
+		t.Fatalf("replay mismatch: %v vs %v", first, second)
+	}
+	if n, ok := LenHint(src); !ok || n != 5 {
+		t.Fatalf("LenHint = %d,%v", n, ok)
+	}
+}
+
+func TestEmptySliceSource(t *testing.T) {
+	src := Of()
+	if got := drain(t, src.Open()); len(got) != 0 {
+		t.Fatalf("empty source yielded %v", got)
+	}
+}
+
+func TestCollectRoundTrip(t *testing.T) {
+	want := []program.BlockID{9, 8, 7}
+	got, err := Collect(SliceSource(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(got, want) {
+		t.Fatalf("Collect = %v, want %v", got, want)
+	}
+}
+
+type failSeq struct{ n int }
+
+func (f *failSeq) Next() (program.BlockID, bool) {
+	if f.n <= 0 {
+		return 0, false
+	}
+	f.n--
+	return 1, true
+}
+
+func (f *failSeq) Err() error { return errors.New("boom") }
+
+func TestCollectPropagatesError(t *testing.T) {
+	src := Func(func() Seq { return &failSeq{n: 2} })
+	got, err := Collect(src)
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("partial collect = %v", got)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	src := Of(1, 2, 3, 4, 5)
+	for _, tc := range []struct {
+		max  int
+		want int
+	}{{3, 3}, {10, 5}, {0, 0}, {-1, 0}} {
+		lim := Limit(src, tc.max)
+		got := drain(t, lim.Open())
+		if len(got) != tc.want {
+			t.Fatalf("Limit(%d) yielded %d blocks", tc.max, len(got))
+		}
+		if n, ok := LenHint(lim); !ok || n != tc.want {
+			t.Fatalf("Limit(%d).LenHint = %d,%v", tc.max, n, ok)
+		}
+	}
+	// Limit must be replayable too.
+	lim := Limit(src, 2)
+	if !equal(drain(t, lim.Open()), drain(t, lim.Open())) {
+		t.Fatal("Limit replay mismatch")
+	}
+}
+
+func TestLenHintUnknown(t *testing.T) {
+	src := Func(func() Seq { return Of().Open() })
+	if _, ok := LenHint(src); ok {
+		t.Fatal("Func source should not report a length")
+	}
+}

@@ -1,0 +1,33 @@
+package cliflag
+
+import (
+	"flag"
+	"testing"
+)
+
+func TestPassedIn(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	blocks := fs.Int("blocks", 600_000, "")
+	warmup := fs.Int("warmup", 0, "")
+	fs.Int("j", 0, "")
+	if err := fs.Parse([]string{"-blocks", "600000", "-warmup", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	// Explicitly passed, even at the default / zero value.
+	if !PassedIn(fs, "blocks") {
+		t.Errorf("blocks passed at its default value but not reported")
+	}
+	if !PassedIn(fs, "warmup") {
+		t.Errorf("warmup passed at zero but not reported")
+	}
+	if *blocks != 600_000 || *warmup != 0 {
+		t.Fatalf("parsed values wrong: %d %d", *blocks, *warmup)
+	}
+	// Not passed.
+	if PassedIn(fs, "j") {
+		t.Errorf("j not passed but reported as set")
+	}
+	if PassedIn(fs, "nonexistent") {
+		t.Errorf("unknown flag reported as set")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"ripple/internal/blockseq"
 	"ripple/internal/cache"
 	"ripple/internal/frontend"
 	"ripple/internal/opt"
@@ -44,10 +45,10 @@ func DefaultAnalysisConfig() AnalysisConfig {
 
 // window is one eviction window: the victim line plus the block-trace
 // index range (start, end] executed between the victim's last use and its
-// ideal eviction, within one of the analyzed traces.
+// ideal eviction, within one of the analyzed sources.
 type window struct {
 	line       uint64
-	trace      int32 // index into Analysis.traces
+	trace      int32 // index into Analysis.sources
 	start, end int32 // block-trace indices; blocks in (start, end] form the window
 }
 
@@ -65,7 +66,7 @@ type Analysis struct {
 	// analysis-side limit).
 	IdealMisses uint64
 
-	traces    [][]program.BlockID
+	sources   []blockseq.Source
 	windows   []window
 	execCount []uint32
 	// pairWindows counts, for each (victim line, candidate block), the
@@ -77,6 +78,7 @@ type Analysis struct {
 	// by concurrent PlanAt callers (the parallel experiment runner).
 	cues    []CueChoice
 	cueOnce sync.Once
+	cueErr  error
 	// mark/markGen implement O(1) per-window candidate deduplication.
 	mark    []uint32
 	markGen uint32
@@ -88,63 +90,92 @@ type pairKey struct {
 	block program.BlockID
 }
 
-// Analyze profiles the trace against the ideal replacement policy and
-// computes the eviction windows and conditional-probability tables.
-// The trace must have been produced against prog's current layout.
-func Analyze(prog *program.Program, trace []program.BlockID, cfg AnalysisConfig) (*Analysis, error) {
-	return AnalyzeMulti(prog, [][]program.BlockID{trace}, cfg)
+// Analyze profiles the block source against the ideal replacement policy
+// and computes the eviction windows and conditional-probability tables.
+// The source must have been produced against prog's current layout, and
+// must be replayable: the analysis makes several passes over it (and
+// PlanAt's lazy cue selection makes one more), holding only O(windows)
+// state instead of the materialized trace.
+func Analyze(prog *program.Program, src blockseq.Source, cfg AnalysisConfig) (*Analysis, error) {
+	return AnalyzeMulti(prog, []blockseq.Source{src}, cfg)
 }
 
-// AnalyzeMulti analyzes several independent profiles together: each trace
+// AnalyzeMulti analyzes several independent profiles together: each source
 // is replayed through the ideal policy separately (the I-cache state does
 // not carry across), but execution counts and window membership accumulate
 // into one conditional-probability table. Two uses: merging the profiles
 // of multiple inputs (strengthens Fig. 13-style generalization), and
 // analyzing the short fragments an LBR-style sampling profiler produces
 // instead of a full PT trace (Sec. III-A mentions both trace sources).
-func AnalyzeMulti(prog *program.Program, traces [][]program.BlockID, cfg AnalysisConfig) (*Analysis, error) {
+func AnalyzeMulti(prog *program.Program, sources []blockseq.Source, cfg AnalysisConfig) (*Analysis, error) {
 	if err := cfg.L1I.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	if cfg.MaxWindowBlocks <= 0 {
 		cfg.MaxWindowBlocks = DefaultAnalysisConfig().MaxWindowBlocks
 	}
-	total := 0
-	for _, tr := range traces {
-		total += len(tr)
-	}
-	if total == 0 {
-		return nil, fmt.Errorf("core: empty trace")
-	}
 
 	a := &Analysis{
 		Prog:        prog,
 		cfg:         cfg,
-		TraceBlocks: total,
-		traces:      traces,
+		sources:     sources,
 		execCount:   make([]uint32, prog.NumBlocks()),
 		pairWindows: make(map[pairKey]uint32, 1<<12),
 		mark:        make([]uint32, prog.NumBlocks()),
 	}
-	for ti, tr := range traces {
-		a.analyzeOne(int32(ti), tr)
+	for ti, src := range sources {
+		if src == nil {
+			continue
+		}
+		n, err := a.analyzeOne(int32(ti), src)
+		if err != nil {
+			return nil, err
+		}
+		a.TraceBlocks += n
+	}
+	if a.TraceBlocks == 0 {
+		return nil, fmt.Errorf("core: empty trace")
 	}
 	a.Windows = len(a.windows)
+	// Force the cue selection now: it replays the sources, so any replay
+	// error belongs to the analysis, not to a later PlanAt call.
+	a.selectCues()
+	if a.cueErr != nil {
+		return nil, a.cueErr
+	}
 	return a, nil
 }
 
-// analyzeOne expands one trace into its demand line stream (identical to
+// analyzeOne expands one source into its demand line stream (identical to
 // what the simulator fetches — Sec. III-A: no speculative accesses),
 // replays Belady's MIN over it logging evictions, and accumulates window
-// membership counts.
-func (a *Analysis) analyzeOne(traceIdx int32, trace []program.BlockID) {
-	if len(trace) == 0 {
-		return
-	}
-	for _, bid := range trace {
+// membership counts. It returns the source's block count.
+//
+// The source is streamed three times: execution counts, the demand-line
+// expansion (whose output the MIN oracle inherently needs in full), and a
+// ring-buffered replay that serves every window's block range without the
+// materialized trace.
+func (a *Analysis) analyzeOne(traceIdx int32, src blockseq.Source) (int, error) {
+	length := 0
+	seq := src.Open()
+	for {
+		bid, ok := seq.Next()
+		if !ok {
+			break
+		}
 		a.execCount[bid]++
+		length++
 	}
-	lines, blockOf := frontend.DemandLines(a.Prog, trace)
+	if err := seq.Err(); err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	if length == 0 {
+		return 0, nil
+	}
+	lines, blockOf, err := frontend.DemandLines(a.Prog, src)
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
 	events := make([]opt.Event, len(lines))
 	for i, l := range lines {
 		events[i] = opt.Event{Line: l}
@@ -152,6 +183,7 @@ func (a *Analysis) analyzeOne(traceIdx int32, trace []program.BlockID) {
 	res := opt.Simulate(events, a.cfg.L1I, opt.ModeMIN, true)
 	a.IdealMisses += res.DemandMisses
 
+	first := len(a.windows)
 	for _, ev := range res.EvictionLog {
 		w := window{
 			line:  ev.Line,
@@ -166,16 +198,54 @@ func (a *Analysis) analyzeOne(traceIdx int32, trace []program.BlockID) {
 			continue // eviction triggered by the very next block: no window
 		}
 		a.windows = append(a.windows, w)
+	}
+
+	err = replayWindows(src, a.windows[first:], a.cfg.MaxWindowBlocks, func(w window, at func(int32) program.BlockID) {
 		a.markGen++
 		for ti := w.start + 1; ti <= w.end; ti++ {
-			bid := trace[ti]
+			bid := at(ti)
 			if a.mark[bid] == a.markGen {
 				continue // already counted for this window
 			}
 			a.mark[bid] = a.markGen
 			a.pairWindows[pairKey{line: w.line, block: bid}]++
 		}
+	})
+	if err != nil {
+		return 0, err
 	}
+	return length, nil
+}
+
+// replayWindows streams src once and visits each window with an accessor
+// for the blocks in its (start, end] range. It relies on two invariants:
+// windows are ordered by non-decreasing end (the eviction log is in
+// eviction-time order and blockOf is monotone), and every window spans at
+// most maxWin blocks (Analyze clamps longer ones) — so a ring of the last
+// maxWin blocks always covers the visited window.
+func replayWindows(src blockseq.Source, windows []window, maxWin int, visit func(w window, at func(int32) program.BlockID)) error {
+	if len(windows) == 0 {
+		return nil
+	}
+	ring := make([]program.BlockID, maxWin)
+	at := func(ti int32) program.BlockID { return ring[int(ti)%maxWin] }
+	seq := src.Open()
+	pos := int32(-1) // index of the last block read
+	for _, w := range windows {
+		for pos < w.end {
+			bid, ok := seq.Next()
+			if !ok {
+				if err := seq.Err(); err != nil {
+					return fmt.Errorf("core: %w", err)
+				}
+				return fmt.Errorf("core: source replay ended at block %d but window extends to %d (source not replayable?)", pos, w.end)
+			}
+			pos++
+			ring[int(pos)%maxWin] = bid
+		}
+		visit(w, at)
+	}
+	return nil
 }
 
 // Probability returns P(evict line | execute block): the fraction of the
@@ -200,34 +270,52 @@ type CueChoice struct {
 // closest to the eviction, then lowest ID — "arbitrarily" per the paper,
 // but deterministic here). The selection does not depend on the
 // invalidation threshold, so it is computed once and cached; PlanAt then
-// filters it per threshold.
+// filters it per threshold. AnalyzeMulti forces the computation before
+// returning (the replay can fail on a misbehaving source, and this is
+// where that error surfaces), so by the time concurrent PlanAt callers
+// share the Analysis the Once is already settled.
 func (a *Analysis) selectCues() []CueChoice {
-	a.cueOnce.Do(a.computeCues)
+	a.cueOnce.Do(func() { a.cueErr = a.computeCues() })
 	return a.cues
 }
 
-func (a *Analysis) computeCues() {
+// computeCues scans each window's blocks closest-to-eviction first via
+// the same ring-buffered source replay the accumulation pass uses.
+func (a *Analysis) computeCues() error {
 	choices := make([]CueChoice, 0, len(a.windows))
-	for _, w := range a.windows {
-		a.markGen++
-		best := CueChoice{Line: w.line, Block: program.NoBlock}
-		tr := a.traces[w.trace]
-		for ti := w.end; ti > w.start; ti-- {
-			bid := tr[ti]
-			if a.mark[bid] == a.markGen {
-				continue
-			}
-			a.mark[bid] = a.markGen
-			if p := a.Probability(w.line, bid); p > best.Probability {
-				best.Block = bid
-				best.Probability = p
-			}
+	// a.windows groups each source's windows contiguously, in analysis
+	// order: replay one source per group.
+	for lo := 0; lo < len(a.windows); {
+		hi := lo
+		src := a.windows[lo].trace
+		for hi < len(a.windows) && a.windows[hi].trace == src {
+			hi++
 		}
-		if best.Block != program.NoBlock {
-			choices = append(choices, best)
+		err := replayWindows(a.sources[src], a.windows[lo:hi], a.cfg.MaxWindowBlocks, func(w window, at func(int32) program.BlockID) {
+			a.markGen++
+			best := CueChoice{Line: w.line, Block: program.NoBlock}
+			for ti := w.end; ti > w.start; ti-- {
+				bid := at(ti)
+				if a.mark[bid] == a.markGen {
+					continue
+				}
+				a.mark[bid] = a.markGen
+				if p := a.Probability(w.line, bid); p > best.Probability {
+					best.Block = bid
+					best.Probability = p
+				}
+			}
+			if best.Block != program.NoBlock {
+				choices = append(choices, best)
+			}
+		})
+		if err != nil {
+			return err
 		}
+		lo = hi
 	}
 	a.cues = choices
+	return nil
 }
 
 // Candidates returns the candidate cue blocks of the given victim line

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"ripple/internal/blockseq"
 	"ripple/internal/cache"
 	"ripple/internal/frontend"
 	"ripple/internal/isa"
@@ -52,7 +53,7 @@ func acfg(maxWindow int) AnalysisConfig {
 func TestAnalysisHandVerified(t *testing.T) {
 	prog := lineBlocks(t, 3)
 	tr := []program.BlockID{0, 1, 2, 0, 1, 2}
-	a, err := Analyze(prog, tr, acfg(64))
+	a, err := Analyze(prog, blockseq.SliceSource(tr), acfg(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,11 +101,11 @@ func TestAnalysisWindowCap(t *testing.T) {
 	prog := lineBlocks(t, 4)
 	// Line 0 last used at index 0, evicted late: a long window.
 	tr := []program.BlockID{0, 1, 2, 1, 2, 1, 2, 1, 2, 3}
-	full, err := Analyze(prog, tr, acfg(64))
+	full, err := Analyze(prog, blockseq.SliceSource(tr), acfg(64))
 	if err != nil {
 		t.Fatal(err)
 	}
-	capped, err := Analyze(prog, tr, acfg(1))
+	capped, err := Analyze(prog, blockseq.SliceSource(tr), acfg(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,12 +129,12 @@ func TestAnalysisWindowCap(t *testing.T) {
 
 func TestAnalyzeRejectsBadInput(t *testing.T) {
 	prog := lineBlocks(t, 2)
-	if _, err := Analyze(prog, nil, acfg(8)); err == nil {
+	if _, err := Analyze(prog, blockseq.Of(), acfg(8)); err == nil {
 		t.Fatal("empty trace accepted")
 	}
 	bad := acfg(8)
 	bad.L1I.SizeBytes = 100 // not divisible
-	if _, err := Analyze(prog, []program.BlockID{0}, bad); err == nil {
+	if _, err := Analyze(prog, blockseq.Of(0), bad); err == nil {
 		t.Fatal("invalid geometry accepted")
 	}
 }
@@ -141,7 +142,7 @@ func TestAnalyzeRejectsBadInput(t *testing.T) {
 func TestMostEvictedLine(t *testing.T) {
 	prog := lineBlocks(t, 3)
 	tr := []program.BlockID{0, 1, 2, 0, 1, 2, 0, 1, 2}
-	a, err := Analyze(prog, tr, acfg(64))
+	a, err := Analyze(prog, blockseq.SliceSource(tr), acfg(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestMostEvictedLine(t *testing.T) {
 func TestPlanSaveLoadRoundtrip(t *testing.T) {
 	prog := lineBlocks(t, 3)
 	tr := []program.BlockID{0, 1, 2, 0, 1, 2}
-	a, _ := Analyze(prog, tr, acfg(64))
+	a, _ := Analyze(prog, blockseq.SliceSource(tr), acfg(64))
 	plan := a.PlanAt(0.5)
 	var buf bytes.Buffer
 	if err := plan.Save(&buf); err != nil {
@@ -214,7 +215,7 @@ func TestHintSavesMissOverLRU(t *testing.T) {
 	params := frontend.DefaultParams()
 	params.L1I = oneSet
 
-	base, err := frontend.Run(params, prog, tr, frontend.Options{Policy: replacement.NewLRU()})
+	base, err := frontend.Run(params, prog, blockseq.SliceSource(tr), frontend.Options{Policy: replacement.NewLRU()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestHintSavesMissOverLRU(t *testing.T) {
 
 	plan := &Plan{Injections: map[program.BlockID][]uint64{A: {prog.Block(A).FirstLine()}}}
 	injected := plan.Apply(prog)
-	res, err := frontend.Run(params, injected, tr, frontend.Options{Policy: replacement.NewLRU()})
+	res, err := frontend.Run(params, injected, blockseq.SliceSource(tr), frontend.Options{Policy: replacement.NewLRU()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestRippleAnalysisFindsSelfCue(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		tr = append(tr, X, A, B, X)
 	}
-	a, err := Analyze(prog, tr, acfg(64))
+	a, err := Analyze(prog, blockseq.SliceSource(tr), acfg(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func smallTuneSetup(t *testing.T) (*program.Program, []program.BlockID) {
 
 func TestTuneSelectsBestThreshold(t *testing.T) {
 	prog, tr := smallTuneSetup(t)
-	a, err := Analyze(prog, tr, acfg(64))
+	a, err := Analyze(prog, blockseq.SliceSource(tr), acfg(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func TestTuneSelectsBestThreshold(t *testing.T) {
 		Prefetcher: "none",
 		Thresholds: []float64{0.1, 0.3, 0.9},
 	}
-	res, err := Tune(a, tr, cfg)
+	res, err := Tune(a, blockseq.SliceSource(tr), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,8 +313,8 @@ func TestTuneSelectsBestThreshold(t *testing.T) {
 
 func TestTuneRejectsEmptyThresholds(t *testing.T) {
 	prog, tr := smallTuneSetup(t)
-	a, _ := Analyze(prog, tr, acfg(64))
-	_, err := Tune(a, tr, TuneConfig{Thresholds: []float64{}, Params: frontend.DefaultParams()})
+	a, _ := Analyze(prog, blockseq.SliceSource(tr), acfg(64))
+	_, err := Tune(a, blockseq.SliceSource(tr), TuneConfig{Thresholds: []float64{}, Params: frontend.DefaultParams()})
 	if err == nil {
 		t.Fatal("empty threshold list accepted")
 	}
@@ -323,7 +324,7 @@ func TestOptimizePipeline(t *testing.T) {
 	prog, tr := smallTuneSetup(t)
 	params := frontend.DefaultParams()
 	params.L1I = oneSet
-	out, err := Optimize(prog, tr, acfg(64), TuneConfig{
+	out, err := Optimize(prog, blockseq.SliceSource(tr), acfg(64), TuneConfig{
 		Params:     params,
 		Policy:     "lru",
 		Prefetcher: "none",
@@ -359,11 +360,11 @@ func TestDynamicOverheadPct(t *testing.T) {
 func TestAnalyzeMultiAccumulates(t *testing.T) {
 	prog := lineBlocks(t, 3)
 	tr := []program.BlockID{0, 1, 2, 0, 1, 2}
-	single, err := Analyze(prog, tr, acfg(64))
+	single, err := Analyze(prog, blockseq.SliceSource(tr), acfg(64))
 	if err != nil {
 		t.Fatal(err)
 	}
-	double, err := AnalyzeMulti(prog, [][]program.BlockID{tr, tr}, acfg(64))
+	double, err := AnalyzeMulti(prog, []blockseq.Source{blockseq.SliceSource(tr), blockseq.SliceSource(tr)}, acfg(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,7 +390,7 @@ func TestAnalyzeMultiIndependentCaches(t *testing.T) {
 	prog := lineBlocks(t, 3)
 	// Two one-block fragments: each replay starts cold, so no evictions
 	// can span fragments.
-	frags := [][]program.BlockID{{0, 1}, {2, 0}}
+	frags := []blockseq.Source{blockseq.Of(0, 1), blockseq.Of(2, 0)}
 	a, err := AnalyzeMulti(prog, frags, acfg(64))
 	if err != nil {
 		t.Fatal(err)
@@ -410,13 +411,13 @@ func TestTuneFallsBackToEmptyPlan(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		tr = append(tr, 0, 1)
 	}
-	a, err := Analyze(prog, tr, acfg(64))
+	a, err := Analyze(prog, blockseq.SliceSource(tr), acfg(64))
 	if err != nil {
 		t.Fatal(err)
 	}
 	params := frontend.DefaultParams()
 	params.L1I = oneSet
-	res, err := Tune(a, tr, TuneConfig{
+	res, err := Tune(a, blockseq.SliceSource(tr), TuneConfig{
 		Params:     params,
 		Policy:     "lru",
 		Prefetcher: "none",
@@ -437,7 +438,7 @@ func TestPlanSkipsKernelCues(t *testing.T) {
 	prog := lineBlocks(t, 3)
 	prog.Blocks[2].Kernel = true // the cue block of line-B's window
 	tr := []program.BlockID{0, 1, 2, 0, 1, 2}
-	a, err := Analyze(prog, tr, acfg(64))
+	a, err := Analyze(prog, blockseq.SliceSource(tr), acfg(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -464,7 +465,7 @@ func TestPlanThresholdMonotonicity(t *testing.T) {
 	for i := 0; i < 150; i++ {
 		tr = append(tr, pat[i%len(pat)]...)
 	}
-	a, err := Analyze(prog, tr, acfg(64))
+	a, err := Analyze(prog, blockseq.SliceSource(tr), acfg(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -489,7 +490,7 @@ func TestCandidatesSorted(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		tr = append(tr, pat[i%len(pat)]...)
 	}
-	a, err := Analyze(prog, tr, acfg(64))
+	a, err := Analyze(prog, blockseq.SliceSource(tr), acfg(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -505,7 +506,7 @@ func TestCandidatesSorted(t *testing.T) {
 func TestRunPlanShiftVsPreserve(t *testing.T) {
 	prog := lineBlocks(t, 3)
 	tr := []program.BlockID{0, 1, 2, 0, 1, 2, 0, 1, 2}
-	a, err := Analyze(prog, tr, acfg(64))
+	a, err := Analyze(prog, blockseq.SliceSource(tr), acfg(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -517,12 +518,12 @@ func TestRunPlanShiftVsPreserve(t *testing.T) {
 	params.L1I = oneSet
 	cfg := TuneConfig{Params: params, Policy: "lru", Prefetcher: "none"}
 
-	preserve, err := RunPlan(prog, tr, cfg, plan)
+	preserve, err := RunPlan(prog, blockseq.SliceSource(tr), cfg, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.ShiftLayout = true
-	shift, err := RunPlan(prog, tr, cfg, plan)
+	shift, err := RunPlan(prog, blockseq.SliceSource(tr), cfg, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -532,7 +533,7 @@ func TestRunPlanShiftVsPreserve(t *testing.T) {
 	}
 	// Preserving placement keeps instruction-fetch footprint identical to
 	// the uninjected binary; shifting grows it.
-	base, err := RunPlan(prog, tr, cfg, nil)
+	base, err := RunPlan(prog, blockseq.SliceSource(tr), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -543,12 +544,12 @@ func TestRunPlanShiftVsPreserve(t *testing.T) {
 
 func TestTuneConfigDefaults(t *testing.T) {
 	prog, tr := smallTuneSetup(t)
-	a, _ := Analyze(prog, tr, acfg(64))
+	a, _ := Analyze(prog, blockseq.SliceSource(tr), acfg(64))
 	params := frontend.DefaultParams()
 	params.L1I = oneSet
 	// Empty policy/prefetcher names default to LRU / no prefetch; nil
 	// thresholds default to the standard sweep.
-	res, err := Tune(a, tr, TuneConfig{Params: params})
+	res, err := Tune(a, blockseq.SliceSource(tr), TuneConfig{Params: params})
 	if err != nil {
 		t.Fatal(err)
 	}

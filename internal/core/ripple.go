@@ -1,6 +1,7 @@
 package core
 
 import (
+	"ripple/internal/blockseq"
 	"ripple/internal/frontend"
 	"ripple/internal/program"
 )
@@ -22,17 +23,17 @@ type Outcome struct {
 	// DynamicOverheadPct.
 }
 
-// Optimize runs the whole pipeline on a training trace: eviction analysis
+// Optimize runs the whole pipeline on a training source: eviction analysis
 // against the configured L1I, threshold tuning under the target policy and
 // prefetcher, and link-time injection of the winning plan.
-func Optimize(prog *program.Program, trainTrace []program.BlockID, acfg AnalysisConfig, tcfg TuneConfig) (*Outcome, error) {
+func Optimize(prog *program.Program, train blockseq.Source, acfg AnalysisConfig, tcfg TuneConfig) (*Outcome, error) {
 	// Analyze against the same geometry the target runs.
 	acfg.L1I = tcfg.Params.L1I
-	a, err := Analyze(prog, trainTrace, acfg)
+	a, err := Analyze(prog, train, acfg)
 	if err != nil {
 		return nil, err
 	}
-	tr, err := Tune(a, trainTrace, tcfg)
+	tr, err := Tune(a, train, tcfg)
 	if err != nil {
 		return nil, err
 	}

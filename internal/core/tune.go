@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"ripple/internal/blockseq"
 	"ripple/internal/cache"
 	"ripple/internal/frontend"
 	"ripple/internal/prefetch"
@@ -82,7 +83,7 @@ func (c *TuneConfig) newPrefetcher(prog *program.Program) (prefetch.Prefetcher, 
 // policy and prefetcher; the plan with the highest speedup over the
 // uninjected baseline wins. This is the per-application threshold
 // selection of Sec. III-C (the optimum lands in the paper's 45-65% band).
-func Tune(a *Analysis, trace []program.BlockID, cfg TuneConfig) (*TuneResult, error) {
+func Tune(a *Analysis, src blockseq.Source, cfg TuneConfig) (*TuneResult, error) {
 	thresholds := cfg.Thresholds
 	if thresholds == nil {
 		thresholds = DefaultThresholds()
@@ -91,7 +92,7 @@ func Tune(a *Analysis, trace []program.BlockID, cfg TuneConfig) (*TuneResult, er
 		return nil, fmt.Errorf("core: no thresholds to tune over")
 	}
 
-	baseline, err := RunPlan(a.Prog, trace, cfg, nil)
+	baseline, err := RunPlan(a.Prog, src, cfg, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +101,7 @@ func Tune(a *Analysis, trace []program.BlockID, cfg TuneConfig) (*TuneResult, er
 	var plans []*Plan
 	for _, th := range thresholds {
 		plan := a.PlanAt(th)
-		res, err := RunPlan(a.Prog, trace, cfg, plan)
+		res, err := RunPlan(a.Prog, src, cfg, plan)
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +149,7 @@ func Tune(a *Analysis, trace []program.BlockID, cfg TuneConfig) (*TuneResult, er
 // and invalidate the very profile the plan came from. Set
 // cfg.ShiftLayout to evaluate the naive relayout instead (the `layout`
 // ablation).
-func RunPlan(prog *program.Program, trace []program.BlockID, cfg TuneConfig, plan *Plan) (frontend.Result, error) {
+func RunPlan(prog *program.Program, src blockseq.Source, cfg TuneConfig, plan *Plan) (frontend.Result, error) {
 	pol, err := cfg.newPolicy()
 	if err != nil {
 		return frontend.Result{}, err
@@ -165,7 +166,7 @@ func RunPlan(prog *program.Program, trace []program.BlockID, cfg TuneConfig, pla
 	if err != nil {
 		return frontend.Result{}, err
 	}
-	return frontend.Run(cfg.Params, target, trace, frontend.Options{
+	return frontend.Run(cfg.Params, target, src, frontend.Options{
 		Policy:          pol,
 		Prefetcher:      pf,
 		Hints:           cfg.Hints,

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"ripple/internal/blockseq"
 	"ripple/internal/cache"
 	"ripple/internal/core"
 	"ripple/internal/frontend"
@@ -10,7 +11,6 @@ import (
 	"ripple/internal/lbr"
 	"ripple/internal/opt"
 	"ripple/internal/prefetch"
-	"ripple/internal/program"
 	"ripple/internal/replacement"
 	"ripple/internal/runner"
 	"ripple/internal/workload"
@@ -48,7 +48,7 @@ func (s *Suite) archCell(app string, planIdx int) runner.Job {
 		if err != nil {
 			return nil, err
 		}
-		tr := s.trace(st, 0)
+		tr := s.source(st, 0)
 		acfg := core.DefaultAnalysisConfig()
 		acfg.L1I = planGeo.cfg
 		a, err := core.Analyze(st.app.Prog, tr, acfg)
@@ -136,17 +136,17 @@ func (s *Suite) mergedCell(app string) runner.Job {
 		acfg := core.DefaultAnalysisConfig()
 		acfg.L1I = s.cfg.Params.L1I
 		multi, err := core.AnalyzeMulti(st.app.Prog,
-			[][]program.BlockID{s.trace(st, 0), s.trace(st, 1)}, acfg)
+			[]blockseq.Source{s.source(st, 0), s.source(st, 1)}, acfg)
 		if err != nil {
 			return nil, err
 		}
-		mergedTune, err := core.Tune(multi, s.trace(st, 0), tcfg)
+		mergedTune, err := core.Tune(multi, s.source(st, 0), tcfg)
 		if err != nil {
 			return nil, err
 		}
 		var single, merged float64
 		for input := 2; input <= 3; input++ {
-			tr := s.trace(st, input)
+			tr := s.source(st, input)
 			base, err := core.RunPlan(st.app.Prog, tr, tcfg, nil)
 			if err != nil {
 				return nil, err
@@ -198,7 +198,7 @@ func (s *Suite) lbrCell(app string) runner.Job {
 		if err != nil {
 			return nil, err
 		}
-		tr := s.trace(st, 0)
+		tr := s.source(st, 0)
 		ev, err := s.rippleFor(app, "none", "lru")
 		if err != nil {
 			return nil, err
@@ -211,7 +211,7 @@ func (s *Suite) lbrCell(app string) runner.Job {
 			}
 			acfg := core.DefaultAnalysisConfig()
 			acfg.L1I = s.cfg.Params.L1I
-			la, err := core.AnalyzeMulti(st.app.Prog, prof.Fragments, acfg)
+			la, err := core.AnalyzeMulti(st.app.Prog, prof.Sources(), acfg)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -299,7 +299,7 @@ func (s *Suite) xprefetchCell(app string) runner.Job {
 		if err != nil {
 			return nil, err
 		}
-		tifsRes, err := frontend.Run(s.cfg.Params, st.app.Prog, s.trace(st, 0), frontend.Options{
+		tifsRes, err := frontend.Run(s.cfg.Params, st.app.Prog, s.source(st, 0), frontend.Options{
 			Policy:       pol,
 			Prefetcher:   tf,
 			WarmupBlocks: s.cfg.WarmupBlocks,
@@ -318,11 +318,11 @@ func (s *Suite) xprefetchCell(app string) runner.Job {
 			return nil, err
 		}
 		tcfg := s.tuneCfg("tifs", "lru", frontend.HintInvalidate)
-		tuned, err := core.Tune(a, s.trace(st, 0), tcfg)
+		tuned, err := core.Tune(a, s.source(st, 0), tcfg)
 		if err != nil {
 			return nil, err
 		}
-		rippleTifs, err := core.RunPlan(st.app.Prog, s.trace(st, 0), tcfg, tuned.BestPlan)
+		rippleTifs, err := core.RunPlan(st.app.Prog, s.source(st, 0), tcfg, tuned.BestPlan)
 		if err != nil {
 			return nil, err
 		}
@@ -388,7 +388,7 @@ func (s *Suite) layoutCell(app string) runner.Job {
 		}
 		shiftCfg := s.tuneCfg("none", "lru", frontend.HintInvalidate)
 		shiftCfg.ShiftLayout = true
-		shifted, err := core.RunPlan(st.app.Prog, s.trace(st, 0), shiftCfg, ev.BestPlan)
+		shifted, err := core.RunPlan(st.app.Prog, s.source(st, 0), shiftCfg, ev.BestPlan)
 		if err != nil {
 			return nil, err
 		}
@@ -434,7 +434,7 @@ func (s *Suite) codeLayoutCell(app string) runner.Job {
 		if err != nil {
 			return nil, err
 		}
-		tr := s.trace(st, 0)
+		tr := s.source(st, 0)
 		base, err := s.run(app, "none", "lru", false)
 		if err != nil {
 			return nil, err
@@ -445,7 +445,10 @@ func (s *Suite) codeLayoutCell(app string) runner.Job {
 		}
 		tcfg := s.tuneCfg("none", "lru", frontend.HintInvalidate)
 
-		prof := layout.ProfileFromTrace(st.app.Prog, tr)
+		prof, err := layout.ProfileFromTrace(st.app.Prog, tr)
+		if err != nil {
+			return nil, err
+		}
 		optProg, err := layout.Optimize(st.app.Prog, prof, layout.DefaultOptions())
 		if err != nil {
 			return nil, err
@@ -516,7 +519,7 @@ func (s *Suite) windowCapCell(app string, wc int) runner.Job {
 		if err != nil {
 			return nil, err
 		}
-		tr := s.trace(st, 0)
+		tr := s.source(st, 0)
 		tcfg := s.tuneCfg("none", "lru", frontend.HintInvalidate)
 		acfg := core.DefaultAnalysisConfig()
 		acfg.L1I = s.cfg.Params.L1I
@@ -585,11 +588,11 @@ func (s *Suite) hintCostCell(app string) runner.Job {
 			params.HintCPI = hintCPI
 			tcfg := s.tuneCfg("none", "lru", frontend.HintInvalidate)
 			tcfg.Params = params
-			base, err := core.RunPlan(st.app.Prog, s.trace(st, 0), tcfg, nil)
+			base, err := core.RunPlan(st.app.Prog, s.source(st, 0), tcfg, nil)
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.RunPlan(st.app.Prog, s.trace(st, 0), tcfg, ev.BestPlan)
+			res, err := core.RunPlan(st.app.Prog, s.source(st, 0), tcfg, ev.BestPlan)
 			if err != nil {
 				return nil, err
 			}
@@ -648,7 +651,7 @@ func (s *Suite) phasesCell(appName string, phased bool) runner.Job {
 		if err != nil {
 			return nil, err
 		}
-		tr := app.Trace(0, s.cfg.TraceBlocks)
+		tr := app.Stream(0, s.cfg.TraceBlocks)
 		pol, _ := replacement.New("lru")
 		base, err := frontend.Run(s.cfg.Params, app.Prog, tr, frontend.Options{
 			Policy:       pol,

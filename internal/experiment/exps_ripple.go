@@ -230,7 +230,7 @@ func (s *Suite) fig13Cell(app string) runner.Job {
 		tcfg := s.tuneCfg("fdip", "lru", frontend.HintInvalidate)
 		var genSum, specSum float64
 		for input := 1; input <= 3; input++ {
-			tr := s.trace(st, input)
+			tr := s.source(st, input)
 			base, err := core.RunPlan(st.app.Prog, tr, tcfg, nil)
 			if err != nil {
 				return nil, err
@@ -302,7 +302,7 @@ func (s *Suite) Fig6() (*Table, error) {
 			tcfg := s.tuneCfg("fdip", "lru", frontend.HintInvalidate)
 			tcfg.MeasureAccuracy = true
 			tcfg.Thresholds = []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95}
-			tune, err := core.Tune(a, s.trace(st, 0), tcfg)
+			tune, err := core.Tune(a, s.source(st, 0), tcfg)
 			if err != nil {
 				return nil, err
 			}
@@ -342,7 +342,7 @@ func (s *Suite) Fig5() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr := app.Trace(0, 4000)
+	tr := app.Stream(0, 4000)
 	acfg := core.AnalysisConfig{
 		L1I:             cache.Config{SizeBytes: 4 * 64, Ways: 2, LineBytes: 64},
 		MaxWindowBlocks: 64,
@@ -382,7 +382,7 @@ func (s *Suite) demoteCell(app string) runner.Job {
 			return nil, err
 		}
 		dcfg := s.tuneCfg("fdip", "lru", frontend.HintDemote)
-		dem, err := core.RunPlan(st.app.Prog, s.trace(st, 0), dcfg, ev.BestPlan)
+		dem, err := core.RunPlan(st.app.Prog, s.source(st, 0), dcfg, ev.BestPlan)
 		if err != nil {
 			return nil, err
 		}
@@ -436,7 +436,7 @@ func (s *Suite) granularityCell(app string) runner.Job {
 		}
 		tcfg := s.tuneCfg("fdip", "lru", frontend.HintInvalidate)
 		wide := ev.BestPlan.ExpandVictimsToBlocks(st.app.Prog)
-		wr, err := core.RunPlan(st.app.Prog, s.trace(st, 0), tcfg, wide)
+		wr, err := core.RunPlan(st.app.Prog, s.source(st, 0), tcfg, wide)
 		if err != nil {
 			return nil, err
 		}

@@ -9,11 +9,11 @@ import (
 	"sync"
 	"time"
 
+	"ripple/internal/blockseq"
 	"ripple/internal/core"
 	"ripple/internal/frontend"
 	"ripple/internal/opt"
 	"ripple/internal/prefetch"
-	"ripple/internal/program"
 	"ripple/internal/replacement"
 	"ripple/internal/runner"
 	"ripple/internal/workload"
@@ -101,19 +101,17 @@ type Suite struct {
 }
 
 // appState holds the per-application substrate that cannot (or need not)
-// be persisted: the built program, synthesized traces, and the eviction
-// analysis, which carries live *program.Program references. All fields
-// build lazily and at most once; jobs running on different workers share
-// them read-only.
+// be persisted: the built program and the eviction analysis, which
+// carries live *program.Program references. Traces are never
+// materialized: jobs pull blocks from replayable workload stream
+// sources. All fields build lazily and at most once; jobs running on
+// different workers share them read-only.
 type appState struct {
 	model workload.Model
 
 	once sync.Once
 	app  *workload.App
 	err  error
-
-	tmu    sync.Mutex
-	traces map[int][]program.BlockID
 
 	aonce    sync.Once
 	analysis *core.Analysis
@@ -198,7 +196,7 @@ func (s *Suite) state(name string) (*appState, error) {
 			s.mu.Unlock()
 			return nil, fmt.Errorf("experiment: unknown application %q", name)
 		}
-		st = &appState{model: m, traces: make(map[int][]program.BlockID)}
+		st = &appState{model: m}
 		s.apps[name] = st
 	}
 	s.mu.Unlock()
@@ -215,16 +213,13 @@ func (s *Suite) state(name string) (*appState, error) {
 	return st, nil
 }
 
-// trace lazily synthesizes the trace for one input configuration.
-func (s *Suite) trace(st *appState, input int) []program.BlockID {
-	st.tmu.Lock()
-	defer st.tmu.Unlock()
-	if tr, ok := st.traces[input]; ok {
-		return tr
-	}
-	tr := st.app.Trace(input, s.cfg.TraceBlocks)
-	st.traces[input] = tr
-	return tr
+// source returns the replayable block source for one input
+// configuration. Workload streams are deterministic per (app, input,
+// seed): every Open replays exactly the blocks the old materialized
+// trace held, so persisted result signatures stay valid while the
+// suite's steady-state memory drops from O(trace) to O(1).
+func (s *Suite) source(st *appState, input int) blockseq.Source {
+	return st.app.Stream(input, s.cfg.TraceBlocks)
 }
 
 // analysisFor lazily runs Ripple's eviction analysis on the input-#0
@@ -239,7 +234,7 @@ func (s *Suite) analysisFor(name string) (*core.Analysis, error) {
 		acfg := core.DefaultAnalysisConfig()
 		acfg.L1I = s.cfg.Params.L1I
 		t0 := time.Now()
-		st.analysis, st.aerr = core.Analyze(st.app.Prog, s.trace(st, 0), acfg)
+		st.analysis, st.aerr = core.Analyze(st.app.Prog, s.source(st, 0), acfg)
 		if st.aerr == nil {
 			s.logf("[%s] eviction analysis: %d windows (%v)", name, st.analysis.Windows, time.Since(t0).Round(time.Millisecond))
 		}
@@ -272,7 +267,7 @@ func (s *Suite) runJob(name, prefetcher, policy string, accuracy bool) runner.Jo
 				return nil, err
 			}
 			t0 := time.Now()
-			r, err := frontend.Run(s.cfg.Params, st.app.Prog, s.trace(st, 0), frontend.Options{
+			r, err := frontend.Run(s.cfg.Params, st.app.Prog, s.source(st, 0), frontend.Options{
 				Policy:          pol,
 				Prefetcher:      pf,
 				MeasureAccuracy: accuracy,
@@ -322,7 +317,7 @@ func (s *Suite) oracleJob(name, prefetcher string) runner.Job {
 			if err != nil {
 				return nil, err
 			}
-			r, err := frontend.Run(s.cfg.Params, st.app.Prog, s.trace(st, 0), frontend.Options{
+			r, err := frontend.Run(s.cfg.Params, st.app.Prog, s.source(st, 0), frontend.Options{
 				Policy:       pol,
 				Prefetcher:   pf,
 				RecordStream: true,
@@ -450,14 +445,14 @@ func (s *Suite) rippleJob(name, prefetcher, policy string) runner.Job {
 			}
 			tcfg := s.tuneCfg(prefetcher, policy, frontend.HintInvalidate)
 			t0 := time.Now()
-			tune, err := core.Tune(a, s.trace(st, 0), tcfg)
+			tune, err := core.Tune(a, s.source(st, 0), tcfg)
 			if err != nil {
 				return nil, err
 			}
 			// Re-evaluate the winner with accuracy instrumentation for
 			// Figs. 9-12.
 			tcfg.MeasureAccuracy = true
-			best, err := core.RunPlan(st.app.Prog, s.trace(st, 0), tcfg, tune.BestPlan)
+			best, err := core.RunPlan(st.app.Prog, s.source(st, 0), tcfg, tune.BestPlan)
 			if err != nil {
 				return nil, err
 			}

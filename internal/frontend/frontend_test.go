@@ -3,6 +3,7 @@ package frontend
 import (
 	"testing"
 
+	"ripple/internal/blockseq"
 	"ripple/internal/cache"
 	"ripple/internal/isa"
 	"ripple/internal/prefetch"
@@ -50,7 +51,7 @@ func loopProgram(t *testing.T) *program.Program {
 	return p
 }
 
-func trace(blocks ...program.BlockID) []program.BlockID { return blocks }
+func trace(blocks ...program.BlockID) blockseq.SliceSource { return blockseq.Of(blocks...) }
 
 func TestCycleAccountingExact(t *testing.T) {
 	p := smallParams()
@@ -120,11 +121,14 @@ func TestDemandLinesMatchesSimulator(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := app.Trace(0, 5000)
-	lines, blockOf := DemandLines(app.Prog, tr)
+	lines, blockOf, err := DemandLines(app.Prog, blockseq.SliceSource(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(lines) != len(blockOf) {
 		t.Fatal("lines/blockOf length mismatch")
 	}
-	res, err := Run(DefaultParams(), app.Prog, tr, Options{Policy: replacement.NewLRU()})
+	res, err := Run(DefaultParams(), app.Prog, blockseq.SliceSource(tr), Options{Policy: replacement.NewLRU()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +257,7 @@ func TestDeterminism(t *testing.T) {
 		CalleeMin: 1, CalleeMax: 2, IndirectFanout: 2,
 		ZipfRequest: 0.9, RequestsPerBurst: 1,
 	})
-	tr := app.Trace(0, 3000)
+	tr := blockseq.SliceSource(app.Trace(0, 3000))
 	run := func() Result {
 		pol, _ := replacement.New("random")
 		r, err := Run(DefaultParams(), app.Prog, tr, Options{Policy: pol})
@@ -339,7 +343,7 @@ func TestTIFSMissFeedback(t *testing.T) {
 	// Thrash the 2-way sets with a 5-line loop so every access misses
 	// under LRU; TIFS should learn the miss stream on lap one and prefetch
 	// it on later laps.
-	var tr []program.BlockID
+	var tr blockseq.SliceSource
 	for lap := 0; lap < 6; lap++ {
 		tr = append(tr, 0, 1, 2, 3, 4)
 	}
@@ -367,7 +371,7 @@ func TestFDIPIntegrationReportsBranchMPKI(t *testing.T) {
 		CalleeMin: 1, CalleeMax: 3, IndirectFanout: 3,
 		ZipfRequest: 1.0, RequestsPerBurst: 2,
 	})
-	tr := app.Trace(0, 20_000)
+	tr := blockseq.SliceSource(app.Trace(0, 20_000))
 	pf, err := prefetch.New("fdip", app.Prog)
 	if err != nil {
 		t.Fatal(err)
@@ -394,7 +398,7 @@ func TestPrefetchReducesStallsNotJustMisses(t *testing.T) {
 		CalleeMin: 2, CalleeMax: 4, IndirectFanout: 3,
 		ZipfRequest: 0.9, RequestsPerBurst: 2,
 	})
-	tr := app.Trace(0, 60_000)
+	tr := blockseq.SliceSource(app.Trace(0, 60_000))
 	params := DefaultParams()
 	run := func(pfName string) Result {
 		pf, err := prefetch.New(pfName, app.Prog)

@@ -3,6 +3,7 @@ package frontend
 import (
 	"fmt"
 
+	"ripple/internal/blockseq"
 	"ripple/internal/cache"
 	"ripple/internal/opt"
 	"ripple/internal/prefetch"
@@ -178,10 +179,14 @@ type sim struct {
 	warmSnap *Result
 }
 
-// Run simulates the trace through the configured frontend and returns the
-// measurements. The same trace may be replayed with a rewritten (injected)
-// program: block IDs are stable across injection.
-func Run(p Params, prog *program.Program, trace []program.BlockID, opts Options) (Result, error) {
+// Run simulates the block stream through the configured frontend and
+// returns the measurements. The source may be replayed with a rewritten
+// (injected) program: block IDs are stable across injection. Run holds
+// O(1) state beyond the caches: a streaming source (workload walker, PT
+// decoder) is consumed without ever materializing the trace.
+// MeasureAccuracy re-opens the source for the oracle pre-pass, relying on
+// the Source replayability contract.
+func Run(p Params, prog *program.Program, src blockseq.Source, opts Options) (Result, error) {
 	if opts.Policy == nil {
 		opts.Policy = replacement.NewLRU()
 	}
@@ -216,17 +221,26 @@ func Run(p Params, prog *program.Program, trace []program.BlockID, opts Options)
 		s.missObs = mo
 	}
 	if opts.MeasureAccuracy {
-		lines, _ := DemandLines(prog, trace)
+		lines, _, err := DemandLines(prog, src)
+		if err != nil {
+			return Result{}, fmt.Errorf("frontend: oracle pre-pass: %w", err)
+		}
 		s.oracle = opt.BuildOracle(lines, p.L1I)
 	}
 	if !opts.ColdHierarchy {
 		s.prewarm()
 	}
 	if opts.RecordStream {
-		res.Stream = make([]opt.Event, 0, len(trace)*2)
+		capHint := 1024
+		if n, ok := blockseq.LenHint(src); ok {
+			capHint = n * 2
+		}
+		res.Stream = make([]opt.Event, 0, capHint)
 	}
 
-	s.run(trace)
+	if err := s.run(src); err != nil {
+		return Result{}, fmt.Errorf("frontend: %w", err)
+	}
 
 	res.Cycles = uint64(s.cycleF)
 	res.L1I = s.l1i.Stats
@@ -239,12 +253,18 @@ func Run(p Params, prog *program.Program, trace []program.BlockID, opts Options)
 	return res, nil
 }
 
-func (s *sim) run(trace []program.BlockID) {
+func (s *sim) run(src blockseq.Source) error {
 	var lineBuf [16]uint64
 	lastLine := ^uint64(0)
 	issue := s.issuePrefetch
 
-	for ti, bid := range trace {
+	// One-block lookahead: the prefetcher's retire hook needs the next
+	// block, so the loop always holds the current block plus the peeked
+	// successor — the only trace state the simulator keeps.
+	seq := src.Open()
+	bid, ok := seq.Next()
+	for ti := 0; ok; ti++ {
+		next, haveNext := seq.Next()
 		if ti == s.opts.WarmupBlocks {
 			s.snapshotWarm()
 		}
@@ -272,15 +292,18 @@ func (s *sim) run(trace []program.BlockID) {
 		}
 
 		// Let the prefetcher observe retirement and run ahead.
-		if ti+1 < len(trace) {
-			s.opts.Prefetcher.OnBlockRetire(bid, trace[ti+1], issue)
+		if haveNext {
+			s.opts.Prefetcher.OnBlockRetire(bid, next, issue)
 		}
 
 		// Advance the pipeline clock by the block's base execution time;
 		// injected hints are near-free µops charged at HintCPI.
 		nh := len(b.Invalidations)
 		s.cycleF += float64(b.Instrs)*s.p.BaseCPI + float64(nh)*s.p.HintCPI
+
+		bid, ok = next, haveNext
 	}
+	return seq.Err()
 }
 
 // snapshotWarm records every counter at the end of warmup so the final

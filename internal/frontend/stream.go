@@ -1,35 +1,47 @@
 package frontend
 
 import (
+	"ripple/internal/blockseq"
 	"ripple/internal/program"
 )
 
-// DemandLines expands a basic-block trace into the exact demand
+// DemandLines expands a basic-block stream into the exact demand
 // instruction-line access sequence the simulator issues: each executed
 // block touches its laid-out lines in order, and consecutive accesses to
 // the same line are coalesced (sequential fetch stays within a line
 // without re-probing the cache).
 //
-// blockOf[i] is the trace index of the block that produced stream position
-// i, which is how Ripple's eviction analysis maps oracle eviction events
-// back onto basic blocks. Every consumer that needs positions consistent
-// with the simulator (the accuracy oracle, the eviction analysis) must use
-// this function.
-func DemandLines(prog *program.Program, trace []program.BlockID) (lines []uint64, blockOf []int32) {
-	lines = make([]uint64, 0, len(trace)*3/2)
-	blockOf = make([]int32, 0, len(trace)*3/2)
+// blockOf[i] is the stream index of the block that produced stream
+// position i, which is how Ripple's eviction analysis maps oracle eviction
+// events back onto basic blocks. Every consumer that needs positions
+// consistent with the simulator (the accuracy oracle, the eviction
+// analysis) must use this function.
+//
+// The output is inherently O(stream length): the oracles this feeds need
+// the whole access sequence with future knowledge. The input, however, is
+// consumed one block at a time.
+func DemandLines(prog *program.Program, src blockseq.Source) (lines []uint64, blockOf []int32, err error) {
+	capHint := 1024
+	if n, ok := blockseq.LenHint(src); ok {
+		capHint = n * 3 / 2
+	}
+	lines = make([]uint64, 0, capHint)
+	blockOf = make([]int32, 0, capHint)
 	var buf [16]uint64
 	last := ^uint64(0)
-	for ti, bid := range trace {
-		bl := prog.Block(bid).Lines(buf[:0])
-		for _, l := range bl {
+	seq := src.Open()
+	for ti := int32(0); ; ti++ {
+		bid, ok := seq.Next()
+		if !ok {
+			return lines, blockOf, seq.Err()
+		}
+		for _, l := range prog.Block(bid).Lines(buf[:0]) {
 			if l == last {
 				continue
 			}
 			last = l
 			lines = append(lines, l)
-			blockOf = append(blockOf, int32(ti))
+			blockOf = append(blockOf, ti)
 		}
 	}
-	return lines, blockOf
 }

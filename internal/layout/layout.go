@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ripple/internal/blockseq"
 	"ripple/internal/isa"
 	"ripple/internal/program"
 )
@@ -32,25 +33,42 @@ type Profile struct {
 }
 
 // ProfileFromTrace builds a layout profile from an executed block
-// sequence.
-func ProfileFromTrace(prog *program.Program, trace []program.BlockID) *Profile {
+// stream, consuming it one block at a time (the call-edge attribution
+// needs only the previous block).
+func ProfileFromTrace(prog *program.Program, src blockseq.Source) (*Profile, error) {
 	p := &Profile{
 		BlockCount: make([]uint64, prog.NumBlocks()),
 		FuncCount:  make([]uint64, len(prog.Funcs)),
 		CallEdges:  make(map[[2]program.FuncID]uint64, 1<<10),
 	}
-	for i, bid := range trace {
+	seq := src.Open()
+	prev := program.NoBlock
+	for {
+		bid, ok := seq.Next()
+		if !ok {
+			return p, seq.Err()
+		}
 		b := prog.Block(bid)
 		p.BlockCount[bid]++
 		if b.ID == prog.Func(b.Func).Entry {
 			p.FuncCount[b.Func]++
 		}
-		if i+1 < len(trace) && b.Term.IsCall() {
-			callee := prog.Block(trace[i+1]).Func
-			p.CallEdges[[2]program.FuncID{b.Func, callee}]++
+		if prev != program.NoBlock {
+			if pb := prog.Block(prev); pb.Term.IsCall() {
+				p.CallEdges[[2]program.FuncID{pb.Func, b.Func}]++
+			}
 		}
+		prev = bid
 	}
-	return p
+}
+
+// TotalBlocks returns the number of block executions the profile saw.
+func (p *Profile) TotalBlocks() uint64 {
+	var n uint64
+	for _, c := range p.BlockCount {
+		n += c
+	}
+	return n
 }
 
 // Options selects which transformations to apply.

@@ -3,6 +3,7 @@ package layout
 import (
 	"testing"
 
+	"ripple/internal/blockseq"
 	"ripple/internal/cache"
 	"ripple/internal/frontend"
 	"ripple/internal/program"
@@ -10,7 +11,16 @@ import (
 	"ripple/internal/workload"
 )
 
-func tinyApp(t *testing.T) (*workload.App, []program.BlockID) {
+func mustProfile(t *testing.T, prog *program.Program, src blockseq.Source) *Profile {
+	t.Helper()
+	prof, err := ProfileFromTrace(prog, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func tinyApp(t *testing.T) (*workload.App, blockseq.SliceSource) {
 	t.Helper()
 	app, err := workload.Build(workload.Model{
 		Name: "layout-tiny", Seed: 21,
@@ -24,12 +34,12 @@ func tinyApp(t *testing.T) (*workload.App, []program.BlockID) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return app, app.Trace(0, 30_000)
+	return app, blockseq.SliceSource(app.Trace(0, 30_000))
 }
 
 func TestProfileFromTrace(t *testing.T) {
 	app, tr := tinyApp(t)
-	prof := ProfileFromTrace(app.Prog, tr)
+	prof := mustProfile(t, app.Prog, tr)
 	var total uint64
 	for _, c := range prof.BlockCount {
 		total += c
@@ -53,7 +63,7 @@ func TestProfileFromTrace(t *testing.T) {
 
 func TestOptimizePreservesSemantics(t *testing.T) {
 	app, tr := tinyApp(t)
-	prof := ProfileFromTrace(app.Prog, tr)
+	prof := mustProfile(t, app.Prog, tr)
 	opt, err := Optimize(app.Prog, prof, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +99,7 @@ func TestOptimizePreservesSemantics(t *testing.T) {
 
 func TestOptimizeImprovesICache(t *testing.T) {
 	app, tr := tinyApp(t)
-	prof := ProfileFromTrace(app.Prog, tr)
+	prof := mustProfile(t, app.Prog, tr)
 	opt, err := Optimize(app.Prog, prof, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -114,7 +124,7 @@ func TestOptimizeImprovesICache(t *testing.T) {
 
 func TestOptimizeRejectsShapeMismatch(t *testing.T) {
 	app, tr := tinyApp(t)
-	prof := ProfileFromTrace(app.Prog, tr)
+	prof := mustProfile(t, app.Prog, tr)
 	prof.BlockCount = prof.BlockCount[:3]
 	if _, err := Optimize(app.Prog, prof, DefaultOptions()); err == nil {
 		t.Fatal("shape mismatch accepted")
@@ -123,7 +133,7 @@ func TestOptimizeRejectsShapeMismatch(t *testing.T) {
 
 func TestClusterCapRespected(t *testing.T) {
 	app, tr := tinyApp(t)
-	prof := ProfileFromTrace(app.Prog, tr)
+	prof := mustProfile(t, app.Prog, tr)
 	opts := DefaultOptions()
 	opts.MaxClusterBytes = 1 // nothing can merge
 	opt, err := Optimize(app.Prog, prof, opts)
@@ -137,7 +147,7 @@ func TestClusterCapRespected(t *testing.T) {
 
 func TestHotBytes(t *testing.T) {
 	app, tr := tinyApp(t)
-	prof := ProfileFromTrace(app.Prog, tr)
+	prof := mustProfile(t, app.Prog, tr)
 	bytes, lines := HotBytes(app.Prog, prof)
 	if bytes == 0 || lines == 0 {
 		t.Fatal("no hot footprint measured")
@@ -152,7 +162,7 @@ func TestHotBytes(t *testing.T) {
 // clustering).
 func TestC3PlacesHotCalleeAfterCaller(t *testing.T) {
 	app, tr := tinyApp(t)
-	prof := ProfileFromTrace(app.Prog, tr)
+	prof := mustProfile(t, app.Prog, tr)
 	var best [2]program.FuncID
 	var bestW uint64
 	for k, w := range prof.CallEdges {
@@ -182,7 +192,7 @@ func TestC3PlacesHotCalleeAfterCaller(t *testing.T) {
 
 func TestBlockReorderKeepsEntryAndSinksCold(t *testing.T) {
 	app, tr := tinyApp(t)
-	prof := ProfileFromTrace(app.Prog, tr)
+	prof := mustProfile(t, app.Prog, tr)
 	opt, err := Optimize(app.Prog, prof, Options{ReorderBlocks: true})
 	if err != nil {
 		t.Fatal(err)

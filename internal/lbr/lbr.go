@@ -16,6 +16,7 @@ package lbr
 import (
 	"fmt"
 
+	"ripple/internal/blockseq"
 	"ripple/internal/program"
 	"ripple/internal/stats"
 )
@@ -57,16 +58,29 @@ func (p *Profile) CaptureRatio() float64 {
 	return float64(p.SampledBlocks) / float64(p.TraceBlocks)
 }
 
-// Sample acquires an LBR-style profile from a ground-truth trace.
-func Sample(trace []program.BlockID, cfg Config) (*Profile, error) {
+// Sample acquires an LBR-style profile from a ground-truth block stream.
+// It holds only a Depth-sized ring of recent blocks plus the captured
+// fragments — like the hardware, it never sees the whole trace at once.
+func Sample(src blockseq.Source, cfg Config) (*Profile, error) {
 	if cfg.Interval <= 0 || cfg.Depth <= 0 {
 		return nil, fmt.Errorf("lbr: non-positive interval or depth: %+v", cfg)
 	}
+	if src == nil {
+		src = blockseq.Of()
+	}
 	rng := stats.NewRNG(cfg.Seed)
-	p := &Profile{TraceBlocks: len(trace)}
+	p := &Profile{}
+	ring := make([]program.BlockID, cfg.Depth)
 	// First sample lands after one jittered interval.
 	next := jittered(rng, cfg.Interval)
-	for pos := 0; pos < len(trace); pos++ {
+	seq := src.Open()
+	for pos := 0; ; pos++ {
+		bid, ok := seq.Next()
+		if !ok {
+			p.TraceBlocks = pos
+			return p, seq.Err()
+		}
+		ring[pos%cfg.Depth] = bid
 		if pos < next {
 			continue
 		}
@@ -74,12 +88,24 @@ func Sample(trace []program.BlockID, cfg Config) (*Profile, error) {
 		if start < 0 {
 			start = 0
 		}
-		frag := append([]program.BlockID(nil), trace[start:pos+1]...)
+		frag := make([]program.BlockID, 0, pos+1-start)
+		for i := start; i <= pos; i++ {
+			frag = append(frag, ring[i%cfg.Depth])
+		}
 		p.Fragments = append(p.Fragments, frag)
 		p.SampledBlocks += len(frag)
 		next = pos + jittered(rng, cfg.Interval)
 	}
-	return p, nil
+}
+
+// Sources adapts the captured fragments for AnalyzeMulti-style consumers
+// that take one replayable source per profile fragment.
+func (p *Profile) Sources() []blockseq.Source {
+	out := make([]blockseq.Source, len(p.Fragments))
+	for i, f := range p.Fragments {
+		out[i] = blockseq.SliceSource(f)
+	}
+	return out
 }
 
 // jittered draws an interval in [0.75, 1.25) of the nominal period.

@@ -3,15 +3,16 @@ package lbr
 import (
 	"testing"
 
+	"ripple/internal/blockseq"
 	"ripple/internal/program"
 )
 
-func mkTrace(n int) []program.BlockID {
+func mkTrace(n int) blockseq.SliceSource {
 	tr := make([]program.BlockID, n)
 	for i := range tr {
 		tr[i] = program.BlockID(i % 17)
 	}
-	return tr
+	return blockseq.SliceSource(tr)
 }
 
 func TestSampleShape(t *testing.T) {

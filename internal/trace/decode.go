@@ -18,8 +18,10 @@ type Decoder struct {
 	r    *bufio.Reader
 	prog *program.Program
 
-	// remaining counts the blocks left to emit, from the stream header.
+	// remaining counts the blocks left to emit, from the stream header;
+	// declared is the header's total (for error reporting).
 	remaining uint64
+	declared  uint64
 
 	bits  uint64
 	nbits int
@@ -50,8 +52,12 @@ func NewDecoder(r io.Reader, prog *program.Program) (*Decoder, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading block count: %w", err)
 	}
+	d.declared = d.remaining
 	return d, nil
 }
+
+// Declared returns the block count the stream header promises.
+func (d *Decoder) Declared() uint64 { return d.declared }
 
 // readPacketByte reads one raw byte, converting EOF into a framing error
 // (a well-formed stream always ends with an END packet).
@@ -142,27 +148,52 @@ func (d *Decoder) nextTIP() (program.BlockID, error) {
 }
 
 // Next returns the next executed block, or io.EOF at the end of the
-// stream.
+// stream. The header's block count is enforced in both directions: a
+// stream whose packets run out (or hit an early END) before the declared
+// count is an error, not a silently shortened trace, and a completed
+// stream must close with exactly an END packet.
 func (d *Decoder) Next() (program.BlockID, error) {
 	if d.err != nil {
 		return program.NoBlock, d.err
 	}
-	if d.done || d.remaining == 0 {
+	if d.done {
+		return program.NoBlock, io.EOF
+	}
+	if d.remaining == 0 {
 		d.done = true
+		if err := d.finish(); err != nil {
+			d.err = err
+			return program.NoBlock, err
+		}
 		return program.NoBlock, io.EOF
 	}
 	id, err := d.step()
 	if err != nil {
 		if err == io.EOF {
-			d.done = true
-		} else {
-			d.err = err
+			err = fmt.Errorf("trace: stream ended with %d of %d declared blocks missing", d.remaining, d.declared)
 		}
+		d.err = err
 		return program.NoBlock, err
 	}
 	d.cur = id
 	d.remaining--
 	return id, nil
+}
+
+// finish validates the end of a fully decoded stream: no TNT bits may be
+// left over and the next packet must be END.
+func (d *Decoder) finish() error {
+	if d.nbits != 0 {
+		return fmt.Errorf("trace: %d unconsumed TNT bits at end of stream", d.nbits)
+	}
+	b, err := d.readPacketByte()
+	if err != nil {
+		return err
+	}
+	if b != pktEnd {
+		return fmt.Errorf("trace: expected END packet at end of stream, got %#x", b)
+	}
+	return nil
 }
 
 func (d *Decoder) step() (program.BlockID, error) {

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"os"
+
+	"ripple/internal/blockseq"
+	"ripple/internal/program"
+)
+
+// NewSource wraps an encoded packet stream as a replayable block source:
+// every Open calls open for a fresh reader and decodes it from the start,
+// so multi-pass consumers replay the file instead of materializing it.
+// The reader is closed when the pass ends (exhaustion or error).
+func NewSource(prog *program.Program, open func() (io.ReadCloser, error)) blockseq.Source {
+	return &readerSource{prog: prog, open: open}
+}
+
+// FileSource streams an encoded trace file. LenHint reads just the
+// stream header, so consumers can pre-size buffers without a full pass.
+func FileSource(path string, prog *program.Program) blockseq.Source {
+	return NewSource(prog, func() (io.ReadCloser, error) { return os.Open(path) })
+}
+
+// BytesSource streams an in-memory encoded trace (tests, benchmarks).
+func BytesSource(data []byte, prog *program.Program) blockseq.Source {
+	return NewSource(prog, func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(data)), nil
+	})
+}
+
+type readerSource struct {
+	prog *program.Program
+	open func() (io.ReadCloser, error)
+
+	hinted bool
+	hint   int
+	hintOK bool
+}
+
+func (s *readerSource) Open() blockseq.Seq {
+	rc, err := s.open()
+	if err != nil {
+		return &decodeSeq{err: err}
+	}
+	d, err := NewDecoder(rc, s.prog)
+	if err != nil {
+		rc.Close()
+		return &decodeSeq{err: err}
+	}
+	return &decodeSeq{rc: rc, d: d}
+}
+
+// LenHint opens the stream just long enough to read the header's
+// declared block count. The result is cached after the first call.
+func (s *readerSource) LenHint() (int, bool) {
+	if s.hinted {
+		return s.hint, s.hintOK
+	}
+	s.hinted = true
+	rc, err := s.open()
+	if err != nil {
+		return 0, false
+	}
+	defer rc.Close()
+	d, err := NewDecoder(rc, s.prog)
+	if err != nil {
+		return 0, false
+	}
+	s.hint, s.hintOK = int(d.Declared()), true
+	return s.hint, s.hintOK
+}
+
+// decodeSeq is one decoding pass over the packet stream.
+type decodeSeq struct {
+	rc  io.ReadCloser
+	d   *Decoder
+	err error
+}
+
+func (s *decodeSeq) Next() (program.BlockID, bool) {
+	if s.d == nil {
+		return 0, false
+	}
+	id, err := s.d.Next()
+	if err != nil {
+		if err != io.EOF {
+			s.err = err
+		}
+		s.close()
+		return 0, false
+	}
+	return id, true
+}
+
+func (s *decodeSeq) Err() error { return s.err }
+
+func (s *decodeSeq) close() {
+	if s.rc != nil {
+		if cerr := s.rc.Close(); cerr != nil && s.err == nil {
+			s.err = cerr
+		}
+		s.rc = nil
+	}
+	s.d = nil
+}

@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"ripple/internal/blockseq"
+	"ripple/internal/isa"
+	"ripple/internal/program"
+)
+
+// encoded returns a valid packet stream of the given trace.
+func encoded(t *testing.T, prog *program.Program, blocks []program.BlockID) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, prog, blocks); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestBytesSourceReplaysDecode(t *testing.T) {
+	app := tinyApp(t)
+	want := app.Trace(0, 5000)
+	raw := encoded(t, app.Prog, want)
+	src := BytesSource(raw, app.Prog)
+	if n, ok := blockseq.LenHint(src); !ok || n != len(want) {
+		t.Fatalf("LenHint = %d,%v, want %d", n, ok, len(want))
+	}
+	for pass := 0; pass < 2; pass++ {
+		got, err := blockseq.Collect(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("pass %d: %d blocks, want %d", pass, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pass %d: divergence at %d", pass, i)
+			}
+		}
+	}
+}
+
+func TestSourceSurfacesOpenError(t *testing.T) {
+	app := tinyApp(t)
+	src := FileSource("/nonexistent/trace.pt", app.Prog)
+	seq := src.Open()
+	if _, ok := seq.Next(); ok {
+		t.Fatal("Next succeeded on unopenable file")
+	}
+	if seq.Err() == nil {
+		t.Fatal("missing open error")
+	}
+	if _, ok := blockseq.LenHint(src); ok {
+		t.Fatal("LenHint claimed to know an unopenable file's length")
+	}
+}
+
+func TestSourceSurfacesDecodeError(t *testing.T) {
+	app := tinyApp(t)
+	raw := encoded(t, app.Prog, app.Trace(0, 2000))
+	src := BytesSource(raw[:len(raw)-3], app.Prog)
+	_, err := blockseq.Collect(src)
+	if err == nil {
+		t.Fatal("truncated stream decoded cleanly through the source")
+	}
+}
+
+// --- decoder error-path coverage (satellite): every malformed input must
+// return an error, never panic or silently truncate. ---
+
+// TestDecodeRejectsEarlyEnd covers the block-count mismatch where the
+// packet stream ends (well-formed END packet) before the header's
+// declared count: this used to decode as a silently shortened trace.
+func TestDecodeRejectsEarlyEnd(t *testing.T) {
+	app := tinyApp(t)
+	tr := app.Trace(0, 2000)
+	raw := encoded(t, app.Prog, tr)
+
+	// Re-declare twice the block count in the header, keeping packets.
+	var hdr bytes.Buffer
+	hdr.WriteByte(pktPSB)
+	var tmp [binary.MaxVarintLen64]byte
+	r := bytes.NewReader(raw[1:])
+	declared, err := binary.ReadUvarint(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if declared != uint64(len(tr)) {
+		t.Fatalf("header declares %d, trace has %d", declared, len(tr))
+	}
+	n := binary.PutUvarint(tmp[:], declared*2)
+	hdr.Write(tmp[:n])
+	rest := make([]byte, r.Len())
+	if _, err := r.Read(rest); err != nil {
+		t.Fatal(err)
+	}
+	hdr.Write(rest)
+
+	got, err := Decode(bytes.NewReader(hdr.Bytes()), app.Prog)
+	if err == nil {
+		t.Fatalf("over-declared stream decoded %d blocks without error", len(got))
+	}
+	if !strings.Contains(err.Error(), "declared blocks missing") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestDecodeRejectsTrailingGarbage covers the opposite count mismatch:
+// packets continue after the declared count instead of an END packet.
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	app := tinyApp(t)
+	raw := encoded(t, app.Prog, app.Trace(0, 1000))
+	// Replace the final END byte with a TNT packet header.
+	mut := append([]byte(nil), raw...)
+	if mut[len(mut)-1] != pktEnd {
+		t.Fatalf("stream does not end with END packet: %#x", mut[len(mut)-1])
+	}
+	mut[len(mut)-1] = pktTNT
+	if _, err := Decode(bytes.NewReader(mut), app.Prog); err == nil {
+		t.Fatal("stream without a final END packet decoded cleanly")
+	}
+}
+
+func TestDecodeRejectsUnknownPacketByte(t *testing.T) {
+	app := tinyApp(t)
+	tr := app.Trace(0, 1000)
+	raw := encoded(t, app.Prog, tr)
+	// Corrupt every packet-start candidate one at a time is expensive;
+	// instead overwrite a byte shortly after the header with an unknown
+	// packet type and require the decode to fail (the decoder expects a
+	// specific packet kind at every read position).
+	for _, bad := range []byte{0x7f, 0xee} {
+		mut := append([]byte(nil), raw...)
+		mut[4] = bad
+		if _, err := Decode(bytes.NewReader(mut), app.Prog); err == nil {
+			t.Fatalf("unknown packet byte %#x accepted", bad)
+		}
+	}
+}
+
+func TestDecodeRejectsOversizedTNT(t *testing.T) {
+	app := tinyApp(t)
+	// Hand-build: header declaring 2 blocks, TIP to a conditional-branch
+	// block (so the second block needs a TNT bit), then a TNT packet
+	// claiming more bits than the format allows.
+	entry := condEntryAddr(t, app.Prog)
+	var buf bytes.Buffer
+	buf.WriteByte(pktPSB)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], 2)
+	buf.Write(tmp[:n])
+	writeTIP(&buf, entry)
+	buf.WriteByte(pktTNT)
+	buf.WriteByte(maxTNTBits + 1)
+	for i := 0; i < 16; i++ {
+		buf.WriteByte(0xff)
+	}
+	_, err := Decode(bytes.NewReader(buf.Bytes()), app.Prog)
+	if err == nil || !strings.Contains(err.Error(), "TNT") {
+		t.Fatalf("oversized TNT packet: err = %v", err)
+	}
+	// A zero-bit TNT packet is equally malformed.
+	b2 := buf.Bytes()[:buf.Len()-17]
+	b2 = append(b2, pktTNT, 0)
+	if _, err := Decode(bytes.NewReader(b2), app.Prog); err == nil {
+		t.Fatal("zero-bit TNT packet accepted")
+	}
+}
+
+func TestDecodeRejectsBadTIP(t *testing.T) {
+	app := tinyApp(t)
+	var buf bytes.Buffer
+	buf.WriteByte(pktPSB)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], 1)
+	buf.Write(tmp[:n])
+	// TIP with too many delta bytes.
+	buf.WriteByte(pktTIP)
+	buf.WriteByte(9)
+	head := append([]byte(nil), buf.Bytes()...)
+	if _, err := Decode(bytes.NewReader(head), app.Prog); err == nil ||
+		!strings.Contains(err.Error(), "TIP") {
+		t.Fatal("TIP with 9 delta bytes accepted")
+	}
+	// TIP targeting an address that is not a block entry.
+	var buf2 bytes.Buffer
+	buf2.Write(head[:len(head)-2])
+	writeTIP(&buf2, 0xdeadbeefcafe)
+	if _, err := Decode(bytes.NewReader(buf2.Bytes()), app.Prog); err == nil ||
+		!strings.Contains(err.Error(), "not a block entry") {
+		t.Fatal("TIP to non-entry address accepted")
+	}
+}
+
+func TestDecodeRejectsTruncatedMidPacket(t *testing.T) {
+	app := tinyApp(t)
+	raw := encoded(t, app.Prog, app.Trace(0, 3000))
+	// Cut inside the stream at several depths; all must error.
+	for _, cut := range []int{3, len(raw) / 3, len(raw) - 1} {
+		if cut >= len(raw) {
+			continue
+		}
+		if _, err := Decode(bytes.NewReader(raw[:cut]), app.Prog); err == nil {
+			t.Fatalf("stream truncated at %d/%d decoded cleanly", cut, len(raw))
+		}
+	}
+}
+
+// condEntryAddr returns the entry address of some conditional-branch
+// block, so the decode step after a TIP to it must consume a TNT bit.
+func condEntryAddr(t *testing.T, prog *program.Program) uint64 {
+	t.Helper()
+	for i := range prog.Blocks {
+		if prog.Blocks[i].Term == isa.TermCondBranch {
+			return prog.Blocks[i].Addr
+		}
+	}
+	t.Fatal("program has no conditional branch")
+	return 0
+}
+
+// writeTIP emits a TIP packet for target assuming lastIP starts at 0.
+func writeTIP(buf *bytes.Buffer, target uint64) {
+	buf.WriteByte(pktTIP)
+	delta := target // XOR against lastIP = 0
+	var db []byte
+	for delta != 0 {
+		db = append(db, byte(delta))
+		delta >>= 8
+	}
+	buf.WriteByte(byte(len(db)))
+	buf.Write(db)
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 
+	"ripple/internal/blockseq"
 	"ripple/internal/isa"
 	"ripple/internal/program"
 )
@@ -207,11 +208,27 @@ func (e *Encoder) Close() (Stats, error) {
 
 // Encode serializes a whole trace in one call.
 func Encode(w io.Writer, prog *program.Program, blocks []program.BlockID) (Stats, error) {
+	return EncodeSource(w, prog, blockseq.SliceSource(blocks))
+}
+
+// EncodeSource serializes a block source in one streaming pass. Only the
+// packet bytes are buffered (the header carries the block count, known
+// at Close), so peak memory is O(encoded bytes) — a fraction of a byte
+// per block — rather than O(blocks).
+func EncodeSource(w io.Writer, prog *program.Program, src blockseq.Source) (Stats, error) {
 	e := NewEncoder(w, prog)
-	for _, b := range blocks {
-		if err := e.Step(b); err != nil {
+	seq := src.Open()
+	for {
+		bid, ok := seq.Next()
+		if !ok {
+			break
+		}
+		if err := e.Step(bid); err != nil {
 			return e.stats, err
 		}
+	}
+	if err := seq.Err(); err != nil {
+		return e.stats, err
 	}
 	return e.Close()
 }

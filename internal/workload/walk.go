@@ -3,14 +3,18 @@ package workload
 import (
 	"fmt"
 
+	"ripple/internal/blockseq"
 	"ripple/internal/isa"
 	"ripple/internal/program"
 	"ripple/internal/stats"
 )
 
-// Trace synthesizes a steady-state basic-block execution trace of at least
-// minBlocks block executions (it always finishes the in-flight request, so
-// the result may run slightly longer).
+// Stream returns a replayable block source that synthesizes the same
+// steady-state trace Trace materializes, one block at a time: each Open
+// starts a fresh walker seeded by (app seed, input), so every pass
+// replays the byte-identical sequence. A pass yields at least minBlocks
+// block executions and always finishes the in-flight request, exactly
+// like Trace.
 //
 // input selects one of the application's input configurations (the paper's
 // '#0'..'#3'): different inputs shift the request popularity ranking,
@@ -18,13 +22,56 @@ import (
 // to move the hot footprint while keeping substantial overlap, which is
 // what makes cross-input profiles useful but input-specific profiles ~17%
 // better (Fig. 13).
-func (a *App) Trace(input int, minBlocks int) []program.BlockID {
-	w := a.newWalker(input)
-	trace := make([]program.BlockID, 0, minBlocks+256)
-	for len(trace) < minBlocks {
-		trace = w.request(trace)
+func (a *App) Stream(input int, minBlocks int) blockseq.Source {
+	if input < 0 {
+		panic(fmt.Sprintf("workload %s: negative input %d", a.Model.Name, input))
 	}
-	return trace
+	return &streamSource{app: a, input: input, minBlocks: minBlocks}
+}
+
+type streamSource struct {
+	app       *App
+	input     int
+	minBlocks int
+}
+
+func (s *streamSource) Open() blockseq.Seq {
+	return &walkSeq{w: s.app.newWalker(s.input), min: s.minBlocks}
+}
+
+// walkSeq is one synthesis pass: it emits blocks until at least min have
+// been produced and the in-flight request has completed.
+type walkSeq struct {
+	w       *walker
+	min     int
+	emitted int
+}
+
+func (s *walkSeq) Next() (program.BlockID, bool) {
+	if s.emitted >= s.min && !s.w.inRequest {
+		return 0, false
+	}
+	bid := s.w.nextBlock()
+	s.emitted++
+	return bid, true
+}
+
+func (s *walkSeq) Err() error { return nil }
+
+// Trace synthesizes a steady-state basic-block execution trace of at least
+// minBlocks block executions (it always finishes the in-flight request, so
+// the result may run slightly longer). It is the materialized form of
+// Stream; the two are byte-identical by construction.
+func (a *App) Trace(input int, minBlocks int) []program.BlockID {
+	trace := make([]program.BlockID, 0, minBlocks+256)
+	seq := a.Stream(input, minBlocks).Open()
+	for {
+		bid, ok := seq.Next()
+		if !ok {
+			return trace
+		}
+		trace = append(trace, bid)
+	}
 }
 
 // walker holds the per-input dynamic state of one trace synthesis run.
@@ -41,6 +88,11 @@ type walker struct {
 	// Phase rotation state (PhaseRequests > 0).
 	requests int
 	phaseRNG *stats.RNG
+
+	// Incremental stepping state: cur is the next block to emit while a
+	// request is in flight.
+	cur       program.BlockID
+	inRequest bool
 }
 
 func (a *App) newWalker(input int) *walker {
@@ -102,8 +154,23 @@ func clamp01(x, lo, hi float64) float64 {
 	return x
 }
 
-// request executes one service request and appends its block sequence.
-func (w *walker) request(trace []program.BlockID) []program.BlockID {
+// nextBlock emits one block execution. It begins a new service request
+// when none is in flight, and computes the emitted block's successor
+// eagerly so the RNG draw order matches the original whole-request
+// walker draw-for-draw (which keeps every synthesized trace bit-stable
+// across the slice/stream refactor).
+func (w *walker) nextBlock() program.BlockID {
+	if !w.inRequest {
+		w.beginRequest()
+	}
+	bid := w.cur
+	w.advance(bid)
+	return bid
+}
+
+// beginRequest starts one service request: phase rotation, burst
+// bookkeeping, and the entry-block selection.
+func (w *walker) beginRequest() {
 	a := w.app
 	if pr := a.Model.PhaseRequests; pr > 0 && w.requests > 0 && w.requests%pr == 0 {
 		// Phase change: rotate the popularity ranking so a different
@@ -123,41 +190,43 @@ func (w *walker) request(trace []program.BlockID) []program.BlockID {
 		w.burstLeft = max(1, a.Model.RequestsPerBurst)
 	}
 	w.burstLeft--
-	cur := a.serviceEntries[w.burstSvc]
+	w.cur = a.serviceEntries[w.burstSvc]
 	w.stack = w.stack[:0]
+	w.inRequest = true
+}
 
-	prog := a.Prog
-	for {
-		trace = append(trace, cur)
-		b := prog.Block(cur)
-		switch b.Term {
-		case isa.TermFallthrough:
-			cur = b.FallThrough
-		case isa.TermJump:
-			cur = b.TakenTarget
-		case isa.TermCondBranch:
-			if w.rng.Bool(w.pTaken[b.ID]) {
-				cur = b.TakenTarget
-			} else {
-				cur = b.FallThrough
-			}
-		case isa.TermCall:
-			w.stack = append(w.stack, b.FallThrough)
-			cur = b.TakenTarget
-		case isa.TermIndirectCall:
-			w.stack = append(w.stack, b.FallThrough)
-			cur = w.pickIndirect(b)
-		case isa.TermIndirectJump:
-			cur = w.pickIndirect(b)
-		case isa.TermRet:
-			if len(w.stack) == 0 {
-				return trace // request complete
-			}
-			cur = w.stack[len(w.stack)-1]
-			w.stack = w.stack[:len(w.stack)-1]
-		default:
-			panic(fmt.Sprintf("workload %s: unhandled terminator %v", a.Model.Name, b.Term))
+// advance computes the successor of the just-emitted block bid, ending
+// the request on a return with an empty call stack.
+func (w *walker) advance(bid program.BlockID) {
+	b := w.app.Prog.Block(bid)
+	switch b.Term {
+	case isa.TermFallthrough:
+		w.cur = b.FallThrough
+	case isa.TermJump:
+		w.cur = b.TakenTarget
+	case isa.TermCondBranch:
+		if w.rng.Bool(w.pTaken[b.ID]) {
+			w.cur = b.TakenTarget
+		} else {
+			w.cur = b.FallThrough
 		}
+	case isa.TermCall:
+		w.stack = append(w.stack, b.FallThrough)
+		w.cur = b.TakenTarget
+	case isa.TermIndirectCall:
+		w.stack = append(w.stack, b.FallThrough)
+		w.cur = w.pickIndirect(b)
+	case isa.TermIndirectJump:
+		w.cur = w.pickIndirect(b)
+	case isa.TermRet:
+		if len(w.stack) == 0 {
+			w.inRequest = false // request complete
+			return
+		}
+		w.cur = w.stack[len(w.stack)-1]
+		w.stack = w.stack[:len(w.stack)-1]
+	default:
+		panic(fmt.Sprintf("workload %s: unhandled terminator %v", w.app.Model.Name, b.Term))
 	}
 }
 

@@ -9,11 +9,17 @@
 // The pipeline, end to end:
 //
 //	app, _ := ripple.BuildWorkload(ripple.MustWorkload("finagle-http"))
-//	profile := app.Trace(0, 600_000)                    // PT-style profile
-//	out, _ := ripple.Optimize(app.Prog, profile,        // analyze+tune+inject
+//	profile := app.Stream(0, 600_000)                   // replayable PT-style profile
+//	out, _ := ripple.OptimizeSource(app.Prog, profile,  // analyze+tune+inject
 //	    ripple.DefaultAnalysisConfig(),
 //	    ripple.TuneConfig{Params: ripple.DefaultParams(), Policy: "lru", Prefetcher: "fdip"})
 //	fmt.Println(out.Tune.BestPoint().SpeedupPct)        // % IPC gain over LRU
+//
+// Traces flow through the pipeline as replayable BlockSource iterators:
+// multi-pass consumers (the Belady oracles, tuning) re-Open the source
+// instead of holding a materialized []BlockID, so steady-state memory is
+// O(1) in the trace length. Slice-based entry points remain as thin
+// wrappers over SliceSource for small traces and tests.
 //
 // Everything is deterministic: identical seeds produce identical programs,
 // traces, analyses, and simulation results.
@@ -22,6 +28,7 @@ package ripple
 import (
 	"io"
 
+	"ripple/internal/blockseq"
 	"ripple/internal/cache"
 	"ripple/internal/core"
 	"ripple/internal/frontend"
@@ -41,8 +48,16 @@ type (
 	// Program is a static application image: functions, basic blocks,
 	// layout.
 	Program = program.Program
-	// BlockID identifies a basic block; traces are []BlockID.
+	// BlockID identifies a basic block; traces are sequences of BlockIDs.
 	BlockID = program.BlockID
+	// BlockSource is a replayable iterator factory over executed blocks:
+	// every Open replays the identical sequence. All trace-consuming entry
+	// points accept one.
+	BlockSource = blockseq.Source
+	// BlockSeq is one pull-based pass over a BlockSource.
+	BlockSeq = blockseq.Seq
+	// SliceSource adapts a materialized []BlockID to a BlockSource.
+	SliceSource = blockseq.SliceSource
 	// Builder assembles custom Programs block by block.
 	Builder = program.Builder
 
@@ -153,7 +168,14 @@ func PrefetcherNames() []string { return prefetch.Names() }
 // Simulate drives a basic-block trace through the configured frontend and
 // returns its measurements.
 func Simulate(p Params, prog *Program, tr []BlockID, opts Options) (Result, error) {
-	return frontend.Run(p, prog, tr, opts)
+	return frontend.Run(p, prog, blockseq.SliceSource(tr), opts)
+}
+
+// SimulateSource is Simulate over a replayable block source: the
+// simulation streams the source in O(1) memory (plus one oracle pre-pass
+// when Options.MeasureAccuracy is set).
+func SimulateSource(p Params, prog *Program, src BlockSource, opts Options) (Result, error) {
+	return frontend.Run(p, prog, src, opts)
 }
 
 // Speedup returns the percentage speedup of r over baseline.
@@ -162,23 +184,47 @@ func Speedup(baseline, r Result) float64 { return frontend.Speedup(baseline, r) 
 // Analyze replays the ideal replacement policy over a profiled trace and
 // computes Ripple's eviction windows and cue-block probabilities.
 func Analyze(prog *Program, tr []BlockID, cfg AnalysisConfig) (*Analysis, error) {
-	return core.Analyze(prog, tr, cfg)
+	return core.Analyze(prog, blockseq.SliceSource(tr), cfg)
+}
+
+// AnalyzeSource is Analyze over a replayable block source; the analysis
+// makes several streaming passes, holding O(windows) state rather than
+// the trace.
+func AnalyzeSource(prog *Program, src BlockSource, cfg AnalysisConfig) (*Analysis, error) {
+	return core.Analyze(prog, src, cfg)
 }
 
 // Tune sweeps the invalidation threshold and returns the best plan for the
 // configured policy and prefetcher.
 func Tune(a *Analysis, tr []BlockID, cfg TuneConfig) (*TuneResult, error) {
-	return core.Tune(a, tr, cfg)
+	return core.Tune(a, blockseq.SliceSource(tr), cfg)
+}
+
+// TuneSource is Tune over a replayable block source (one simulation pass
+// per candidate threshold).
+func TuneSource(a *Analysis, src BlockSource, cfg TuneConfig) (*TuneResult, error) {
+	return core.Tune(a, src, cfg)
 }
 
 // RunPlan simulates a (possibly nil) plan applied to prog over the trace.
 func RunPlan(prog *Program, tr []BlockID, cfg TuneConfig, plan *Plan) (Result, error) {
-	return core.RunPlan(prog, tr, cfg, plan)
+	return core.RunPlan(prog, blockseq.SliceSource(tr), cfg, plan)
+}
+
+// RunPlanSource is RunPlan over a replayable block source.
+func RunPlanSource(prog *Program, src BlockSource, cfg TuneConfig, plan *Plan) (Result, error) {
+	return core.RunPlan(prog, src, cfg, plan)
 }
 
 // Optimize runs the whole Ripple pipeline: analysis, tuning, injection.
 func Optimize(prog *Program, tr []BlockID, acfg AnalysisConfig, tcfg TuneConfig) (*Outcome, error) {
-	return core.Optimize(prog, tr, acfg, tcfg)
+	return core.Optimize(prog, blockseq.SliceSource(tr), acfg, tcfg)
+}
+
+// OptimizeSource is Optimize over a replayable block source, e.g. a
+// workload stream (App.Stream) or an on-disk trace (TraceFileSource).
+func OptimizeSource(prog *Program, src BlockSource, acfg AnalysisConfig, tcfg TuneConfig) (*Outcome, error) {
+	return core.Optimize(prog, src, acfg, tcfg)
 }
 
 // DynamicOverheadPct returns the share of a run's dynamic instructions
@@ -195,6 +241,24 @@ func DecodeTrace(r io.Reader, prog *Program) ([]BlockID, error) {
 	return trace.Decode(r, prog)
 }
 
+// TraceFileSource wraps an on-disk PT-like trace file as a replayable
+// BlockSource: each pass re-opens and re-decodes the file, so even
+// multi-pass analyses never materialize the trace.
+func TraceFileSource(path string, prog *Program) BlockSource {
+	return trace.FileSource(path, prog)
+}
+
+// EncodeTraceSource writes a block source as a PT-like packet stream in
+// one streaming pass (buffering only the packet bytes).
+func EncodeTraceSource(w io.Writer, prog *Program, src BlockSource) (TraceStats, error) {
+	return trace.EncodeSource(w, prog, src)
+}
+
+// CollectSource drains one pass of a source into a materialized trace.
+func CollectSource(src BlockSource) ([]BlockID, error) {
+	return blockseq.Collect(src)
+}
+
 // IdealMisses replays the prefetch-aware ideal replacement policy
 // (Demand-MIN) over a recorded access stream (Options.RecordStream) and
 // returns the demand misses an ideal cache replacement would incur.
@@ -205,7 +269,16 @@ func IdealMisses(stream []AccessEvent, l1i CacheConfig) uint64 {
 // AnalyzeMulti analyzes several independent profiles together (merged
 // multi-input profiles, or the fragments of an LBR-style sampler).
 func AnalyzeMulti(prog *Program, traces [][]BlockID, cfg AnalysisConfig) (*Analysis, error) {
-	return core.AnalyzeMulti(prog, traces, cfg)
+	sources := make([]BlockSource, len(traces))
+	for i, tr := range traces {
+		sources[i] = blockseq.SliceSource(tr)
+	}
+	return core.AnalyzeMulti(prog, sources, cfg)
+}
+
+// AnalyzeSources is AnalyzeMulti over replayable block sources.
+func AnalyzeSources(prog *Program, sources []BlockSource, cfg AnalysisConfig) (*Analysis, error) {
+	return core.AnalyzeMulti(prog, sources, cfg)
 }
 
 // SampleLBR acquires an LBR-style sampled profile from a ground-truth
@@ -213,7 +286,13 @@ func AnalyzeMulti(prog *Program, traces [][]BlockID, cfg AnalysisConfig) (*Analy
 // the way perf/AutoFDO profile production services. Feed the fragments to
 // AnalyzeMulti to compare profile sources (the `lbr` experiment).
 func SampleLBR(trace []BlockID, cfg LBRConfig) (*LBRProfile, error) {
-	return lbr.Sample(trace, cfg)
+	return lbr.Sample(blockseq.SliceSource(trace), cfg)
+}
+
+// SampleLBRSource is SampleLBR over a replayable block source; the
+// sampler streams it once, retaining only the captured fragments.
+func SampleLBRSource(src BlockSource, cfg LBRConfig) (*LBRProfile, error) {
+	return lbr.Sample(src, cfg)
 }
 
 // LayoutProfile aggregates the dynamic counts the code-layout optimizer
@@ -229,7 +308,15 @@ func DefaultLayoutOptions() LayoutOptions { return layout.DefaultOptions() }
 
 // ProfileLayout builds a code-layout profile from an executed trace.
 func ProfileLayout(prog *Program, tr []BlockID) *LayoutProfile {
-	return layout.ProfileFromTrace(prog, tr)
+	// A slice-backed source cannot fail mid-stream.
+	p, _ := layout.ProfileFromTrace(prog, blockseq.SliceSource(tr))
+	return p
+}
+
+// ProfileLayoutSource is ProfileLayout over a replayable block source,
+// consumed in one streaming pass.
+func ProfileLayoutSource(prog *Program, src BlockSource) (*LayoutProfile, error) {
+	return layout.ProfileFromTrace(prog, src)
 }
 
 // OptimizeLayout applies BOLT/C3-style profile-guided code layout: hot
