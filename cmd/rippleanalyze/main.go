@@ -8,84 +8,224 @@
 //
 // With -threshold 0 the invalidation threshold is tuned by sweeping
 // candidates and simulating each (the per-application selection of
-// Sec. III-C).
+// Sec. III-C). The sweep's simulations fan out across -j workers; with
+// -cachedir they persist in a content-addressed store keyed by the
+// program and trace content, so a warm rerun performs zero simulations.
+// Output is byte-identical for any worker count. -json additionally
+// writes a machine-readable report of the analysis, sweep, and plan.
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
 	"ripple/internal/blockseq"
 	"ripple/internal/core"
 	"ripple/internal/frontend"
 	"ripple/internal/program"
+	"ripple/internal/runner"
 	"ripple/internal/trace"
 )
 
 func main() {
-	progPath := flag.String("prog", "", "program image from ripplegen (required)")
-	ptPath := flag.String("pt", "", "PT trace from ripplegen (required)")
-	out := flag.String("out", "", "output plan path (required)")
-	threshold := flag.Float64("threshold", 0, "invalidation threshold; 0 tunes it by simulation")
-	policy := flag.String("policy", "lru", "underlying replacement policy to tune against")
-	prefetcher := flag.String("prefetcher", "fdip", "prefetcher to tune against (none, nlp, fdip)")
-	warmup := flag.Int("warmup", 0, "warmup blocks excluded from tuning measurements")
+	var o options
+	flag.StringVar(&o.ProgPath, "prog", "", "program image from ripplegen (required)")
+	flag.StringVar(&o.PTPath, "pt", "", "PT trace from ripplegen (required)")
+	flag.StringVar(&o.Out, "out", "", "output plan path (required)")
+	flag.Float64Var(&o.Threshold, "threshold", 0, "invalidation threshold; 0 tunes it by simulation")
+	flag.StringVar(&o.Policy, "policy", "lru", "underlying replacement policy to tune against")
+	flag.StringVar(&o.Prefetcher, "prefetcher", "fdip", "prefetcher to tune against (none, nlp, fdip)")
+	flag.IntVar(&o.Warmup, "warmup", 0, "warmup blocks excluded from tuning measurements")
+	flag.IntVar(&o.Workers, "j", 0, "parallel tuning simulations (default GOMAXPROCS)")
+	flag.StringVar(&o.CacheDir, "cachedir", "", "directory for the persistent result store (default: no persistence)")
+	flag.StringVar(&o.JSONOut, "json", "", "also write a JSON report to this path")
 	flag.Parse()
+	o.Stdout = os.Stdout
 
-	if err := run(*progPath, *ptPath, *out, *threshold, *policy, *prefetcher, *warmup); err != nil {
+	stats, err := run(o)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rippleanalyze:", err)
 		os.Exit(1)
 	}
+	if o.CacheDir != "" && o.Threshold == 0 {
+		fmt.Printf("jobs: %d simulated, %d from store\n", stats.Computed, stats.StoreHits)
+	}
 }
 
-func run(progPath, ptPath, out string, threshold float64, policy, prefetcher string, warmup int) error {
-	if progPath == "" || ptPath == "" || out == "" {
-		return fmt.Errorf("-prog, -pt, and -out are required")
+// options carries one invocation's inputs; tests drive run directly.
+type options struct {
+	ProgPath, PTPath, Out string
+	Threshold             float64
+	Policy, Prefetcher    string
+	Warmup                int
+	Workers               int
+	CacheDir              string
+	JSONOut               string
+	Stdout                io.Writer
+}
+
+// report is the -json output: everything the run decided, in a
+// deterministic field order (injections sorted by cue block).
+type report struct {
+	Program     string
+	TraceBlocks int
+	Windows     int
+	IdealMisses uint64
+	// Curve/Best describe the threshold sweep (absent with -threshold set).
+	Curve []core.ThresholdPoint `json:",omitempty"`
+	Best  int
+	Plan  planReport
+}
+
+type planReport struct {
+	Threshold      float64
+	Instructions   int
+	WindowsCovered int
+	WindowsTotal   int
+	SkippedJIT     int
+	SkippedKernel  int
+	Injections     []injectionReport
+}
+
+type injectionReport struct {
+	Block   program.BlockID
+	Victims []uint64
+}
+
+func run(o options) (runner.Stats, error) {
+	var stats runner.Stats
+	if o.ProgPath == "" || o.PTPath == "" || o.Out == "" {
+		return stats, fmt.Errorf("-prog, -pt, and -out are required")
 	}
-	if threshold < 0 || threshold > 1 {
-		return fmt.Errorf("-threshold %v outside [0, 1] (0 tunes automatically)", threshold)
+	if o.Threshold < 0 || o.Threshold > 1 {
+		return stats, fmt.Errorf("-threshold %v outside [0, 1] (0 tunes automatically)", o.Threshold)
 	}
-	prog, tr, err := load(progPath, ptPath)
+	if o.Stdout == nil {
+		o.Stdout = io.Discard
+	}
+	prog, tr, err := load(o.ProgPath, o.PTPath)
 	if err != nil {
-		return err
+		return stats, err
 	}
 
 	acfg := core.DefaultAnalysisConfig()
 	analysis, err := core.Analyze(prog, tr, acfg)
 	if err != nil {
-		return err
+		return stats, err
 	}
-	fmt.Printf("analysis: %d trace blocks, %d eviction windows, %d ideal misses\n",
+	fmt.Fprintf(o.Stdout, "analysis: %d trace blocks, %d eviction windows, %d ideal misses\n",
 		analysis.TraceBlocks, analysis.Windows, analysis.IdealMisses)
 
+	rep := report{
+		Program:     prog.Name,
+		TraceBlocks: analysis.TraceBlocks,
+		Windows:     analysis.Windows,
+		IdealMisses: analysis.IdealMisses,
+	}
 	var plan *core.Plan
-	if threshold > 0 {
-		plan = analysis.PlanAt(threshold)
+	if o.Threshold > 0 {
+		plan = analysis.PlanAt(o.Threshold)
 	} else {
 		tcfg := core.TuneConfig{
 			Params:       frontend.DefaultParams(),
-			Policy:       policy,
-			Prefetcher:   prefetcher,
-			WarmupBlocks: warmup,
+			Policy:       o.Policy,
+			Prefetcher:   o.Prefetcher,
+			WarmupBlocks: o.Warmup,
 		}
-		tuned, err := core.Tune(analysis, tr, tcfg)
+		popts, pool, err := parallelOpts(o)
 		if err != nil {
-			return err
+			return stats, err
 		}
+		tuned, err := core.TuneParallel(analysis, tr, tcfg, popts)
+		if err != nil {
+			return stats, err
+		}
+		stats = pool.Stats()
 		plan = tuned.BestPlan
-		fmt.Printf("tuned threshold %.2f: %+.2f%% speedup, %.0f%% coverage\n",
+		rep.Curve, rep.Best = tuned.Curve, tuned.Best
+		fmt.Fprintf(o.Stdout, "tuned threshold %.2f: %+.2f%% speedup, %.0f%% coverage\n",
 			tuned.BestPoint().Threshold, tuned.BestPoint().SpeedupPct, tuned.BestPoint().Coverage*100)
 	}
-	fmt.Printf("plan: %d cue blocks, %d invalidate instructions, %d/%d windows covered, %d JIT cues skipped\n",
+	fmt.Fprintf(o.Stdout, "plan: %d cue blocks, %d invalidate instructions, %d/%d windows covered, %d JIT cues skipped\n",
 		len(plan.Injections), plan.StaticInstructions(), plan.WindowsCovered, plan.WindowsTotal, plan.SkippedJIT)
 
-	f, err := os.Create(out)
+	f, err := os.Create(o.Out)
 	if err != nil {
-		return err
+		return stats, err
 	}
 	defer f.Close()
-	return plan.Save(f)
+	if err := plan.Save(f); err != nil {
+		return stats, err
+	}
+	if o.JSONOut != "" {
+		rep.Plan = summarizePlan(plan)
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return stats, err
+		}
+		if err := os.WriteFile(o.JSONOut, append(raw, '\n'), 0o644); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// parallelOpts builds the tuning sweep's execution substrate: a worker
+// pool (with a persistent store under -cachedir) and the trace's content
+// identity, so equal (program, trace, config) reruns hit the store.
+func parallelOpts(o options) (core.ParallelOptions, *runner.Pool, error) {
+	var store *runner.Store
+	if o.CacheDir != "" {
+		st, err := runner.OpenStore(o.CacheDir)
+		if err != nil {
+			return core.ParallelOptions{}, nil, err
+		}
+		store = st
+	}
+	pool := runner.New(runner.Options{Workers: o.Workers, Store: store})
+	srcID, err := fileDigest(o.PTPath)
+	if err != nil {
+		return core.ParallelOptions{}, nil, err
+	}
+	return core.ParallelOptions{Pool: pool, SourceID: "pt:" + srcID}, pool, nil
+}
+
+// fileDigest returns the SHA-256 (hex) of a file's content.
+func fileDigest(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// summarizePlan flattens a plan into the deterministic report form.
+func summarizePlan(p *core.Plan) planReport {
+	pr := planReport{
+		Threshold:      p.Threshold,
+		Instructions:   p.StaticInstructions(),
+		WindowsCovered: p.WindowsCovered,
+		WindowsTotal:   p.WindowsTotal,
+		SkippedJIT:     p.SkippedJIT,
+		SkippedKernel:  p.SkippedKernel,
+		Injections:     []injectionReport{},
+	}
+	for b, victims := range p.Injections {
+		pr.Injections = append(pr.Injections, injectionReport{Block: b, Victims: victims})
+	}
+	sort.Slice(pr.Injections, func(i, j int) bool { return pr.Injections[i].Block < pr.Injections[j].Block })
+	return pr
 }
 
 // load reads the program image and wires a streaming source over the

@@ -3,7 +3,9 @@
 // all` regenerates the whole evaluation section.
 //
 // Simulations fan out across a worker pool (-j, default GOMAXPROCS);
-// results are deterministic for any worker count. With -cachedir the
+// Ripple cells additionally fan their threshold-tuning sweeps out as
+// sub-jobs on the same pool, and results are deterministic for any
+// worker count. With -cachedir the
 // results are also persisted content-addressed on disk, so a repeated or
 // partially-overlapping invocation only simulates what changed; -cache=off
 // disables the persistent store even when -cachedir is set (the in-process

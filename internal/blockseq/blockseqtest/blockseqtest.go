@@ -1,0 +1,178 @@
+// Package blockseqtest is a reusable conformance harness for
+// blockseq.Source implementations. The Source contract — every Open
+// replays the byte-identical block sequence, LenHint (when implemented)
+// agrees with a full drain, and a pass's deferred error surfaces from Err
+// after Next returns false — is what makes multi-pass consumers and
+// parallel fan-out safe, so every implementation should prove it in one
+// place instead of re-stating it ad hoc:
+//
+//	func TestMySource(t *testing.T) {
+//	    blockseqtest.TestSource(t, func(t *testing.T) blockseq.Source {
+//	        return NewMySource(...)
+//	    })
+//	}
+package blockseqtest
+
+import (
+	"sync"
+	"testing"
+
+	"ripple/internal/blockseq"
+	"ripple/internal/program"
+)
+
+// TestSource asserts the full Source contract against a well-formed
+// source. open is called once per subtest and must return an equivalent
+// source each time (it may build fixtures with t, e.g. temp files).
+func TestSource(t *testing.T, open func(t *testing.T) blockseq.Source) {
+	t.Helper()
+
+	t.Run("replay", func(t *testing.T) {
+		src := open(t)
+		ref := mustCollect(t, src)
+		for pass := 2; pass <= 4; pass++ {
+			got := mustCollect(t, src)
+			requireEqual(t, ref, got, "pass %d diverged from pass 1", pass)
+		}
+	})
+
+	t.Run("lenhint", func(t *testing.T) {
+		src := open(t)
+		n, ok := blockseq.LenHint(src)
+		ref := mustCollect(t, src)
+		if ok && n != len(ref) {
+			t.Fatalf("LenHint = %d, but a full pass yields %d blocks", n, len(ref))
+		}
+		// The hint must not drift after a pass has been consumed.
+		if n2, ok2 := blockseq.LenHint(src); ok2 != ok || n2 != n {
+			t.Fatalf("LenHint changed after a pass: (%d, %t) -> (%d, %t)", n, ok, n2, ok2)
+		}
+	})
+
+	t.Run("interleaved", func(t *testing.T) {
+		src := open(t)
+		ref := mustCollect(t, src)
+		// Two live passes advanced in lockstep must not share state.
+		a, b := src.Open(), src.Open()
+		for i := range ref {
+			av, aok := a.Next()
+			bv, bok := b.Next()
+			if !aok || !bok {
+				t.Fatalf("interleaved pass ended early at block %d/%d", i, len(ref))
+			}
+			if av != ref[i] || bv != ref[i] {
+				t.Fatalf("interleaved passes diverged at block %d: %d/%d, want %d", i, av, bv, ref[i])
+			}
+		}
+		drainEmpty(t, a, "first interleaved pass")
+		drainEmpty(t, b, "second interleaved pass")
+	})
+
+	t.Run("exhausted", func(t *testing.T) {
+		src := open(t)
+		seq := src.Open()
+		for {
+			if _, ok := seq.Next(); !ok {
+				break
+			}
+		}
+		if err := seq.Err(); err != nil {
+			t.Fatalf("clean pass reported error: %v", err)
+		}
+		// A finished pass stays finished: more Next calls keep returning
+		// false and must not resurrect blocks or errors.
+		for i := 0; i < 3; i++ {
+			if _, ok := seq.Next(); ok {
+				t.Fatal("Next returned a block after exhaustion")
+			}
+		}
+		if err := seq.Err(); err != nil {
+			t.Fatalf("Err changed after exhaustion: %v", err)
+		}
+	})
+
+	t.Run("concurrent", func(t *testing.T) {
+		src := open(t)
+		ref := mustCollect(t, src)
+		const passes = 4
+		results := make([][]program.BlockID, passes)
+		errs := make([]error, passes)
+		var wg sync.WaitGroup
+		for i := 0; i < passes; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				blockseq.LenHint(src) // hint caching must also be race-free
+				results[i], errs[i] = blockseq.Collect(src)
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < passes; i++ {
+			if errs[i] != nil {
+				t.Fatalf("concurrent pass %d failed: %v", i, errs[i])
+			}
+			requireEqual(t, ref, results[i], "concurrent pass %d diverged", i)
+		}
+	})
+}
+
+// TestSourceError asserts error-path conformance for a source whose
+// passes fail (e.g. a truncated trace file): the pass must end (Next
+// returns false), Err must then report the failure, and — the source
+// being replayable — every pass must fail the same way.
+func TestSourceError(t *testing.T, open func(t *testing.T) blockseq.Source) {
+	t.Helper()
+	src := open(t)
+	for pass := 1; pass <= 2; pass++ {
+		seq := src.Open()
+		for i := 0; ; i++ {
+			if _, ok := seq.Next(); !ok {
+				break
+			}
+			if i > 1<<24 {
+				t.Fatalf("pass %d never terminated", pass)
+			}
+		}
+		if err := seq.Err(); err == nil {
+			t.Fatalf("pass %d drained cleanly; want a deferred error", pass)
+		}
+		// The error must persist across further Next calls.
+		if _, ok := seq.Next(); ok {
+			t.Fatalf("pass %d yielded a block after failing", pass)
+		}
+		if err := seq.Err(); err == nil {
+			t.Fatalf("pass %d lost its error after extra Next calls", pass)
+		}
+	}
+}
+
+func mustCollect(t *testing.T, src blockseq.Source) []program.BlockID {
+	t.Helper()
+	out, err := blockseq.Collect(src)
+	if err != nil {
+		t.Fatalf("pass failed: %v", err)
+	}
+	return out
+}
+
+func requireEqual(t *testing.T, want, got []program.BlockID, format string, args ...any) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf(format+": %d blocks vs %d", append(args, len(got), len(want))...)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf(format+": block %d is %d, want %d", append(args, i, got[i], want[i])...)
+		}
+	}
+}
+
+func drainEmpty(t *testing.T, seq blockseq.Seq, what string) {
+	t.Helper()
+	if _, ok := seq.Next(); ok {
+		t.Fatalf("%s yielded extra blocks", what)
+	}
+	if err := seq.Err(); err != nil {
+		t.Fatalf("%s failed: %v", what, err)
+	}
+}

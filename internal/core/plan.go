@@ -1,7 +1,9 @@
 package core
 
 import (
+	"crypto/sha256"
 	"encoding/gob"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"sort"
@@ -120,6 +122,20 @@ func (p *Plan) Save(w io.Writer) error {
 		img.Victims = append(img.Victims, p.Injections[b])
 	}
 	return gob.NewEncoder(w).Encode(img)
+}
+
+// digest returns a stable content hash of the plan: the SHA-256 (hex)
+// of its serialized form (Save emits blocks and victims in sorted
+// order, so the bytes are canonical). Parallel tuning keys each
+// per-threshold simulation job by it, so a cached result can never be
+// served to a structurally different plan that happens to share a
+// threshold (e.g. the same threshold over a different analysis).
+func (p *Plan) digest() (string, error) {
+	h := sha256.New()
+	if err := p.Save(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // LoadPlan reads a plan written by Save.

@@ -27,13 +27,21 @@ type Outcome struct {
 // against the configured L1I, threshold tuning under the target policy and
 // prefetcher, and link-time injection of the winning plan.
 func Optimize(prog *program.Program, train blockseq.Source, acfg AnalysisConfig, tcfg TuneConfig) (*Outcome, error) {
+	return OptimizeParallel(prog, train, acfg, tcfg, ParallelOptions{})
+}
+
+// OptimizeParallel is Optimize with the threshold sweep fanned out
+// across a job-runner pool (TuneParallel); the analysis itself stays
+// inline. A zero opts value is the serial pipeline; output is
+// byte-identical either way.
+func OptimizeParallel(prog *program.Program, train blockseq.Source, acfg AnalysisConfig, tcfg TuneConfig, opts ParallelOptions) (*Outcome, error) {
 	// Analyze against the same geometry the target runs.
 	acfg.L1I = tcfg.Params.L1I
 	a, err := Analyze(prog, train, acfg)
 	if err != nil {
 		return nil, err
 	}
-	tr, err := Tune(a, train, tcfg)
+	tr, err := TuneParallel(a, train, tcfg, opts)
 	if err != nil {
 		return nil, err
 	}

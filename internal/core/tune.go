@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"ripple/internal/blockseq"
 	"ripple/internal/cache"
@@ -9,6 +11,7 @@ import (
 	"ripple/internal/prefetch"
 	"ripple/internal/program"
 	"ripple/internal/replacement"
+	"ripple/internal/runner"
 )
 
 // TuneConfig describes the configuration a plan is tuned for.
@@ -56,7 +59,8 @@ type ThresholdPoint struct {
 type TuneResult struct {
 	Baseline frontend.Result
 	Curve    []ThresholdPoint
-	// Best indexes the winning point in Curve (highest speedup).
+	// Best indexes the winning point in Curve: the highest speedup, with
+	// equal speedups resolving to the lowest threshold (see assemble).
 	Best     int
 	BestPlan *Plan
 }
@@ -83,7 +87,52 @@ func (c *TuneConfig) newPrefetcher(prog *program.Program) (prefetch.Prefetcher, 
 // policy and prefetcher; the plan with the highest speedup over the
 // uninjected baseline wins. This is the per-application threshold
 // selection of Sec. III-C (the optimum lands in the paper's 45-65% band).
+//
+// Tune runs the sweep serially; TuneParallel fans the per-threshold
+// simulations out across a job-runner pool with byte-identical output.
 func Tune(a *Analysis, src blockseq.Source, cfg TuneConfig) (*TuneResult, error) {
+	return TuneParallel(a, src, cfg, ParallelOptions{})
+}
+
+// ParallelOptions carries the execution substrate for a parallel
+// threshold sweep.
+type ParallelOptions struct {
+	// Pool schedules the baseline and per-threshold simulations as
+	// independent runner jobs. nil runs the sweep serially (Tune).
+	// TuneParallel may be called from inside a running job on the same
+	// pool: sub-jobs share the pool's worker budget via a runner.Group
+	// rather than nesting a second worker set.
+	Pool *runner.Pool
+	// Ctx cancels the sweep; nil means context.Background().
+	Ctx context.Context
+	// SourceID is a stable content identity for src (e.g. "workload
+	// generator version + app + input + length", or a trace file's
+	// content hash). It completes the job signatures, so results land in
+	// the pool's persistent store and warm reruns — including
+	// experiment.Suite runs over the same source and configuration —
+	// skip simulation entirely. Leave it empty when the source has no
+	// stable identity: the sweep still parallelizes, but its jobs are
+	// keyed by a process-unique nonce and bypass the store.
+	SourceID string
+}
+
+// anonSource numbers Tune calls whose source has no stable identity, so
+// their in-process job signatures can never collide across calls.
+var anonSource atomic.Int64
+
+// TuneParallel is Tune with every simulation — the uninjected baseline
+// and one run per candidate threshold — submitted as an independent,
+// content-signed job to opts.Pool. Each job is keyed by the full run
+// signature (program fingerprint, plan digest + threshold, policy,
+// prefetcher, machine params, warmup, hint mode, and the source
+// identity), so equal sweeps coalesce in-process and, with a persistent
+// store, warm reruns perform zero simulations.
+//
+// Output is byte-identical to the serial sweep for any worker count:
+// results are folded in sweep order, and Best resolves explicitly
+// (highest speedup, ties to the lowest threshold) rather than by
+// completion order.
+func TuneParallel(a *Analysis, src blockseq.Source, cfg TuneConfig, opts ParallelOptions) (*TuneResult, error) {
 	thresholds := cfg.Thresholds
 	if thresholds == nil {
 		thresholds = DefaultThresholds()
@@ -91,34 +140,123 @@ func Tune(a *Analysis, src blockseq.Source, cfg TuneConfig) (*TuneResult, error)
 	if len(thresholds) == 0 {
 		return nil, fmt.Errorf("core: no thresholds to tune over")
 	}
-
-	baseline, err := RunPlan(a.Prog, src, cfg, nil)
-	if err != nil {
-		return nil, err
+	plans := make([]*Plan, len(thresholds))
+	for i, th := range thresholds {
+		plans[i] = a.PlanAt(th)
 	}
 
-	tr := &TuneResult{Baseline: baseline, Best: -1}
-	var plans []*Plan
-	for _, th := range thresholds {
-		plan := a.PlanAt(th)
-		res, err := RunPlan(a.Prog, src, cfg, plan)
-		if err != nil {
+	var baseline frontend.Result
+	results := make([]frontend.Result, len(thresholds))
+	if opts.Pool == nil {
+		var err error
+		if baseline, err = RunPlan(a.Prog, src, cfg, nil); err != nil {
 			return nil, err
 		}
+		for i, plan := range plans {
+			if results[i], err = RunPlan(a.Prog, src, cfg, plan); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := runSweepJobs(a, src, cfg, opts, thresholds, plans, &baseline, results); err != nil {
+		return nil, err
+	}
+	return assembleTune(a, thresholds, plans, baseline, results), nil
+}
+
+// runSweepJobs fans the sweep out across the pool and collects every
+// result back into sweep order.
+func runSweepJobs(a *Analysis, src blockseq.Source, cfg TuneConfig, opts ParallelOptions,
+	thresholds []float64, plans []*Plan, baseline *frontend.Result, results []frontend.Result) error {
+	srcID := opts.SourceID
+	skipStore := false
+	if srcID == "" {
+		// No stable source identity: parallelize with process-unique
+		// signatures and keep the store out of it.
+		skipStore = true
+		srcID = fmt.Sprintf("anon#%d", anonSource.Add(1))
+	}
+	progFP, err := a.Prog.Fingerprint()
+	if err != nil {
+		return fmt.Errorf("core: fingerprinting program: %w", err)
+	}
+	base := fmt.Sprintf("rtune1|prog=%s|src=%s|params=%+v|pol=%s|pf=%s|hints=%d|warmup=%d|shift=%t|acc=%t",
+		progFP, srcID, cfg.Params, cfg.Policy, cfg.Prefetcher, cfg.Hints, cfg.WarmupBlocks, cfg.ShiftLayout, cfg.MeasureAccuracy)
+	cost := float64(a.TraceBlocks)
+	if cfg.MeasureAccuracy {
+		cost *= 1.5
+	}
+
+	job := func(sig, label string, plan *Plan) runner.Job {
+		j := runner.NewJob(sig, label, cost, func(context.Context) (*frontend.Result, error) {
+			res, err := RunPlan(a.Prog, src, cfg, plan)
+			if err != nil {
+				return nil, err
+			}
+			return &res, nil
+		})
+		j.SkipStore = skipStore
+		return j
+	}
+
+	g := opts.Pool.NewGroup(opts.Ctx)
+	fb := g.Submit(job(base+"|plan=none", fmt.Sprintf("tune %s baseline", a.Prog.Name), nil))
+	futs := make([]*runner.Future, len(thresholds))
+	for i, th := range thresholds {
+		dg, err := plans[i].digest()
+		if err != nil {
+			return fmt.Errorf("core: digesting plan: %w", err)
+		}
+		sig := fmt.Sprintf("%s|th=%g|plan=%s", base, th, dg)
+		futs[i] = g.Submit(job(sig, fmt.Sprintf("tune %s th=%.2f", a.Prog.Name, th), plans[i]))
+	}
+	if err := g.Wait(); err != nil {
+		return err
+	}
+	v, err := fb.Get()
+	if err != nil {
+		return err
+	}
+	*baseline = *(v.(*frontend.Result))
+	for i, f := range futs {
+		v, err := f.Get()
+		if err != nil {
+			return err
+		}
+		results[i] = *(v.(*frontend.Result))
+	}
+	return nil
+}
+
+// assembleTune folds the per-threshold results into a TuneResult in
+// sweep order, so serial and parallel execution produce byte-identical
+// curves regardless of job completion order.
+//
+// Best selection is explicit about ties: the highest speedup wins, and
+// equal speedups resolve to the LOWEST threshold (at equal benefit the
+// higher threshold injects no fewer instructions, and the serial sweep
+// historically kept the earliest — i.e. lowest — point of an ascending
+// sweep; parallel collection has no loop order to lean on, so the rule
+// is stated here rather than implied).
+func assembleTune(a *Analysis, thresholds []float64, plans []*Plan, baseline frontend.Result, results []frontend.Result) *TuneResult {
+	tr := &TuneResult{Baseline: baseline, Best: -1}
+	for i, th := range thresholds {
+		res := results[i]
 		pt := ThresholdPoint{
 			Threshold:  th,
 			Coverage:   res.Coverage(),
 			Accuracy:   res.HintAccuracy(),
 			MPKI:       res.MPKI(),
 			SpeedupPct: frontend.Speedup(baseline, res),
-			Static:     plan.StaticInstructions(),
+			Static:     plans[i].StaticInstructions(),
 		}
 		tr.Curve = append(tr.Curve, pt)
-		plans = append(plans, plan)
-		if tr.Best < 0 || pt.SpeedupPct > tr.Curve[tr.Best].SpeedupPct {
-			tr.Best = len(tr.Curve) - 1
+		best := tr.Best
+		if best < 0 || pt.SpeedupPct > tr.Curve[best].SpeedupPct ||
+			(pt.SpeedupPct == tr.Curve[best].SpeedupPct && pt.Threshold < tr.Curve[best].Threshold) {
+			tr.Best = i
 		}
 	}
+	plans = append([]*Plan(nil), plans...)
 	if tr.Curve[tr.Best].SpeedupPct < 0 {
 		// No threshold improved on this configuration's baseline: ship the
 		// uninjected binary (a deployment never regresses; an empty plan
@@ -136,7 +274,7 @@ func Tune(a *Analysis, src blockseq.Source, cfg TuneConfig) (*TuneResult, error)
 		})
 	}
 	tr.BestPlan = plans[tr.Best]
-	return tr, nil
+	return tr
 }
 
 // RunPlan simulates the program on the trace under the tuning

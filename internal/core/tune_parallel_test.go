@@ -1,0 +1,275 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"ripple/internal/blockseq"
+	"ripple/internal/frontend"
+	"ripple/internal/runner"
+)
+
+// TestTuneParallelMatchesSerial: the parallel sweep must be byte-identical
+// to the serial one across several policy/prefetcher combinations — same
+// Curve, same Best index, same BestPlan.
+func TestTuneParallelMatchesSerial(t *testing.T) {
+	prog, tr := smallTuneSetup(t)
+	a, err := Analyze(prog, blockseq.SliceSource(tr), acfg(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := frontend.DefaultParams()
+	params.L1I = oneSet
+	combos := []struct {
+		policy, prefetcher string
+		accuracy           bool
+	}{
+		{"lru", "none", false},
+		{"srrip", "nlp", false},
+		{"random", "fdip", true},
+	}
+	for _, c := range combos {
+		t.Run(c.policy+"/"+c.prefetcher, func(t *testing.T) {
+			cfg := TuneConfig{
+				Params:          params,
+				Policy:          c.policy,
+				Prefetcher:      c.prefetcher,
+				Thresholds:      []float64{0.1, 0.3, 0.5, 0.9},
+				MeasureAccuracy: c.accuracy,
+			}
+			serial, err := Tune(a, blockseq.SliceSource(tr), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool := runner.New(runner.Options{Workers: 8})
+			par, err := TuneParallel(a, blockseq.SliceSource(tr), cfg, ParallelOptions{Pool: pool})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, par) {
+				t.Fatalf("parallel result diverged from serial:\nserial: %+v\nparallel: %+v", serial, par)
+			}
+		})
+	}
+}
+
+// gateSource proves real fan-out: Open blocks until `need` callers are
+// waiting simultaneously. Each tuning job opens the source once and
+// sequentially, so `need` blocked Opens can only come from `need` jobs
+// that are live at the same time. If the sweep never reaches that
+// parallelism, the gate times out, the sweep completes serially, and the
+// test fails on Released().
+type gateSource struct {
+	inner blockseq.Source
+	need  int
+
+	mu      sync.Mutex
+	waiting int
+	release chan struct{}
+	once    sync.Once
+}
+
+func newGateSource(inner blockseq.Source, need int) *gateSource {
+	return &gateSource{inner: inner, need: need, release: make(chan struct{})}
+}
+
+func (g *gateSource) Open() blockseq.Seq {
+	g.mu.Lock()
+	g.waiting++
+	if g.waiting >= g.need {
+		g.once.Do(func() { close(g.release) })
+	}
+	g.mu.Unlock()
+	select {
+	case <-g.release:
+	case <-time.After(15 * time.Second):
+	}
+	g.mu.Lock()
+	g.waiting--
+	g.mu.Unlock()
+	return g.inner.Open()
+}
+
+func (g *gateSource) Released() bool {
+	select {
+	case <-g.release:
+		return true
+	default:
+		return false
+	}
+}
+
+// TestTuneParallelRunsJobsConcurrently: with 4 workers, at least 4 of the
+// sweep's simulations must be in flight at once (this container has one
+// CPU, so concurrency is proven by rendezvous, not wall clock).
+func TestTuneParallelRunsJobsConcurrently(t *testing.T) {
+	prog, tr := smallTuneSetup(t)
+	a, err := Analyze(prog, blockseq.SliceSource(tr), acfg(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := frontend.DefaultParams()
+	params.L1I = oneSet
+	cfg := TuneConfig{
+		Params:     params,
+		Policy:     "lru",
+		Prefetcher: "none",
+		Thresholds: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.9},
+	}
+	gate := newGateSource(blockseq.SliceSource(tr), 4)
+	pool := runner.New(runner.Options{Workers: 4})
+	done := make(chan error, 1)
+	go func() {
+		_, err := TuneParallel(a, gate, cfg, ParallelOptions{Pool: pool})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("parallel tune never finished")
+	}
+	if !gate.Released() {
+		t.Fatal("never observed 4 simultaneously running sweep jobs")
+	}
+}
+
+// TestTuneParallelWarmStoreSkipsSimulation: with a persistent store and a
+// stable SourceID, a second pool re-running the identical sweep performs
+// ZERO simulations — every job (baseline + each threshold) is served from
+// disk, and the result is still byte-identical.
+func TestTuneParallelWarmStoreSkipsSimulation(t *testing.T) {
+	prog, tr := smallTuneSetup(t)
+	a, err := Analyze(prog, blockseq.SliceSource(tr), acfg(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := frontend.DefaultParams()
+	params.L1I = oneSet
+	cfg := TuneConfig{
+		Params:     params,
+		Policy:     "lru",
+		Prefetcher: "none",
+		Thresholds: []float64{0.1, 0.3, 0.9},
+	}
+	dir := t.TempDir()
+	opts := ParallelOptions{SourceID: "smallTuneSetup/v1"}
+
+	store1, err := runner.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool1 := runner.New(runner.Options{Workers: 4, Store: store1})
+	opts.Pool = pool1
+	first, err := TuneParallel(a, blockseq.SliceSource(tr), cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := pool1.Stats(); st.Computed != int64(len(cfg.Thresholds))+1 {
+		t.Fatalf("cold run computed %d jobs, want %d", st.Computed, len(cfg.Thresholds)+1)
+	}
+
+	store2, err := runner.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool2 := runner.New(runner.Options{Workers: 4, Store: store2})
+	opts.Pool = pool2
+	second, err := TuneParallel(a, blockseq.SliceSource(tr), cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pool2.Stats()
+	if st.Computed != 0 {
+		t.Fatalf("warm run computed %d jobs, want 0", st.Computed)
+	}
+	if want := int64(len(cfg.Thresholds)) + 1; st.StoreHits != want {
+		t.Fatalf("warm run had %d store hits, want %d", st.StoreHits, want)
+	}
+	if !reflect.DeepEqual(first.Curve, second.Curve) || first.Best != second.Best ||
+		!reflect.DeepEqual(first.Baseline, second.Baseline) ||
+		!reflect.DeepEqual(first.BestPlan, second.BestPlan) {
+		t.Fatalf("store round trip changed the result:\ncold: %+v\nwarm: %+v", first, second)
+	}
+}
+
+// TestTuneParallelAnonymousSourceBypassesStore: without a SourceID the
+// sweep must not write (or read) the persistent store — an anonymous
+// source has no stable identity for a later process to hit, and serving
+// one anonymous source's results to another would be wrong.
+func TestTuneParallelAnonymousSourceBypassesStore(t *testing.T) {
+	prog, tr := smallTuneSetup(t)
+	a, err := Analyze(prog, blockseq.SliceSource(tr), acfg(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := frontend.DefaultParams()
+	params.L1I = oneSet
+	cfg := TuneConfig{
+		Params:     params,
+		Policy:     "lru",
+		Prefetcher: "none",
+		Thresholds: []float64{0.1, 0.9},
+	}
+	dir := t.TempDir()
+	for run := 0; run < 2; run++ {
+		store, err := runner.OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := runner.New(runner.Options{Workers: 2, Store: store})
+		if _, err := TuneParallel(a, blockseq.SliceSource(tr), cfg, ParallelOptions{Pool: pool}); err != nil {
+			t.Fatal(err)
+		}
+		st := pool.Stats()
+		if st.Computed != int64(len(cfg.Thresholds))+1 || st.StoreHits != 0 {
+			t.Fatalf("run %d: computed=%d storeHits=%d, want all computed, none from store",
+				run, st.Computed, st.StoreHits)
+		}
+	}
+}
+
+// TestTuneBestTieBreakLowestThreshold pins the tie rule: equal speedups
+// resolve to the LOWEST threshold, independent of sweep order. Two
+// thresholds above every cue probability yield empty (hence identical)
+// plans and exactly-equal speedups; swept in DESCENDING order, the old
+// loop-order rule would keep the first (higher) threshold.
+func TestTuneBestTieBreakLowestThreshold(t *testing.T) {
+	prog, tr := smallTuneSetup(t)
+	a, err := Analyze(prog, blockseq.SliceSource(tr), acfg(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := frontend.DefaultParams()
+	params.L1I = oneSet
+	cfg := TuneConfig{
+		Params:     params,
+		Policy:     "lru",
+		Prefetcher: "none",
+		Thresholds: []float64{1.2, 1.1}, // both > any probability: empty plans, equal (zero) speedup
+	}
+	for _, plan := range []*Plan{a.PlanAt(1.2), a.PlanAt(1.1)} {
+		if plan.StaticInstructions() != 0 {
+			t.Fatalf("plan@%.1f unexpectedly injects", plan.Threshold)
+		}
+	}
+	res, err := Tune(a, blockseq.SliceSource(tr), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Curve[0].SpeedupPct != res.Curve[1].SpeedupPct {
+		t.Fatalf("expected an exact speedup tie, got %v vs %v",
+			res.Curve[0].SpeedupPct, res.Curve[1].SpeedupPct)
+	}
+	if res.Best != 1 {
+		t.Fatalf("Best = %d (threshold %g), want index 1 (the lower threshold 1.1)",
+			res.Best, res.BestPoint().Threshold)
+	}
+	if res.BestPlan.Threshold != 1.1 {
+		t.Fatalf("BestPlan.Threshold = %g, want 1.1", res.BestPlan.Threshold)
+	}
+}

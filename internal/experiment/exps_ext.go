@@ -64,7 +64,7 @@ func (s *Suite) archCell(app string, planIdx int) runner.Job {
 			Thresholds:   s.cfg.Thresholds,
 			WarmupBlocks: s.cfg.WarmupBlocks,
 		}
-		tuned, err := core.Tune(a, tr, tcfg)
+		tuned, err := core.TuneParallel(a, tr, tcfg, s.tuneOpts(app, 0))
 		if err != nil {
 			return nil, err
 		}
@@ -140,7 +140,7 @@ func (s *Suite) mergedCell(app string) runner.Job {
 		if err != nil {
 			return nil, err
 		}
-		mergedTune, err := core.Tune(multi, s.source(st, 0), tcfg)
+		mergedTune, err := core.TuneParallel(multi, s.source(st, 0), tcfg, s.tuneOpts(app, 0))
 		if err != nil {
 			return nil, err
 		}
@@ -215,7 +215,7 @@ func (s *Suite) lbrCell(app string) runner.Job {
 			if err != nil {
 				return nil, 0, err
 			}
-			tuned, err := core.Tune(la, tr, tcfg)
+			tuned, err := core.TuneParallel(la, tr, tcfg, s.tuneOpts(app, 0))
 			if err != nil {
 				return nil, 0, err
 			}
@@ -318,7 +318,7 @@ func (s *Suite) xprefetchCell(app string) runner.Job {
 			return nil, err
 		}
 		tcfg := s.tuneCfg("tifs", "lru", frontend.HintInvalidate)
-		tuned, err := core.Tune(a, s.source(st, 0), tcfg)
+		tuned, err := core.TuneParallel(a, s.source(st, 0), tcfg, s.tuneOpts(app, 0))
 		if err != nil {
 			return nil, err
 		}
@@ -464,7 +464,7 @@ func (s *Suite) codeLayoutCell(app string) runner.Job {
 		if err != nil {
 			return nil, err
 		}
-		tuned, err := core.Tune(a2, tr, tcfg)
+		tuned, err := core.TuneParallel(a2, tr, tcfg, s.tuneOpts(app, 0))
 		if err != nil {
 			return nil, err
 		}
@@ -528,7 +528,7 @@ func (s *Suite) windowCapCell(app string, wc int) runner.Job {
 		if err != nil {
 			return nil, err
 		}
-		tuned, err := core.Tune(a, tr, tcfg)
+		tuned, err := core.TuneParallel(a, tr, tcfg, s.tuneOpts(app, 0))
 		if err != nil {
 			return nil, err
 		}
@@ -669,7 +669,7 @@ func (s *Suite) phasesCell(appName string, phased bool) runner.Job {
 		if err != nil {
 			return nil, err
 		}
-		tuned, err := core.Tune(a, tr, tcfg)
+		tuned, err := core.TuneParallel(a, tr, tcfg, s.tuneOpts(m.Name, 0))
 		if err != nil {
 			return nil, err
 		}

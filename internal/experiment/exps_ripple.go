@@ -247,7 +247,7 @@ func (s *Suite) fig13Cell(app string) runner.Job {
 			if err != nil {
 				return nil, err
 			}
-			tune, err := core.Tune(a, tr, tcfg)
+			tune, err := core.TuneParallel(a, tr, tcfg, s.tuneOpts(app, input))
 			if err != nil {
 				return nil, err
 			}
@@ -302,7 +302,7 @@ func (s *Suite) Fig6() (*Table, error) {
 			tcfg := s.tuneCfg("fdip", "lru", frontend.HintInvalidate)
 			tcfg.MeasureAccuracy = true
 			tcfg.Thresholds = []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95}
-			tune, err := core.Tune(a, s.source(st, 0), tcfg)
+			tune, err := core.TuneParallel(a, s.source(st, 0), tcfg, s.tuneOpts(app, 0))
 			if err != nil {
 				return nil, err
 			}

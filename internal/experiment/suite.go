@@ -392,6 +392,22 @@ func idealCyclesFrom(base frontend.Result, idealMisses uint64) uint64 {
 	return base.Cycles - base.StallCycles + uint64(float64(idealMisses)*penalty)
 }
 
+// streamID is the stable content identity of one workload stream:
+// generator version, model name, input index, and trace length pin the
+// exact block sequence every Open replays, so tune jobs keyed by it stay
+// hittable across processes (and by other tools tuning the same stream).
+func (s *Suite) streamID(model string, input int) string {
+	return fmt.Sprintf("wl=%s|app=%s|input=%d|blocks=%d", workload.GeneratorVersion, model, input, s.cfg.TraceBlocks)
+}
+
+// tuneOpts is the parallel-tuning substrate for a sweep simulated on one
+// workload stream: per-threshold sub-jobs share the suite's worker pool
+// (a runner.Group lends the calling cell's slot, so nested fan-out cannot
+// deadlock) and land in the persistent store under the stream's identity.
+func (s *Suite) tuneOpts(model string, input int) core.ParallelOptions {
+	return core.ParallelOptions{Pool: s.pool, Ctx: s.ctx, SourceID: s.streamID(model, input)}
+}
+
 // tuneCfg assembles the core.TuneConfig for one cell.
 func (s *Suite) tuneCfg(prefetcher, policy string, hints frontend.HintMode) core.TuneConfig {
 	return core.TuneConfig{
@@ -445,7 +461,7 @@ func (s *Suite) rippleJob(name, prefetcher, policy string) runner.Job {
 			}
 			tcfg := s.tuneCfg(prefetcher, policy, frontend.HintInvalidate)
 			t0 := time.Now()
-			tune, err := core.Tune(a, s.source(st, 0), tcfg)
+			tune, err := core.TuneParallel(a, s.source(st, 0), tcfg, s.tuneOpts(name, 0))
 			if err != nil {
 				return nil, err
 			}

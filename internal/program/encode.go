@@ -1,7 +1,9 @@
 package program
 
 import (
+	"crypto/sha256"
 	"encoding/gob"
+	"encoding/hex"
 	"fmt"
 	"io"
 )
@@ -32,6 +34,19 @@ func (p *Program) Save(w io.Writer) error {
 		Funcs:     p.Funcs,
 		Blocks:    p.Blocks,
 	})
+}
+
+// Fingerprint returns a stable content hash of the laid-out program:
+// the SHA-256 (hex) of its serialized image. Two programs with equal
+// fingerprints are structurally identical and simulate identically, so
+// content-addressed job signatures use it to key results by what the
+// program is rather than what it is called.
+func (p *Program) Fingerprint() (string, error) {
+	h := sha256.New()
+	if err := p.Save(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // Load reads a program image written by Save, validates it, and rebuilds

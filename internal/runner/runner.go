@@ -41,6 +41,12 @@ type Job struct {
 	Label string
 	// Cost is a relative scheduling hint; batches run largest-first.
 	Cost float64
+	// SkipStore excludes this job from the persistent store (both
+	// lookup and write); in-process memoization still applies. Set it
+	// when the signature is process-unique — e.g. derived from a source
+	// with no stable content identity — so the store is not polluted
+	// with entries no later run can ever hit.
+	SkipStore bool
 
 	run    func(context.Context) (any, error)
 	decode func([]byte) (any, error)
@@ -114,6 +120,10 @@ type Pool struct {
 	workers int
 	store   *Store
 	log     *syncWriter
+	// sem is the pool-wide worker budget: every spawned worker goroutine
+	// (RunAll batches and Groups alike) holds one slot while it runs, so
+	// nested fan-out shares the budget instead of multiplying it.
+	sem chan struct{}
 
 	mu    sync.Mutex
 	calls map[string]*call
@@ -135,6 +145,7 @@ func New(opts Options) *Pool {
 		workers: w,
 		store:   opts.Store,
 		log:     &syncWriter{w: opts.Log},
+		sem:     make(chan struct{}, w),
 		calls:   make(map[string]*call),
 	}
 }
@@ -208,7 +219,7 @@ func (p *Pool) compute(ctx context.Context, j Job) (any, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
-	if p.store != nil && j.decode != nil {
+	if p.store != nil && j.decode != nil && !j.SkipStore {
 		if raw, ok := p.store.Get(j.Sig); ok {
 			if v, err := j.decode(raw); err == nil {
 				p.storeHits.Add(1)
@@ -226,7 +237,7 @@ func (p *Pool) compute(ctx context.Context, j Job) (any, bool, error) {
 	}
 	p.computed.Add(1)
 	p.computeTime.Add(int64(d))
-	if p.store != nil {
+	if p.store != nil && !j.SkipStore {
 		if perr := p.store.Put(j.Sig, v); perr != nil {
 			p.logf("[runner] warning: persisting %s: %v", j.label(), perr)
 		}
@@ -280,61 +291,200 @@ func (p *Pool) RunAll(ctx context.Context, jobs []Job) error {
 		return q[i].Sig < q[k].Sig
 	})
 
-	workers := p.workers
-	if workers > len(q) {
-		workers = len(q)
-	}
-	var (
-		next    atomic.Int64
-		done    atomic.Int64
-		stop    atomic.Bool
-		errMu   sync.Mutex
-		firstEr error
-		wg      sync.WaitGroup
-	)
-	next.Store(-1)
 	start := time.Now()
 	before := p.Stats()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if stop.Load() || ctx.Err() != nil {
-					return
-				}
-				i := int(next.Add(1))
-				if i >= len(q) {
-					return
-				}
-				j := q[i]
-				t0 := time.Now()
-				_, computed, err := p.do(ctx, j)
-				n := done.Add(1)
-				if err != nil {
-					errMu.Lock()
-					if firstEr == nil {
-						firstEr = fmt.Errorf("runner: job %s: %w", j.label(), err)
-					}
-					errMu.Unlock()
-					stop.Store(true)
-					return
-				}
-				if computed {
-					p.logf("[runner] %d/%d %s (%v)", n, len(q), j.label(), time.Since(t0).Round(time.Millisecond))
-				}
-			}
-		}()
+	g := p.NewGroup(ctx)
+	for _, j := range q {
+		g.Submit(j)
 	}
-	wg.Wait()
+	err := g.Wait()
 	st := p.Stats()
 	p.logf("[runner] batch: %d jobs in %v — %d computed, %d store hits, %d coalesced (%d workers)",
 		len(q), time.Since(start).Round(time.Millisecond),
-		st.Computed-before.Computed, st.StoreHits-before.StoreHits, st.MemHits-before.MemHits, workers)
-	if firstEr != nil {
-		return firstEr
+		st.Computed-before.Computed, st.StoreHits-before.StoreHits, st.MemHits-before.MemHits, p.workers)
+	if err != nil {
+		return err
 	}
 	return ctx.Err()
+}
+
+// ErrSkipped marks a Future abandoned before it ran because an earlier
+// job in its group failed or the group's context was canceled. Get
+// reports it (wrapped) so waiters never hang on work that will not
+// happen.
+var ErrSkipped = errors.New("runner: job skipped")
+
+// Group collects related jobs and runs them on the pool's shared worker
+// budget. It is the sub-job API: safe to use from inside a running job,
+// so a job that fans out (threshold tuning inside a suite cell) shares
+// the pool instead of nesting a second worker set.
+//
+// Submit never blocks — it queues the job and, when the pool has a free
+// worker slot, spawns a worker to drain the queue. Wait executes
+// still-queued jobs inline on the calling goroutine, so progress is
+// guaranteed even when every slot is busy (the nested case: the caller
+// is itself a worker and lends its slot to its sub-jobs). The first job
+// error stops the scheduling of still-pending jobs.
+type Group struct {
+	pool *Pool
+	ctx  context.Context
+
+	mu      sync.Mutex
+	queue   []*Future // submitted and not yet claimed
+	total   int       // all submissions (for progress logs)
+	stopped bool      // a job failed: pending futures are skipped
+	cause   error     // first job failure, wrapped with its label
+	wg      sync.WaitGroup
+	done    atomic.Int64
+}
+
+// Future is the pending result of one job submitted to a Group.
+type Future struct {
+	g       *Group
+	job     Job
+	claimed atomic.Bool
+	ready   chan struct{}
+	val     any
+	err     error
+}
+
+// NewGroup starts an empty group; a nil ctx means context.Background().
+func (p *Pool) NewGroup(ctx context.Context) *Group {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Group{pool: p, ctx: ctx}
+}
+
+// Submit queues a job and returns its Future. Submission order is
+// execution order (workers claim the oldest queued job first); callers
+// that want largest-first scheduling sort before submitting, as RunAll
+// does.
+func (g *Group) Submit(j Job) *Future {
+	f := &Future{g: g, job: j, ready: make(chan struct{})}
+	g.mu.Lock()
+	g.queue = append(g.queue, f)
+	g.total++
+	g.mu.Unlock()
+	g.spawn()
+	return f
+}
+
+// spawn starts one queue-draining worker if the pool has a free slot;
+// otherwise the queued work waits for a running worker or an inline
+// drain (Wait / Future.Get).
+func (g *Group) spawn() {
+	select {
+	case g.pool.sem <- struct{}{}:
+	default:
+		return
+	}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() { <-g.pool.sem }()
+		g.drain()
+	}()
+}
+
+// next claims the oldest queued future. Once the group is stopped (job
+// failure or context cancellation), remaining futures are resolved as
+// skipped instead of claimed.
+func (g *Group) next() *Future {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for len(g.queue) > 0 {
+		f := g.queue[0]
+		g.queue = g.queue[1:]
+		if f.claimed.Swap(true) {
+			continue // already executing via Get
+		}
+		if g.stopped || g.ctx.Err() != nil {
+			f.skip(g.ctx)
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+func (g *Group) drain() {
+	for {
+		f := g.next()
+		if f == nil {
+			return
+		}
+		f.run()
+	}
+}
+
+// Wait drains the queue on the calling goroutine, blocks until every
+// spawned worker finishes, and returns the first job error (nil when all
+// jobs succeeded; the context error when the group was canceled).
+func (g *Group) Wait() error {
+	g.drain()
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cause != nil {
+		return g.cause
+	}
+	return g.ctx.Err()
+}
+
+// run executes the future's job (the future must already be claimed).
+func (f *Future) run() {
+	g := f.g
+	t0 := time.Now()
+	v, computed, err := g.pool.do(g.ctx, f.job)
+	f.val = v
+	if err != nil {
+		f.err = fmt.Errorf("runner: job %s: %w", f.job.label(), err)
+		g.mu.Lock()
+		g.stopped = true
+		if g.cause == nil {
+			g.cause = f.err
+		}
+		g.mu.Unlock()
+	}
+	n := g.done.Add(1)
+	if computed {
+		g.mu.Lock()
+		total := g.total
+		g.mu.Unlock()
+		g.pool.logf("[runner] %d/%d %s (%v)", n, total, f.job.label(), time.Since(t0).Round(time.Millisecond))
+	}
+	close(f.ready)
+}
+
+// skip resolves an unrun future; callers hold g.mu.
+func (f *Future) skip(ctx context.Context) {
+	if err := ctx.Err(); err != nil {
+		f.err = fmt.Errorf("%w: %w", ErrSkipped, err)
+	} else {
+		f.err = fmt.Errorf("%w after earlier job failure", ErrSkipped)
+	}
+	close(f.ready)
+}
+
+// Get returns the job's result. An unclaimed job executes inline on the
+// calling goroutine (so Get before Wait cannot deadlock even on a
+// saturated pool); a claimed one is waited for.
+func (f *Future) Get() (any, error) {
+	if !f.claimed.Swap(true) {
+		g := f.g
+		g.mu.Lock()
+		stopped := g.stopped || g.ctx.Err() != nil
+		if stopped {
+			f.skip(g.ctx)
+		}
+		g.mu.Unlock()
+		if !stopped {
+			f.run()
+		}
+	}
+	<-f.ready
+	return f.val, f.err
 }
 
 // syncWriter serializes writes; a nil underlying writer discards them.

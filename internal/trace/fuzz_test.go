@@ -21,9 +21,15 @@ func buildFuzzApp() (*wl.App, error) {
 }
 
 // FuzzDecode feeds arbitrary byte streams to the decoder; it must never
-// panic or loop, only return an error or a bounded block sequence. The
-// seed corpus contains a valid stream so the fuzzer starts from real
-// packet structure.
+// panic or loop, only return an error or a bounded block sequence. On any
+// stream it accepts, encode→decode→encode must be a fixed point: the
+// decoded blocks are a CFG-consistent walk by construction, so they must
+// re-encode, the re-encoded stream must decode to the same walk, and
+// re-encoding that walk must reproduce the same bytes (the encoder is
+// deterministic). The committed corpus under testdata/fuzz/FuzzDecode
+// (see gen_corpus.go) seeds the fuzzer with real packet structure from
+// several encoded app traces; the f.Add seeds below cover the degenerate
+// shapes.
 func FuzzDecode(f *testing.F) {
 	app, err := buildFuzzApp()
 	if err != nil {
@@ -40,8 +46,34 @@ func FuzzDecode(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Decode(bytes.NewReader(data), app.Prog)
-		if err == nil && len(got) > 1<<22 {
+		if err != nil {
+			return
+		}
+		if len(got) > 1<<22 {
 			t.Fatalf("unbounded decode: %d blocks", len(got))
+		}
+		var first bytes.Buffer
+		if _, err := Encode(&first, app.Prog, got); err != nil {
+			t.Fatalf("decoded walk failed to re-encode: %v", err)
+		}
+		again, err := Decode(bytes.NewReader(first.Bytes()), app.Prog)
+		if err != nil {
+			t.Fatalf("re-encoded stream failed to decode: %v", err)
+		}
+		if len(again) != len(got) {
+			t.Fatalf("round trip changed length: %d -> %d blocks", len(got), len(again))
+		}
+		for i := range got {
+			if again[i] != got[i] {
+				t.Fatalf("round trip diverged at block %d: %d -> %d", i, got[i], again[i])
+			}
+		}
+		var second bytes.Buffer
+		if _, err := Encode(&second, app.Prog, again); err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("encode is not a fixed point on its own decode")
 		}
 	})
 }

@@ -1,0 +1,79 @@
+//go:build ignore
+
+// Command gen_corpus regenerates the committed FuzzDecode seed corpus
+// from encoded app traces, in the native Go fuzzing corpus format:
+//
+//	cd internal/trace && go run gen_corpus.go
+//
+// Each entry is a full valid packet stream from a differently-shaped
+// synthetic app (different seeds, block-size ranges, and trace lengths),
+// plus a truncated and a corrupted variant, so the fuzzer starts from
+// real packet structure on both the accept and reject paths.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"ripple/internal/trace"
+	"ripple/internal/workload"
+)
+
+func main() {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	models := []struct {
+		m      workload.Model
+		blocks int
+	}{
+		{tiny(5, 16, 64), 500},
+		{tiny(11, 24, 96), 900},
+		{tiny(23, 16, 48), 300},
+	}
+	for _, mc := range models {
+		app, err := workload.Build(mc.m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := trace.Encode(&buf, app.Prog, app.Trace(0, mc.blocks)); err != nil {
+			log.Fatal(err)
+		}
+		raw := buf.Bytes()
+		write(dir, fmt.Sprintf("valid-%s", mc.m.Name), raw)
+		if mc.m.Seed == 5 {
+			write(dir, "truncated-"+mc.m.Name, raw[:len(raw)/2])
+			bad := append([]byte(nil), raw...)
+			bad[len(bad)/3] ^= 0x5A
+			write(dir, "corrupt-"+mc.m.Name, bad)
+		}
+	}
+}
+
+func tiny(seed uint64, bmin, bmax int) workload.Model {
+	return workload.Model{
+		Name: fmt.Sprintf("corpus-%d", seed), Seed: seed,
+		Funcs: 30, ServiceFuncs: 3, UtilityFuncs: 3, Levels: 4,
+		BlocksMin: 3, BlocksMax: 7, BlockBytesMin: bmin, BlockBytesMax: bmax,
+		PCond: 0.3, PCall: 0.25, PICall: 0.05, PIJump: 0.03,
+		PLoopBack: 0.1, PBiasStrong: 0.8,
+		CalleeMin: 1, CalleeMax: 3, IndirectFanout: 3,
+		ZipfRequest: 1.0, RequestsPerBurst: 2,
+	}
+}
+
+// write emits one corpus entry in the "go test fuzz v1" format.
+func write(dir, name string, data []byte) {
+	content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes encoded)\n", path, len(data))
+}

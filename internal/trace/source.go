@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"os"
+	"sync"
 
 	"ripple/internal/blockseq"
 	"ripple/internal/program"
@@ -34,9 +35,11 @@ type readerSource struct {
 	prog *program.Program
 	open func() (io.ReadCloser, error)
 
-	hinted bool
-	hint   int
-	hintOK bool
+	// hintOnce guards the cached header read: parallel tuning jobs share
+	// one source, so LenHint must be safe under concurrent passes.
+	hintOnce sync.Once
+	hint     int
+	hintOK   bool
 }
 
 func (s *readerSource) Open() blockseq.Seq {
@@ -55,20 +58,18 @@ func (s *readerSource) Open() blockseq.Seq {
 // LenHint opens the stream just long enough to read the header's
 // declared block count. The result is cached after the first call.
 func (s *readerSource) LenHint() (int, bool) {
-	if s.hinted {
-		return s.hint, s.hintOK
-	}
-	s.hinted = true
-	rc, err := s.open()
-	if err != nil {
-		return 0, false
-	}
-	defer rc.Close()
-	d, err := NewDecoder(rc, s.prog)
-	if err != nil {
-		return 0, false
-	}
-	s.hint, s.hintOK = int(d.Declared()), true
+	s.hintOnce.Do(func() {
+		rc, err := s.open()
+		if err != nil {
+			return
+		}
+		defer rc.Close()
+		d, err := NewDecoder(rc, s.prog)
+		if err != nil {
+			return
+		}
+		s.hint, s.hintOK = int(d.Declared()), true
+	})
 	return s.hint, s.hintOK
 }
 

@@ -3,10 +3,13 @@ package trace
 import (
 	"bytes"
 	"encoding/binary"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"ripple/internal/blockseq"
+	"ripple/internal/blockseq/blockseqtest"
 	"ripple/internal/isa"
 	"ripple/internal/program"
 )
@@ -235,4 +238,65 @@ func writeTIP(buf *bytes.Buffer, target uint64) {
 	}
 	buf.WriteByte(byte(len(db)))
 	buf.Write(db)
+}
+
+// --- shared Source-contract conformance (blockseqtest) -----------------
+
+func TestFileSourceConformance(t *testing.T) {
+	app := tinyApp(t)
+	raw := encoded(t, app.Prog, app.Trace(0, 3000))
+	path := filepath.Join(t.TempDir(), "trace.pt")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	blockseqtest.TestSource(t, func(*testing.T) blockseq.Source {
+		return FileSource(path, app.Prog)
+	})
+}
+
+func TestBytesSourceConformance(t *testing.T) {
+	app := tinyApp(t)
+	raw := encoded(t, app.Prog, app.Trace(0, 3000))
+	blockseqtest.TestSource(t, func(*testing.T) blockseq.Source {
+		return BytesSource(raw, app.Prog)
+	})
+}
+
+// TestEncodeSourceStreamConformance closes the streaming loop: a workload
+// stream encoded in one pass by EncodeSource decodes into a fully
+// conformant source that replays the original stream.
+func TestEncodeSourceStreamConformance(t *testing.T) {
+	app := tinyApp(t)
+	want := app.Trace(0, 3000)
+	var buf bytes.Buffer
+	if _, err := EncodeSource(&buf, app.Prog, blockseq.SliceSource(want)); err != nil {
+		t.Fatal(err)
+	}
+	src := BytesSource(buf.Bytes(), app.Prog)
+	got, err := blockseq.Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d blocks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+	blockseqtest.TestSource(t, func(*testing.T) blockseq.Source {
+		return BytesSource(buf.Bytes(), app.Prog)
+	})
+}
+
+// TestTruncatedSourceErrorConformance: a stream cut off mid-way must
+// surface its deferred error on every pass, per the shared kit.
+func TestTruncatedSourceErrorConformance(t *testing.T) {
+	app := tinyApp(t)
+	raw := encoded(t, app.Prog, app.Trace(0, 3000))
+	trunc := raw[:len(raw)/2]
+	blockseqtest.TestSourceError(t, func(*testing.T) blockseq.Source {
+		return BytesSource(trunc, app.Prog)
+	})
 }

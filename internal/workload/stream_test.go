@@ -1,9 +1,11 @@
 package workload
 
 import (
+	"fmt"
 	"testing"
 
 	"ripple/internal/blockseq"
+	"ripple/internal/blockseq/blockseqtest"
 )
 
 // TestStreamReplaysByteIdentical is the replayability contract: every
@@ -51,5 +53,22 @@ func TestStreamZeroMinBlocksIsEmpty(t *testing.T) {
 	}
 	if len(got) != 0 {
 		t.Fatalf("minBlocks=0 yielded %d blocks", len(got))
+	}
+}
+
+// TestStreamSourceConformance proves App.Stream honors the full Source
+// contract (replay identity, LenHint agreement, independent interleaved
+// and concurrent passes) via the shared conformance kit.
+func TestStreamSourceConformance(t *testing.T) {
+	app, err := Build(tinyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for input := 0; input < 2; input++ {
+		t.Run(fmt.Sprintf("input%d", input), func(t *testing.T) {
+			blockseqtest.TestSource(t, func(*testing.T) blockseq.Source {
+				return app.Stream(input, 3000)
+			})
+		})
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"ripple/internal/prefetch"
 	"ripple/internal/program"
 	"ripple/internal/replacement"
+	"ripple/internal/runner"
 	"ripple/internal/trace"
 	"ripple/internal/workload"
 )
@@ -204,6 +205,64 @@ func Tune(a *Analysis, tr []BlockID, cfg TuneConfig) (*TuneResult, error) {
 // per candidate threshold).
 func TuneSource(a *Analysis, src BlockSource, cfg TuneConfig) (*TuneResult, error) {
 	return core.Tune(a, src, cfg)
+}
+
+// ParallelOptions configures TuneParallel and OptimizeParallel: how many
+// simulations run concurrently and whether their results persist across
+// processes.
+type ParallelOptions struct {
+	// Workers bounds concurrent simulations; <= 0 uses GOMAXPROCS.
+	Workers int
+	// CacheDir, when non-empty, persists every simulation result in a
+	// content-addressed on-disk store: a warm rerun of the same sweep
+	// performs zero simulations. Results are keyed by the full run
+	// signature, which includes SourceID — with an empty SourceID the
+	// store is bypassed (the source has no stable identity to key by).
+	CacheDir string
+	// SourceID is a stable content identity for the profile source, e.g.
+	// a trace file's content hash or "generator version + app + input +
+	// length" for a workload stream. Sweeps with equal SourceID (and
+	// equal program/config) share cached results; leave it empty for
+	// sources without one.
+	SourceID string
+	// Log receives job-runner progress lines (nil silences them).
+	Log io.Writer
+}
+
+// resolve builds the execution substrate the core package consumes.
+func (o ParallelOptions) resolve() (core.ParallelOptions, error) {
+	var store *runner.Store
+	if o.CacheDir != "" {
+		st, err := runner.OpenStore(o.CacheDir)
+		if err != nil {
+			return core.ParallelOptions{}, err
+		}
+		store = st
+	}
+	pool := runner.New(runner.Options{Workers: o.Workers, Store: store, Log: o.Log})
+	return core.ParallelOptions{Pool: pool, SourceID: o.SourceID}, nil
+}
+
+// TuneParallel is TuneSource with the sweep's simulations (baseline plus
+// one per threshold) fanned out across a worker pool and memoized by
+// content signature. The result is byte-identical to Tune for any worker
+// count.
+func TuneParallel(a *Analysis, src BlockSource, cfg TuneConfig, opts ParallelOptions) (*TuneResult, error) {
+	copts, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	return core.TuneParallel(a, src, cfg, copts)
+}
+
+// OptimizeParallel is OptimizeSource with the tuning sweep parallelized
+// (see TuneParallel); the analysis itself stays inline.
+func OptimizeParallel(prog *Program, src BlockSource, acfg AnalysisConfig, tcfg TuneConfig, opts ParallelOptions) (*Outcome, error) {
+	copts, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	return core.OptimizeParallel(prog, src, acfg, tcfg, copts)
 }
 
 // RunPlan simulates a (possibly nil) plan applied to prog over the trace.

@@ -2,6 +2,7 @@ package ripple_test
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"ripple"
@@ -216,5 +217,44 @@ func TestSeedRobustness(t *testing.T) {
 		if sp := out.Tune.BestPoint().SpeedupPct; sp <= 0 {
 			t.Errorf("seed %#x: tuned ripple not faster than LRU (%.2f%%)", seed, sp)
 		}
+	}
+}
+
+func TestPublicParallelTuning(t *testing.T) {
+	app, err := ripple.BuildWorkload(ripple.MustWorkload("kafka"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := app.Stream(0, 60_000)
+	a, err := ripple.AnalyzeSource(app.Prog, src, ripple.DefaultAnalysisConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcfg := ripple.TuneConfig{
+		Params:       ripple.DefaultParams(),
+		Policy:       "lru",
+		Prefetcher:   "none",
+		Thresholds:   []float64{0.55, 0.95},
+		WarmupBlocks: 20_000,
+	}
+	serial, err := ripple.TuneSource(a, src, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ripple.ParallelOptions{Workers: 8, CacheDir: t.TempDir(), SourceID: "kafka#0/60k"}
+	par, err := ripple.TuneParallel(a, src, tcfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("parallel tuning diverged from serial:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+	// A warm rerun over the persisted store must reproduce the result.
+	warm, err := ripple.TuneParallel(a, src, tcfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, warm) {
+		t.Fatal("store round trip changed the tuning result")
 	}
 }
