@@ -13,6 +13,12 @@
 // program and trace content, so a warm rerun performs zero simulations.
 // Output is byte-identical for any worker count. -json additionally
 // writes a machine-readable report of the analysis, sweep, and plan.
+//
+// By default the trace must decode cleanly (-strict). With -recover a
+// damaged trace resynchronizes at the next sync point (ripplegen
+// -syncevery) after any corrupt region, the analysis runs over whatever
+// survives, and the report carries the decoded coverage. Transient
+// simulation failures retry with deterministic backoff (-retries).
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"sort"
 
 	"ripple/internal/blockseq"
+	"ripple/internal/cliflag"
 	"ripple/internal/core"
 	"ripple/internal/frontend"
 	"ripple/internal/program"
@@ -45,8 +52,15 @@ func main() {
 	flag.IntVar(&o.Workers, "j", 0, "parallel tuning simulations (default GOMAXPROCS)")
 	flag.StringVar(&o.CacheDir, "cachedir", "", "directory for the persistent result store (default: no persistence)")
 	flag.StringVar(&o.JSONOut, "json", "", "also write a JSON report to this path")
+	flag.BoolVar(&o.Recover, "recover", false, "resynchronize past damaged trace regions instead of failing")
+	strict := flag.Bool("strict", false, "fail on any trace damage (the default; conflicts with -recover)")
+	flag.IntVar(&o.Retries, "retries", 2, "retry budget for transiently failing simulations")
 	flag.Parse()
 	o.Stdout = os.Stdout
+	if cliflag.Passed("recover") && cliflag.Passed("strict") && o.Recover && *strict {
+		fmt.Fprintln(os.Stderr, "rippleanalyze: -recover and -strict are mutually exclusive")
+		os.Exit(2)
+	}
 
 	stats, err := run(o)
 	if err != nil {
@@ -54,7 +68,14 @@ func main() {
 		os.Exit(1)
 	}
 	if o.CacheDir != "" && o.Threshold == 0 {
-		fmt.Printf("jobs: %d simulated, %d from store\n", stats.Computed, stats.StoreHits)
+		line := fmt.Sprintf("jobs: %d simulated, %d from store", stats.Computed, stats.StoreHits)
+		if stats.Retries > 0 {
+			line += fmt.Sprintf(", %d retried", stats.Retries)
+		}
+		if stats.Quarantined > 0 {
+			line += fmt.Sprintf(", %d quarantined/%d recovered", stats.Quarantined, stats.Recovered)
+		}
+		fmt.Println(line)
 	}
 }
 
@@ -67,6 +88,8 @@ type options struct {
 	Workers               int
 	CacheDir              string
 	JSONOut               string
+	Recover               bool
+	Retries               int
 	Stdout                io.Writer
 }
 
@@ -77,10 +100,25 @@ type report struct {
 	TraceBlocks int
 	Windows     int
 	IdealMisses uint64
+	// Coverage reports how much of the declared profile survived decoding
+	// (present only with -recover).
+	Coverage *core.SourceCoverage `json:",omitempty"`
 	// Curve/Best describe the threshold sweep (absent with -threshold set).
 	Curve []core.ThresholdPoint `json:",omitempty"`
 	Best  int
 	Plan  planReport
+	// Jobs summarizes the sweep's execution (absent with -threshold set).
+	// ComputeTime and in-process coalescing are excluded: they vary with
+	// scheduling, and the report must be byte-identical for any -j.
+	Jobs *jobsReport `json:",omitempty"`
+}
+
+type jobsReport struct {
+	Simulated   int64
+	StoreHits   int64
+	Retries     int64
+	Quarantined int64
+	Recovered   int64
 }
 
 type planReport struct {
@@ -109,7 +147,7 @@ func run(o options) (runner.Stats, error) {
 	if o.Stdout == nil {
 		o.Stdout = io.Discard
 	}
-	prog, tr, err := load(o.ProgPath, o.PTPath)
+	prog, tr, err := load(o.ProgPath, o.PTPath, o.Recover)
 	if err != nil {
 		return stats, err
 	}
@@ -121,12 +159,20 @@ func run(o options) (runner.Stats, error) {
 	}
 	fmt.Fprintf(o.Stdout, "analysis: %d trace blocks, %d eviction windows, %d ideal misses\n",
 		analysis.TraceBlocks, analysis.Windows, analysis.IdealMisses)
+	if cov := analysis.Coverage; cov != nil {
+		fmt.Fprintf(o.Stdout, "coverage: %.2f%% of declared profile (%d of %d blocks", cov.Fraction()*100, cov.Decoded, cov.Declared)
+		if cov.Regions > 0 {
+			fmt.Fprintf(o.Stdout, "; %d damaged regions, %d blocks lost", cov.Regions, cov.Lost)
+		}
+		fmt.Fprintln(o.Stdout, ")")
+	}
 
 	rep := report{
 		Program:     prog.Name,
 		TraceBlocks: analysis.TraceBlocks,
 		Windows:     analysis.Windows,
 		IdealMisses: analysis.IdealMisses,
+		Coverage:    analysis.Coverage,
 	}
 	var plan *core.Plan
 	if o.Threshold > 0 {
@@ -149,6 +195,13 @@ func run(o options) (runner.Stats, error) {
 		stats = pool.Stats()
 		plan = tuned.BestPlan
 		rep.Curve, rep.Best = tuned.Curve, tuned.Best
+		rep.Jobs = &jobsReport{
+			Simulated:   stats.Computed,
+			StoreHits:   stats.StoreHits,
+			Retries:     stats.Retries,
+			Quarantined: stats.Quarantined,
+			Recovered:   stats.Recovered,
+		}
 		fmt.Fprintf(o.Stdout, "tuned threshold %.2f: %+.2f%% speedup, %.0f%% coverage\n",
 			tuned.BestPoint().Threshold, tuned.BestPoint().SpeedupPct, tuned.BestPoint().Coverage*100)
 	}
@@ -188,7 +241,7 @@ func parallelOpts(o options) (core.ParallelOptions, *runner.Pool, error) {
 		}
 		store = st
 	}
-	pool := runner.New(runner.Options{Workers: o.Workers, Store: store})
+	pool := runner.New(runner.Options{Workers: o.Workers, Store: store, Retries: o.Retries})
 	srcID, err := fileDigest(o.PTPath)
 	if err != nil {
 		return core.ParallelOptions{}, nil, err
@@ -230,8 +283,10 @@ func summarizePlan(p *core.Plan) planReport {
 
 // load reads the program image and wires a streaming source over the
 // trace file; the analysis and tuning passes each re-decode it, so the
-// trace is never held in memory.
-func load(progPath, ptPath string) (*program.Program, blockseq.Source, error) {
+// trace is never held in memory. With rec the source decodes in recovery
+// mode: damaged regions are skipped at sync points and accounted in the
+// analysis coverage.
+func load(progPath, ptPath string, rec bool) (*program.Program, blockseq.Source, error) {
 	pf, err := os.Open(progPath)
 	if err != nil {
 		return nil, nil, err
@@ -240,6 +295,9 @@ func load(progPath, ptPath string) (*program.Program, blockseq.Source, error) {
 	prog, err := program.Load(pf)
 	if err != nil {
 		return nil, nil, err
+	}
+	if rec {
+		return prog, trace.RecoverFileSource(ptPath, prog), nil
 	}
 	return prog, trace.FileSource(ptPath, prog), nil
 }

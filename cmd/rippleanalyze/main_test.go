@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"ripple/internal/core"
+	"ripple/internal/fault"
 	"ripple/internal/trace"
 	"ripple/internal/workload"
 )
@@ -167,5 +169,67 @@ func TestWarmCacheRerunSkipsSimulation(t *testing.T) {
 	}
 	if !bytes.Equal(coldPlan, warmPlan) {
 		t.Fatal("warm rerun emitted a different plan")
+	}
+}
+
+// TestRecoverDamagedTrace: with -recover, a corrupted sync-point trace
+// analyzes end to end — the plan is produced from the surviving profile
+// and the JSON report carries a sub-1 coverage figure. The same damaged
+// input must fail in the default strict mode.
+func TestRecoverDamagedTrace(t *testing.T) {
+	app, err := workload.Build(goldenModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	progPath := filepath.Join(dir, "app.prog")
+	pf, err := os.Create(progPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Prog.Save(pf); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	var buf bytes.Buffer
+	if _, err := trace.EncodeSourceSync(&buf, app.Prog, app.Stream(0, 30_000), 256); err != nil {
+		t.Fatal(err)
+	}
+	damaged, _ := fault.NewInjector(7).Overwrite(buf.Bytes(), 32, buf.Len()/3, buf.Len()/2)
+	ptPath := filepath.Join(dir, "app.pt")
+	if err := os.WriteFile(ptPath, damaged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	o := baseOptions(progPath, ptPath, dir, "recover")
+	o.Threshold = 0.5 // fixed threshold: no sweep, keep the test fast
+	o.JSONOut = filepath.Join(dir, "report.json")
+	if _, err := run(o); err == nil {
+		t.Fatal("strict mode accepted a damaged trace")
+	}
+	o.Recover = true
+	if _, err := run(o); err != nil {
+		t.Fatalf("recover mode failed: %v", err)
+	}
+	raw, err := os.ReadFile(o.JSONOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage == nil {
+		t.Fatal("report has no coverage block")
+	}
+	if f := rep.Coverage.Fraction(); f <= 0 || f >= 1 {
+		t.Fatalf("implausible coverage %v (%+v)", f, rep.Coverage)
+	}
+	if rep.Coverage.Regions == 0 || rep.TraceBlocks != int(rep.Coverage.Decoded) {
+		t.Fatalf("coverage inconsistent with analysis: %+v vs %d trace blocks", rep.Coverage, rep.TraceBlocks)
+	}
+	if _, err := os.Stat(o.Out); err != nil {
+		t.Fatalf("no plan written: %v", err)
 	}
 }

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +42,7 @@ func main() {
 	cachedir := flag.String("cachedir", "", "directory for the persistent result store (default: no persistence)")
 	cacheMode := flag.String("cache", "on", "result store mode: on or off (off ignores -cachedir)")
 	quiet := flag.Bool("q", false, "suppress progress logging")
+	jsonOut := flag.String("json", "", "write a JSON run summary (experiments + job-runner counters) to this path")
 	flag.Parse()
 
 	if *list {
@@ -86,6 +88,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *jsonOut != "" {
+		if err := writeSummary(*jsonOut, *run, suite); err != nil {
+			fmt.Fprintln(os.Stderr, "rippleexp:", err)
+			os.Exit(1)
+		}
+	}
 	if *check {
 		fmt.Println("\nshape check (paper's qualitative claims):")
 		violations, err := suite.ShapeCheck(os.Stdout)
@@ -99,4 +107,42 @@ func main() {
 		}
 		fmt.Println("all claims hold")
 	}
+}
+
+// writeSummary emits the run's machine-readable wrap-up: which
+// experiments ran and what the job runner did (simulated vs. served from
+// store, transient retries, quarantined/recovered store entries).
+func writeSummary(path, ran string, suite *experiment.Suite) error {
+	st := suite.Stats()
+	ids := []string{}
+	if ran == "all" {
+		ids = experiment.IDs()
+	} else if ran != "" {
+		ids = append(ids, ran)
+	}
+	summary := struct {
+		Experiments []string
+		Apps        []string
+		Jobs        struct {
+			Simulated   int64
+			StoreHits   int64
+			MemHits     int64
+			Errors      int64
+			Retries     int64
+			Quarantined int64
+			Recovered   int64
+		}
+	}{Experiments: ids, Apps: suite.Apps()}
+	summary.Jobs.Simulated = st.Computed
+	summary.Jobs.StoreHits = st.StoreHits
+	summary.Jobs.MemHits = st.MemHits
+	summary.Jobs.Errors = st.Errors
+	summary.Jobs.Retries = st.Retries
+	summary.Jobs.Quarantined = st.Quarantined
+	summary.Jobs.Recovered = st.Recovered
+	raw, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }

@@ -25,15 +25,16 @@ func main() {
 	blocks := flag.Int("blocks", 600_000, "minimum trace length in executed basic blocks")
 	input := flag.Int("input", 0, "input configuration (0-3)")
 	out := flag.String("out", "", "output path prefix (required)")
+	syncEvery := flag.Int("syncevery", 0, "emit a resynchronization point roughly every N blocks so damaged traces recover with bounded loss (0: none)")
 	flag.Parse()
 
-	if err := run(*appName, *blocks, *input, *out); err != nil {
+	if err := run(*appName, *blocks, *input, *syncEvery, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "ripplegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(appName string, blocks, input int, out string) error {
+func run(appName string, blocks, input, syncEvery int, out string) error {
 	if out == "" {
 		return fmt.Errorf("-out prefix is required")
 	}
@@ -42,6 +43,9 @@ func run(appName string, blocks, input int, out string) error {
 	}
 	if input < 0 {
 		return fmt.Errorf("-input must be non-negative (got %d)", input)
+	}
+	if syncEvery < 0 {
+		return fmt.Errorf("-syncevery must be non-negative (got %d)", syncEvery)
 	}
 	m, ok := workload.ByName(appName)
 	if !ok {
@@ -65,7 +69,7 @@ func run(appName string, blocks, input int, out string) error {
 		return err
 	}
 	defer ptF.Close()
-	stats, err := trace.EncodeSource(ptF, app.Prog, app.Stream(input, blocks))
+	stats, err := trace.EncodeSourceSync(ptF, app.Prog, app.Stream(input, blocks), syncEvery)
 	if err != nil {
 		return err
 	}
@@ -74,5 +78,8 @@ func run(appName string, blocks, input int, out string) error {
 	fmt.Printf("trace: %d blocks, %d TNT bits, %d TIPs, %d/%d rets compressed, %.2f bits/block (%.1fKB)\n",
 		stats.Blocks, stats.TNTBits, stats.TIPs, stats.RetsCompressed, stats.RetsTotal,
 		stats.BitsPerBlock(), float64(stats.Bytes)/1024)
+	if stats.Syncs > 0 {
+		fmt.Printf("sync: %d resynchronization points (every ~%d blocks)\n", stats.Syncs, syncEvery)
+	}
 	return nil
 }

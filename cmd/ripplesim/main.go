@@ -52,6 +52,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the report")
 	workers := flag.Int("j", 0, "parallel workers for sweep mode (default GOMAXPROCS)")
 	cachedir := flag.String("cachedir", "", "persistent result store for sweep mode (default: none)")
+	rec := flag.Bool("recover", false, "resynchronize past damaged trace regions instead of failing")
 	flag.Parse()
 
 	policies := strings.Split(*policy, ",")
@@ -65,9 +66,9 @@ func main() {
 	var err error
 	if len(policies) > 1 || len(prefetchers) > 1 {
 		err = sweep(*progPath, *traceProgPath, *ptPath, *planPath, policies, prefetchers,
-			limit, *warmup, *accuracy, *demote, *jsonOut, *workers, *cachedir)
+			limit, *warmup, *accuracy, *demote, *jsonOut, *workers, *cachedir, *rec)
 	} else {
-		err = run(*progPath, *traceProgPath, *ptPath, *planPath, *policy, *prefetcher, limit, *warmup, *accuracy, *demote, *jsonOut)
+		err = run(*progPath, *traceProgPath, *ptPath, *planPath, *policy, *prefetcher, limit, *warmup, *accuracy, *demote, *jsonOut, *rec)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ripplesim:", err)
@@ -75,14 +76,14 @@ func main() {
 	}
 }
 
-func run(progPath, traceProgPath, ptPath, planPath, policy, prefetcher string, limit, warmup int, accuracy, demote, jsonOut bool) error {
+func run(progPath, traceProgPath, ptPath, planPath, policy, prefetcher string, limit, warmup int, accuracy, demote, jsonOut, rec bool) error {
 	if progPath == "" || ptPath == "" {
 		return fmt.Errorf("-prog and -pt are required")
 	}
 	if traceProgPath == "" {
 		traceProgPath = progPath
 	}
-	prog, tr, err := load(progPath, traceProgPath, ptPath, limit)
+	prog, tr, reporter, err := load(progPath, traceProgPath, ptPath, limit, rec)
 	if err != nil {
 		return err
 	}
@@ -125,9 +126,10 @@ func run(progPath, traceProgPath, ptPath, planPath, policy, prefetcher string, l
 	}
 
 	if jsonOut {
-		return emitJSON(res)
+		return emitJSON(res, coverageOf(reporter))
 	}
 	fmt.Printf("%s: %s prefetcher, %s replacement\n", res.Program, res.Prefetcher, res.Policy)
+	printCoverage(reporter)
 	fmt.Printf("  instructions: %d (%d injected hints, %.2f%% dynamic overhead)\n",
 		res.Instrs, res.HintInstrs, core.DynamicOverheadPct(res))
 	fmt.Printf("  cycles: %d  IPC: %.3f\n", res.Cycles, res.IPC())
@@ -158,14 +160,14 @@ func run(progPath, traceProgPath, ptPath, planPath, policy, prefetcher string, l
 // configuration, so editing the trace or plan invalidates exactly the
 // affected entries.
 func sweep(progPath, traceProgPath, ptPath, planPath string, policies, prefetchers []string,
-	limit, warmup int, accuracy, demote, jsonOut bool, workers int, cachedir string) error {
+	limit, warmup int, accuracy, demote, jsonOut bool, workers int, cachedir string, rec bool) error {
 	if progPath == "" || ptPath == "" {
 		return fmt.Errorf("-prog and -pt are required")
 	}
 	if traceProgPath == "" {
 		traceProgPath = progPath
 	}
-	prog, tr, err := load(progPath, traceProgPath, ptPath, limit)
+	prog, tr, reporter, err := load(progPath, traceProgPath, ptPath, limit, rec)
 	if err != nil {
 		return err
 	}
@@ -200,6 +202,12 @@ func sweep(progPath, traceProgPath, ptPath, planPath string, policies, prefetche
 		// Appended only when -blocks was passed, so pre-existing store
 		// entries for whole-trace sweeps stay addressable.
 		base += fmt.Sprintf("|blocks=%d", limit)
+	}
+	if rec {
+		// Likewise appended only with -recover: a clean trace decodes
+		// identically in both modes, but a damaged one yields a different
+		// (shorter) block sequence under the same file hash.
+		base += "|recover=1"
 	}
 
 	var store *runner.Store
@@ -252,6 +260,9 @@ func sweep(progPath, traceProgPath, ptPath, planPath string, policies, prefetche
 	if err := pool.RunAll(ctx, jobs); err != nil {
 		return err
 	}
+	if !jsonOut {
+		printCoverage(reporter)
+	}
 	var out []map[string]interface{}
 	for _, pol := range policies {
 		for _, pf := range prefetchers {
@@ -261,7 +272,7 @@ func sweep(progPath, traceProgPath, ptPath, planPath string, policies, prefetche
 			}
 			res := *(v.(*frontend.Result))
 			if jsonOut {
-				out = append(out, resultJSON(res))
+				out = append(out, withCoverage(resultJSON(res), coverageOf(reporter)))
 				continue
 			}
 			fmt.Printf("%-10s %-10s IPC %.3f  MPKI %6.2f  cycles %d\n",
@@ -288,10 +299,47 @@ func fileHash(path string) (string, error) {
 
 // emitJSON writes the run's metrics as a single JSON object, for scripted
 // consumers (dashboards, regression checks).
-func emitJSON(res frontend.Result) error {
+func emitJSON(res frontend.Result, cov *trace.DecodeReport) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(resultJSON(res))
+	return enc.Encode(withCoverage(resultJSON(res), cov))
+}
+
+// coverageOf extracts the decode report a recovering source published
+// after the simulation's passes; nil otherwise.
+func coverageOf(reporter trace.Reporting) *trace.DecodeReport {
+	if reporter == nil {
+		return nil
+	}
+	rep, ok := reporter.DecodeReport()
+	if !ok {
+		return nil
+	}
+	return &rep
+}
+
+// withCoverage adds the -recover decode accounting to a JSON result; the
+// schema is unchanged when not recovering.
+func withCoverage(m map[string]interface{}, cov *trace.DecodeReport) map[string]interface{} {
+	if cov != nil {
+		m["trace_coverage"] = cov.Coverage()
+		m["trace_blocks_lost"] = cov.BlocksLost()
+		m["trace_damage_regions"] = len(cov.Regions)
+	}
+	return m
+}
+
+// printCoverage reports trace damage on the human-readable path.
+func printCoverage(reporter trace.Reporting) {
+	cov := coverageOf(reporter)
+	if cov == nil {
+		return
+	}
+	fmt.Printf("  trace coverage: %.2f%% of declared profile (%d of %d blocks", cov.Coverage()*100, cov.Decoded, cov.Declared)
+	if len(cov.Regions) > 0 {
+		fmt.Printf("; %d damaged regions, %d blocks lost", len(cov.Regions), cov.BlocksLost())
+	}
+	fmt.Println(")")
 }
 
 // resultJSON flattens a result into the JSON schema emitJSON documents.
@@ -325,8 +373,11 @@ func resultJSON(res frontend.Result) map[string]interface{} {
 // stable across rewriting, so the block sequence transfers). The trace is
 // never materialized: each simulation pass re-decodes the file, keeping
 // memory O(1) in the trace length. limit >= 0 caps the source to the
-// first limit blocks.
-func load(progPath, traceProgPath, ptPath string, limit int) (*program.Program, blockseq.Source, error) {
+// first limit blocks. With rec the trace decodes in recovery mode and
+// the returned reporter (the unwrapped trace source) publishes the
+// damage accounting once a pass completes; the reporter is nil in
+// strict mode.
+func load(progPath, traceProgPath, ptPath string, limit int, rec bool) (*program.Program, blockseq.Source, trace.Reporting, error) {
 	loadProg := func(path string) (*program.Program, error) {
 		f, err := os.Open(path)
 		if err != nil {
@@ -337,20 +388,27 @@ func load(progPath, traceProgPath, ptPath string, limit int) (*program.Program, 
 	}
 	prog, err := loadProg(progPath)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	decodeProg := prog
 	if traceProgPath != progPath {
 		if decodeProg, err = loadProg(traceProgPath); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if decodeProg.NumBlocks() != prog.NumBlocks() {
-			return nil, nil, fmt.Errorf("-trace-prog has %d blocks, -prog has %d: not the same program", decodeProg.NumBlocks(), prog.NumBlocks())
+			return nil, nil, nil, fmt.Errorf("-trace-prog has %d blocks, -prog has %d: not the same program", decodeProg.NumBlocks(), prog.NumBlocks())
 		}
 	}
-	src := trace.FileSource(ptPath, decodeProg)
+	var src blockseq.Source
+	var reporter trace.Reporting
+	if rec {
+		ts := trace.RecoverFileSource(ptPath, decodeProg)
+		reporter, src = ts.(trace.Reporting), ts
+	} else {
+		src = trace.FileSource(ptPath, decodeProg)
+	}
 	if limit >= 0 {
 		src = blockseq.Limit(src, limit)
 	}
-	return prog, src, nil
+	return prog, src, reporter, nil
 }

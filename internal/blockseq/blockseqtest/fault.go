@@ -1,0 +1,63 @@
+package blockseqtest
+
+import (
+	"errors"
+	"testing"
+
+	"ripple/internal/blockseq"
+	"ripple/internal/fault"
+)
+
+// TestSourceFault asserts fault-path conformance: the source, wrapped in
+// fault.Source, must propagate an injected error from a pass's Err —
+// whether the fault hits Open or a mid-pass Next — and the failure must
+// not corrupt the source's own state: subsequent fresh Opens replay the
+// pristine sequence. This is what lets the runner retry a transient
+// source failure by simply re-opening.
+func TestSourceFault(t *testing.T, open func(t *testing.T) blockseq.Source) {
+	t.Helper()
+
+	t.Run("open-fault", func(t *testing.T) {
+		src := open(t)
+		ref := mustCollect(t, src)
+		faulty := fault.NewSource(src, fault.SourceFaults{Pass: 1, OpenErr: true})
+
+		seq := faulty.Open()
+		if _, ok := seq.Next(); ok {
+			t.Fatal("faulted Open yielded a block")
+		}
+		if err := seq.Err(); !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("faulted Open reported %v, want ErrInjected", err)
+		}
+		for pass := 2; pass <= 3; pass++ {
+			got, err := blockseq.Collect(faulty)
+			if err != nil {
+				t.Fatalf("pass %d after an open fault failed: %v", pass, err)
+			}
+			requireEqual(t, ref, got, "pass %d after an open fault diverged", pass)
+		}
+	})
+
+	t.Run("next-fault", func(t *testing.T) {
+		src := open(t)
+		ref := mustCollect(t, src)
+		if len(ref) < 2 {
+			t.Skip("source too short to fault mid-pass")
+		}
+		k := len(ref) / 2
+		faulty := fault.NewSource(src, fault.SourceFaults{Pass: 1, AfterNext: k})
+
+		got, err := blockseq.Collect(faulty)
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("faulted pass reported %v, want ErrInjected", err)
+		}
+		requireEqual(t, ref[:k], got, "faulted pass prefix diverged")
+		for pass := 2; pass <= 3; pass++ {
+			got, err := blockseq.Collect(faulty)
+			if err != nil {
+				t.Fatalf("pass %d after a mid-pass fault failed: %v", pass, err)
+			}
+			requireEqual(t, ref, got, "pass %d after a mid-pass fault diverged", pass)
+		}
+	})
+}

@@ -56,3 +56,11 @@ func TestFuncSourceErrorConformance(t *testing.T) {
 		return blockseq.Func(func() blockseq.Seq { return &failingSeq{} })
 	})
 }
+
+// TestSliceSourceFaultConformance: an injected fault must surface from
+// the faulted pass only, leaving fresh replays pristine.
+func TestSliceSourceFaultConformance(t *testing.T) {
+	blockseqtest.TestSourceFault(t, func(*testing.T) blockseq.Source {
+		return blockseq.Of(3, 1, 4, 1, 5, 9, 2, 6)
+	})
+}

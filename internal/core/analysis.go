@@ -21,6 +21,7 @@ import (
 	"ripple/internal/frontend"
 	"ripple/internal/opt"
 	"ripple/internal/program"
+	"ripple/internal/trace"
 )
 
 // AnalysisConfig controls the eviction analysis.
@@ -65,6 +66,12 @@ type Analysis struct {
 	// IdealMisses is the demand miss count of the ideal replay (the
 	// analysis-side limit).
 	IdealMisses uint64
+	// Coverage aggregates the decode reports of recovering trace sources
+	// (trace.Reporting): how much of the declared profile actually fed
+	// the analysis after damaged regions were skipped. Nil when no source
+	// reports — i.e. every profile decoded strictly or never touched a
+	// packet stream.
+	Coverage *SourceCoverage
 
 	sources   []blockseq.Source
 	windows   []window
@@ -143,7 +150,54 @@ func AnalyzeMulti(prog *program.Program, sources []blockseq.Source, cfg Analysis
 	if a.cueErr != nil {
 		return nil, a.cueErr
 	}
+	a.Coverage = gatherCoverage(sources)
 	return a, nil
+}
+
+// SourceCoverage sums the damage accounting of every analyzed source
+// that decoded in recovery mode: of Declared profiled blocks, Decoded
+// survived and Lost fell inside Regions damaged stream regions.
+type SourceCoverage struct {
+	Declared uint64 `json:"declared"`
+	Decoded  uint64 `json:"decoded"`
+	Lost     uint64 `json:"lost,omitempty"`
+	Regions  int    `json:"regions,omitempty"`
+}
+
+// Fraction returns the decoded share of the declared profile in [0, 1]
+// (1 when nothing was declared).
+func (c SourceCoverage) Fraction() float64 {
+	if c.Declared == 0 {
+		return 1
+	}
+	return float64(c.Decoded) / float64(c.Declared)
+}
+
+// gatherCoverage collects decode reports after the analysis passes have
+// completed (a recovering source publishes its report at the end of a
+// pass); nil when no source exposes one.
+func gatherCoverage(sources []blockseq.Source) *SourceCoverage {
+	var cov SourceCoverage
+	found := false
+	for _, src := range sources {
+		r, ok := src.(trace.Reporting)
+		if !ok {
+			continue
+		}
+		rep, ok := r.DecodeReport()
+		if !ok {
+			continue
+		}
+		found = true
+		cov.Declared += rep.Declared
+		cov.Decoded += rep.Decoded
+		cov.Lost += rep.BlocksLost()
+		cov.Regions += len(rep.Regions)
+	}
+	if !found {
+		return nil
+	}
+	return &cov
 }
 
 // analyzeOne expands one source into its demand line stream (identical to

@@ -44,6 +44,9 @@ type Config struct {
 	// suite runs across processes are incremental. Empty disables
 	// persistence (results are still memoized in-process).
 	CacheDir string
+	// Retries bounds re-executions of transiently failing jobs
+	// (runner.Transient); 0 disables retry.
+	Retries int
 }
 
 // DefaultConfig returns the standard suite configuration.
@@ -129,7 +132,7 @@ func New(cfg Config) *Suite {
 		}
 		store = st
 	}
-	pool := runner.New(runner.Options{Workers: cfg.Workers, Store: store, Log: cfg.Log})
+	pool := runner.New(runner.Options{Workers: cfg.Workers, Store: store, Log: cfg.Log, Retries: cfg.Retries})
 	s := &Suite{
 		cfg:  cfg,
 		pool: pool,

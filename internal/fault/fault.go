@@ -1,0 +1,172 @@
+// Package fault provides deterministic fault injection for robustness
+// tests: seeded byte-level corruption of encoded streams (bit flips,
+// truncation, byte drops), a blockseq.Source wrapper that errors on a
+// chosen Open or Next, and on-disk damage helpers for the result store.
+// Every injector is driven by an explicit seed, so each failure scenario
+// replays byte-identically across runs and platforms.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"ripple/internal/stats"
+)
+
+// ErrInjected is the sentinel error produced by injectors that are not
+// given a specific error to return.
+var ErrInjected = errors.New("fault: injected error")
+
+// Injector derives deterministic corruption decisions from a seed. The
+// zero value is not usable; construct with NewInjector.
+type Injector struct {
+	rng *stats.RNG
+}
+
+// NewInjector returns an injector whose decisions are a pure function of
+// seed.
+func NewInjector(seed uint64) *Injector {
+	return &Injector{rng: stats.NewRNG(seed)}
+}
+
+// clampRange normalizes a [lo, hi) byte range against len(data): hi <= 0
+// or hi > len means len. Returns an empty range for empty data.
+func clampRange(n, lo, hi int) (int, int) {
+	if hi <= 0 || hi > n {
+		hi = n
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// FlipBits returns a copy of data with k single-bit flips at seeded
+// positions within the byte range [lo, hi) (hi <= 0 means len(data)),
+// plus the byte offsets flipped (in injection order, possibly
+// repeating).
+func (in *Injector) FlipBits(data []byte, k, lo, hi int) ([]byte, []int) {
+	out := append([]byte(nil), data...)
+	lo, hi = clampRange(len(out), lo, hi)
+	if hi == lo {
+		return out, nil
+	}
+	offsets := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		pos := lo + in.rng.Intn(hi-lo)
+		out[pos] ^= 1 << uint(in.rng.Intn(8))
+		offsets = append(offsets, pos)
+	}
+	return out, offsets
+}
+
+// Overwrite returns a copy of data with k bytes at seeded positions in
+// [lo, hi) replaced by seeded random values, plus the offsets written.
+func (in *Injector) Overwrite(data []byte, k, lo, hi int) ([]byte, []int) {
+	out := append([]byte(nil), data...)
+	lo, hi = clampRange(len(out), lo, hi)
+	if hi == lo {
+		return out, nil
+	}
+	offsets := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		pos := lo + in.rng.Intn(hi-lo)
+		out[pos] = byte(in.rng.Intn(256))
+		offsets = append(offsets, pos)
+	}
+	return out, offsets
+}
+
+// DropBytes returns a copy of data with k bytes removed at seeded
+// positions within [lo, hi), plus the offsets (into the original data,
+// descending) that were dropped.
+func (in *Injector) DropBytes(data []byte, k, lo, hi int) ([]byte, []int) {
+	out := append([]byte(nil), data...)
+	lo, hi = clampRange(len(out), lo, hi)
+	var offsets []int
+	for i := 0; i < k && hi > lo; i++ {
+		pos := lo + in.rng.Intn(hi-lo)
+		out = append(out[:pos], out[pos+1:]...)
+		offsets = append(offsets, pos)
+		hi--
+	}
+	return out, offsets
+}
+
+// Truncate returns data cut at a seeded position within [lo, hi).
+func (in *Injector) Truncate(data []byte, lo, hi int) ([]byte, int) {
+	lo, hi = clampRange(len(data), lo, hi)
+	if hi == lo {
+		return append([]byte(nil), data[:lo]...), lo
+	}
+	cut := lo + in.rng.Intn(hi-lo)
+	return append([]byte(nil), data[:cut]...), cut
+}
+
+// ReaderSpec configures a fault Reader. Offsets are byte positions in
+// the underlying stream. The zero spec injects nothing: FlipAt applies
+// only with a non-zero FlipMask, and DropAt/TruncateAt/ErrAt apply only
+// when > 0.
+type ReaderSpec struct {
+	// FlipAt XORs FlipMask into the byte at this offset; FlipMask 0
+	// disables the flip.
+	FlipAt   int64
+	FlipMask byte
+	// DropAt removes the byte at this offset from the stream.
+	DropAt int64
+	// TruncateAt ends the stream (clean EOF) at this offset.
+	TruncateAt int64
+	// ErrAt makes Read return Err (or ErrInjected if nil) once this
+	// offset is reached.
+	ErrAt int64
+	Err   error
+}
+
+// NewReader wraps r with deterministic byte-level faults.
+func NewReader(r io.Reader, spec ReaderSpec) io.Reader {
+	if spec.Err == nil {
+		spec.Err = ErrInjected
+	}
+	return &reader{r: r, spec: spec}
+}
+
+type reader struct {
+	r    io.Reader
+	spec ReaderSpec
+	off  int64 // offset into the underlying (pre-fault) stream
+	drop bool  // DropAt already applied
+}
+
+func (f *reader) Read(p []byte) (int, error) {
+	if f.spec.TruncateAt > 0 && f.off >= f.spec.TruncateAt {
+		return 0, io.EOF
+	}
+	if f.spec.ErrAt > 0 && f.off >= f.spec.ErrAt {
+		return 0, fmt.Errorf("fault: at offset %d: %w", f.off, f.spec.Err)
+	}
+	// Bound the read so fault offsets land inside this chunk's range.
+	limit := int64(len(p))
+	for _, at := range []int64{f.spec.TruncateAt, f.spec.ErrAt} {
+		if at > f.off && at-f.off < limit {
+			limit = at - f.off
+		}
+	}
+	n, err := f.r.Read(p[:limit])
+	if n > 0 {
+		lo, hi := f.off, f.off+int64(n)
+		if at := f.spec.FlipAt; f.spec.FlipMask != 0 && at >= lo && at < hi {
+			p[at-lo] ^= f.spec.FlipMask
+		}
+		if at := f.spec.DropAt; at > 0 && !f.drop && at >= lo && at < hi {
+			copy(p[at-lo:n-1], p[at-lo+1:n])
+			n--
+			f.drop = true
+		}
+		f.off = hi
+	}
+	return n, err
+}

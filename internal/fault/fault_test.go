@@ -1,0 +1,220 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ripple/internal/blockseq"
+	"ripple/internal/program"
+)
+
+func TestInjectorDeterminism(t *testing.T) {
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	a, aoff := NewInjector(42).FlipBits(data, 5, 0, 0)
+	b, boff := NewInjector(42).FlipBits(data, 5, 0, 0)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if len(aoff) != 5 || len(boff) != 5 {
+		t.Fatalf("expected 5 offsets, got %d and %d", len(aoff), len(boff))
+	}
+	for i := range aoff {
+		if aoff[i] != boff[i] {
+			t.Fatalf("offset %d differs: %d vs %d", i, aoff[i], boff[i])
+		}
+	}
+	c, _ := NewInjector(43).FlipBits(data, 5, 0, 0)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical corruption")
+	}
+}
+
+func TestInjectorDoesNotMutateInput(t *testing.T) {
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	orig := append([]byte(nil), data...)
+	in := NewInjector(7)
+	in.FlipBits(data, 3, 0, 0)
+	in.Overwrite(data, 3, 0, 0)
+	in.DropBytes(data, 2, 0, 0)
+	in.Truncate(data, 0, 0)
+	if !bytes.Equal(data, orig) {
+		t.Fatal("injector mutated its input slice")
+	}
+}
+
+func TestInjectorRanges(t *testing.T) {
+	data := make([]byte, 100)
+	out, offsets := NewInjector(1).FlipBits(data, 20, 10, 20)
+	for _, off := range offsets {
+		if off < 10 || off >= 20 {
+			t.Fatalf("flip offset %d outside [10, 20)", off)
+		}
+	}
+	for i, b := range out {
+		if b != 0 && (i < 10 || i >= 20) {
+			t.Fatalf("byte %d corrupted outside range", i)
+		}
+	}
+	short, cut := NewInjector(2).Truncate(data, 30, 60)
+	if cut < 30 || cut >= 60 || len(short) != cut {
+		t.Fatalf("truncate cut=%d len=%d outside [30, 60)", cut, len(short))
+	}
+	dropped, offs := NewInjector(3).DropBytes(data, 4, 0, 0)
+	if len(dropped) != len(data)-4 || len(offs) != 4 {
+		t.Fatalf("drop: len=%d offsets=%d", len(dropped), len(offs))
+	}
+}
+
+func TestReaderFlip(t *testing.T) {
+	src := []byte{0, 1, 2, 3, 4, 5, 6, 7}
+	r := NewReader(bytes.NewReader(src), ReaderSpec{FlipAt: 3, FlipMask: 0x80})
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), src...)
+	want[3] ^= 0x80
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestReaderDropAndTruncate(t *testing.T) {
+	src := []byte{0, 1, 2, 3, 4, 5, 6, 7}
+	got, err := io.ReadAll(NewReader(bytes.NewReader(src), ReaderSpec{DropAt: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0, 1, 3, 4, 5, 6, 7}) {
+		t.Fatalf("drop: got %v", got)
+	}
+	got, err = io.ReadAll(NewReader(bytes.NewReader(src), ReaderSpec{TruncateAt: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src[:5]) {
+		t.Fatalf("truncate: got %v", got)
+	}
+}
+
+func TestReaderErrAt(t *testing.T) {
+	src := make([]byte, 64)
+	r := NewReader(bytes.NewReader(src), ReaderSpec{ErrAt: 10})
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("expected ErrInjected, got %v", err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("read %d bytes before error, want 10", len(got))
+	}
+}
+
+func TestReaderZeroSpecIsIdentity(t *testing.T) {
+	src := []byte{0, 1, 2, 3}
+	got, err := io.ReadAll(NewReader(bytes.NewReader(src), ReaderSpec{}))
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("zero spec altered stream: %v %v", got, err)
+	}
+}
+
+func collect(t *testing.T, seq blockseq.Seq) ([]program.BlockID, error) {
+	t.Helper()
+	var out []program.BlockID
+	for {
+		id, ok := seq.Next()
+		if !ok {
+			return out, seq.Err()
+		}
+		out = append(out, id)
+	}
+}
+
+func TestSourcePassSelection(t *testing.T) {
+	blocks := []program.BlockID{1, 2, 3, 4, 5}
+	src := NewSource(blockseq.SliceSource(blocks), SourceFaults{Pass: 2, AfterNext: 3})
+
+	got, err := collect(t, src.Open())
+	if err != nil || len(got) != 5 {
+		t.Fatalf("pass 1 should be clean: %v %v", got, err)
+	}
+	got, err = collect(t, src.Open())
+	if !errors.Is(err, ErrInjected) || len(got) != 3 {
+		t.Fatalf("pass 2 should fail after 3 blocks: got %d blocks, err %v", len(got), err)
+	}
+	got, err = collect(t, src.Open())
+	if err != nil || len(got) != 5 {
+		t.Fatalf("pass 3 should replay clean: %v %v", got, err)
+	}
+}
+
+func TestSourceOpenErr(t *testing.T) {
+	want := errors.New("boom")
+	src := NewSource(blockseq.SliceSource([]program.BlockID{1, 2}), SourceFaults{Pass: 1, OpenErr: true, Err: want})
+	got, err := collect(t, src.Open())
+	if !errors.Is(err, want) || len(got) != 0 {
+		t.Fatalf("open fault: got %d blocks, err %v", len(got), err)
+	}
+	if _, err := collect(t, src.Open()); err != nil {
+		t.Fatalf("pass 2 should be clean: %v", err)
+	}
+}
+
+func TestCorruptFileDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	data := make([]byte, 128)
+	write := func(name string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := write("a"), write("b")
+	offA, err := CorruptFile(a, 99, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offB, err := CorruptFile(b, 99, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if !bytes.Equal(da, db) {
+		t.Fatal("same seed corrupted files differently")
+	}
+	if bytes.Equal(da, data) {
+		t.Fatal("corruption did not change the file")
+	}
+	for i := range offA {
+		if offA[i] != offB[i] {
+			t.Fatal("offsets differ between identical runs")
+		}
+	}
+}
+
+func TestTruncateAndScribble(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "f")
+	if err := os.WriteFile(p, make([]byte, 100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := TruncateFile(p, 0.25)
+	if err != nil || n != 25 {
+		t.Fatalf("truncate: n=%d err=%v", n, err)
+	}
+	if err := ScribbleJSON(p); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(p)
+	if len(data) == 0 {
+		t.Fatal("scribble left an empty file")
+	}
+}

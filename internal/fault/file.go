@@ -1,0 +1,50 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+)
+
+// CorruptFile flips k seeded bits of the file in place, returning the
+// byte offsets flipped. Used to damage result-store entries and encoded
+// traces on disk deterministically.
+func CorruptFile(path string, seed uint64, k int) ([]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("fault: %s is empty, nothing to corrupt", path)
+	}
+	out, offsets := NewInjector(seed).FlipBits(data, k, 0, 0)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return nil, err
+	}
+	return offsets, nil
+}
+
+// TruncateFile cuts the file to frac of its length (a partial write),
+// returning the new length. frac is clamped to [0, 1].
+func TruncateFile(path string, frac float64) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int64(float64(fi.Size()) * frac)
+	if err := os.Truncate(path, n); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// ScribbleJSON overwrites the file with bytes that are not valid JSON,
+// simulating a torn or garbage store entry.
+func ScribbleJSON(path string) error {
+	return os.WriteFile(path, []byte("{\"v\":1,"), 0o644)
+}

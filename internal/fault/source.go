@@ -1,0 +1,99 @@
+package fault
+
+import (
+	"sync"
+
+	"ripple/internal/blockseq"
+	"ripple/internal/program"
+)
+
+// SourceFaults configures a fault Source. The zero value injects
+// nothing.
+type SourceFaults struct {
+	// Pass selects which Open (1-based) the faults apply to; 0 means
+	// every pass.
+	Pass int
+	// OpenErr makes the selected pass fail immediately: its Seq yields
+	// no blocks and reports Err from the first Next on.
+	OpenErr bool
+	// AfterNext injects the error after this many successful Next calls
+	// of the selected pass (so the pass yields exactly AfterNext blocks,
+	// then fails). 0 with OpenErr false injects nothing.
+	AfterNext int
+	// Err is the injected error; nil means ErrInjected.
+	Err error
+}
+
+// NewSource wraps src so that selected passes fail deterministically,
+// per f. Passes that are not selected — including fresh Opens after a
+// faulted pass — delegate to src untouched, which is exactly the
+// contract robust consumers rely on: an injected error must not poison
+// later replays.
+func NewSource(src blockseq.Source, f SourceFaults) blockseq.Source {
+	if f.Err == nil {
+		f.Err = ErrInjected
+	}
+	return &source{src: src, f: f}
+}
+
+type source struct {
+	src blockseq.Source
+	f   SourceFaults
+
+	mu     sync.Mutex
+	passes int
+}
+
+func (s *source) Open() blockseq.Seq {
+	s.mu.Lock()
+	s.passes++
+	pass := s.passes
+	s.mu.Unlock()
+	if s.f.Pass != 0 && pass != s.f.Pass {
+		return s.src.Open()
+	}
+	if s.f.OpenErr {
+		return &failSeq{err: s.f.Err}
+	}
+	if s.f.AfterNext <= 0 {
+		return s.src.Open()
+	}
+	return &faultSeq{seq: s.src.Open(), left: s.f.AfterNext, inject: s.f.Err}
+}
+
+// LenHint is never exact in the presence of injected faults, so no hint
+// is given.
+func (s *source) LenHint() (int, bool) { return 0, false }
+
+// failSeq is a pass that failed at Open.
+type failSeq struct{ err error }
+
+func (s *failSeq) Next() (program.BlockID, bool) { return 0, false }
+func (s *failSeq) Err() error                    { return s.err }
+
+// faultSeq yields `left` blocks from the wrapped pass, then fails.
+type faultSeq struct {
+	seq    blockseq.Seq
+	left   int
+	inject error
+	err    error
+}
+
+func (s *faultSeq) Next() (program.BlockID, bool) {
+	if s.err != nil {
+		return 0, false
+	}
+	if s.left == 0 {
+		s.err = s.inject
+		return 0, false
+	}
+	id, ok := s.seq.Next()
+	if !ok {
+		s.err = s.seq.Err()
+		return 0, false
+	}
+	s.left--
+	return id, true
+}
+
+func (s *faultSeq) Err() error { return s.err }

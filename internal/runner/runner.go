@@ -47,6 +47,11 @@ type Job struct {
 	// with no stable content identity — so the store is not polluted
 	// with entries no later run can ever hit.
 	SkipStore bool
+	// Timeout bounds one execution attempt: the job body's context is
+	// canceled after this long, and the resulting deadline error counts
+	// as transient (retried when the pool allows retries). <= 0 means no
+	// per-job bound.
+	Timeout time.Duration
 
 	run    func(context.Context) (any, error)
 	decode func([]byte) (any, error)
@@ -91,6 +96,13 @@ type Options struct {
 	Store *Store
 	// Log receives progress lines (nil silences them).
 	Log io.Writer
+	// Retries bounds re-executions of a job attempt whose error is
+	// Transient; 0 disables retry.
+	Retries int
+	// RetryBackoff is the base delay before the first retry, doubled per
+	// attempt with signature-seeded jitter (see RetryDelay); <= 0
+	// defaults to 10ms.
+	RetryBackoff time.Duration
 }
 
 // Stats summarizes what a pool has done so far.
@@ -104,6 +116,14 @@ type Stats struct {
 	MemHits int64
 	// Errors counts failed job executions (including panics).
 	Errors int64
+	// Retries counts re-executions after transient errors.
+	Retries int64
+	// Quarantined counts damaged store entries moved aside (see
+	// Store.Quarantine) instead of being silently re-missed every run.
+	Quarantined int64
+	// Recovered counts quarantined entries that were recomputed and
+	// rewritten, making the next warm run hit again.
+	Recovered int64
 	// ComputeTime is the summed wall time of executed jobs.
 	ComputeTime time.Duration
 }
@@ -120,6 +140,8 @@ type Pool struct {
 	workers int
 	store   *Store
 	log     *syncWriter
+	retries int
+	backoff time.Duration
 	// sem is the pool-wide worker budget: every spawned worker goroutine
 	// (RunAll batches and Groups alike) holds one slot while it runs, so
 	// nested fan-out shares the budget instead of multiplying it.
@@ -132,6 +154,9 @@ type Pool struct {
 	storeHits   atomic.Int64
 	memHits     atomic.Int64
 	errs        atomic.Int64
+	retried     atomic.Int64
+	quarantined atomic.Int64
+	recovered   atomic.Int64
 	computeTime atomic.Int64 // nanoseconds
 }
 
@@ -141,10 +166,16 @@ func New(opts Options) *Pool {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
 	return &Pool{
 		workers: w,
 		store:   opts.Store,
 		log:     &syncWriter{w: opts.Log},
+		retries: opts.Retries,
+		backoff: backoff,
 		sem:     make(chan struct{}, w),
 		calls:   make(map[string]*call),
 	}
@@ -167,6 +198,9 @@ func (p *Pool) Stats() Stats {
 		StoreHits:   p.storeHits.Load(),
 		MemHits:     p.memHits.Load(),
 		Errors:      p.errs.Load(),
+		Retries:     p.retried.Load(),
+		Quarantined: p.quarantined.Load(),
+		Recovered:   p.recovered.Load(),
 		ComputeTime: time.Duration(p.computeTime.Load()),
 	}
 }
@@ -219,17 +253,29 @@ func (p *Pool) compute(ctx context.Context, j Job) (any, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
+	healing := false // a damaged entry was quarantined; Put will heal it
 	if p.store != nil && j.decode != nil && !j.SkipStore {
-		if raw, ok := p.store.Get(j.Sig); ok {
+		raw, st := p.store.Lookup(j.Sig)
+		switch st {
+		case StatusHit:
 			if v, err := j.decode(raw); err == nil {
 				p.storeHits.Add(1)
 				return v, false, nil
 			}
-			// Undecodable payload (schema drift): recompute and overwrite.
+			// Valid entry framing but an undecodable payload (schema
+			// drift): quarantine it like any other corruption.
+			p.store.Quarantine(j.Sig)
+			p.quarantined.Add(1)
+			healing = true
+			p.logf("[runner] quarantined undecodable store entry for %s (recomputing)", j.label())
+		case StatusCorrupt:
+			p.quarantined.Add(1)
+			healing = true
+			p.logf("[runner] quarantined corrupt store entry for %s (recomputing)", j.label())
 		}
 	}
 	t0 := time.Now()
-	v, err := runSafe(ctx, j)
+	v, err := p.runWithRetry(ctx, j)
 	d := time.Since(t0)
 	if err != nil {
 		p.errs.Add(1)
@@ -240,20 +286,94 @@ func (p *Pool) compute(ctx context.Context, j Job) (any, bool, error) {
 	if p.store != nil && !j.SkipStore {
 		if perr := p.store.Put(j.Sig, v); perr != nil {
 			p.logf("[runner] warning: persisting %s: %v", j.label(), perr)
+		} else if healing {
+			p.recovered.Add(1)
 		}
 	}
 	return v, true, nil
 }
 
-// runSafe executes the job body, converting a panic into an error so one
-// bad job cannot take down a whole suite run.
+// runWithRetry executes the job with the pool's bounded retry policy:
+// attempts whose error is Transient are re-run up to Options.Retries
+// times, sleeping a deterministic signature-seeded exponential backoff
+// (RetryDelay) between attempts. Non-transient errors, success, context
+// cancellation, and retry exhaustion all end the loop.
+func (p *Pool) runWithRetry(ctx context.Context, j Job) (any, error) {
+	for attempt := 0; ; attempt++ {
+		v, err := runSafe(ctx, j)
+		if err == nil || !Transient(err) || attempt >= p.retries || ctx.Err() != nil {
+			return v, err
+		}
+		p.retried.Add(1)
+		delay := RetryDelay(p.backoff, j.Sig, attempt+1)
+		p.logf("[runner] retry %d/%d for %s in %v after transient error: %v",
+			attempt+1, p.retries, j.label(), delay.Round(time.Millisecond), err)
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// runSafe executes one job attempt, applying the job's per-attempt
+// timeout and converting a panic into an error so one bad job cannot
+// take down a whole suite run.
 func runSafe(ctx context.Context, j Job) (v any, err error) {
+	if j.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.Timeout)
+		defer cancel()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("runner: job %s panicked: %v\n%s", j.label(), r, debug.Stack())
 		}
 	}()
 	return j.run(ctx)
+}
+
+// ErrTransient is the sentinel for errors worth retrying: wrap it (or
+// implement `Transient() bool`) to opt a failure into the pool's retry
+// policy.
+var ErrTransient = errors.New("runner: transient error")
+
+// Transient classifies an error as retry-worthy: it wraps ErrTransient,
+// implements `Transient() bool` returning true, or is a deadline
+// expiry (a per-job Timeout firing). Context cancellation is never
+// transient — the caller asked to stop.
+func Transient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, ErrTransient) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// RetryDelay returns the deterministic backoff before retry `attempt`
+// (1-based) of the job with signature sig: base doubled per attempt,
+// scaled by a jitter factor in [0.5, 1.5) seeded from the signature and
+// attempt number — so a given job's retry schedule replays identically
+// across runs and machines while distinct jobs spread out.
+func RetryDelay(base time.Duration, sig string, attempt int) time.Duration {
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 20 {
+		shift = 20 // cap: beyond base<<20 the jitter range is already hours
+	}
+	d := base << uint(shift)
+	jitter := 0.5 + float64(Seed(fmt.Sprintf("%s|retry=%d", sig, attempt))%(1<<20))/float64(1<<21)
+	return time.Duration(float64(d) * jitter)
 }
 
 func (j Job) label() string {

@@ -19,10 +19,26 @@ const storeVersion = 1
 // file reads as a miss rather than a wrong result. Writes go through a
 // temp file + rename, so concurrent writers and readers — including
 // separate processes sharing one cache directory — never observe a
-// partial entry. Corrupt or stale files are deleted and recomputed.
+// partial entry. Corrupt or stale files are quarantined (moved to
+// <dir>/quarantine/ for post-mortem inspection) and recomputed.
 type Store struct {
 	dir string
 }
+
+// Status classifies a store lookup.
+type Status int
+
+const (
+	// StatusMiss: no entry exists for the signature.
+	StatusMiss Status = iota
+	// StatusHit: a valid entry was found and returned.
+	StatusHit
+	// StatusCorrupt: an entry existed but was unreadable, torn, version-
+	// mismatched, or signature-mismatched; it has been quarantined so it
+	// cannot shadow the recomputed result, and the damaged bytes remain
+	// inspectable under QuarantineDir.
+	StatusCorrupt
+)
 
 // OpenStore opens (creating if needed) a store rooted at dir.
 func OpenStore(dir string) (*Store, error) {
@@ -56,21 +72,70 @@ type entry struct {
 }
 
 // Get returns the raw JSON payload stored for sig, or ok=false on any
-// miss — absent, unreadable, corrupt, version-mismatched, or
-// signature-mismatched files all read as misses (invalid files are
-// removed so they cannot shadow a future write).
+// non-hit. Compatibility wrapper over Lookup for callers that do not
+// distinguish a miss from quarantined corruption.
 func (s *Store) Get(sig string) (raw []byte, ok bool) {
+	raw, st := s.Lookup(sig)
+	return raw, st == StatusHit
+}
+
+// Lookup returns the raw JSON payload stored for sig and the lookup's
+// classification. A damaged entry — unreadable, torn JSON, version or
+// signature mismatch, empty payload — is quarantined as a side effect
+// and reported as StatusCorrupt, so callers can count and recompute it
+// exactly once instead of silently re-missing on every run.
+func (s *Store) Lookup(sig string) (raw []byte, st Status) {
 	path := s.path(sig)
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, false
+		if os.IsNotExist(err) {
+			return nil, StatusMiss
+		}
+		s.quarantineFile(path)
+		return nil, StatusCorrupt
 	}
 	var e entry
 	if json.Unmarshal(data, &e) != nil || e.Version != storeVersion || e.Sig != sig || len(e.Result) == 0 {
-		os.Remove(path)
-		return nil, false
+		s.quarantineFile(path)
+		return nil, StatusCorrupt
 	}
-	return e.Result, true
+	return e.Result, StatusHit
+}
+
+// QuarantineDir returns the directory damaged entries are moved to. It
+// lives inside the store root; entry lookups address files by exact
+// content hash, so the extra directory never collides with entries.
+func (s *Store) QuarantineDir() string {
+	return filepath.Join(s.dir, "quarantine")
+}
+
+// Quarantine moves sig's entry file (whatever its state) into
+// QuarantineDir and returns the quarantined path. Quarantining a
+// missing entry is an error.
+func (s *Store) Quarantine(sig string) (string, error) {
+	path := s.path(sig)
+	if _, err := os.Stat(path); err != nil {
+		return "", fmt.Errorf("runner: quarantine %s: %w", Key(sig), err)
+	}
+	dst := filepath.Join(s.QuarantineDir(), filepath.Base(path))
+	if err := os.MkdirAll(s.QuarantineDir(), 0o755); err != nil {
+		return "", fmt.Errorf("runner: quarantine: %w", err)
+	}
+	if err := os.Rename(path, dst); err != nil {
+		return "", fmt.Errorf("runner: quarantine: %w", err)
+	}
+	return dst, nil
+}
+
+// quarantineFile moves a damaged entry aside, falling back to removal
+// when the move fails (either way it stops shadowing the next Put).
+func (s *Store) quarantineFile(path string) {
+	if err := os.MkdirAll(s.QuarantineDir(), 0o755); err == nil {
+		if os.Rename(path, filepath.Join(s.QuarantineDir(), filepath.Base(path))) == nil {
+			return
+		}
+	}
+	os.Remove(path)
 }
 
 // Put stores v (JSON-encoded) under sig, atomically replacing any

@@ -10,13 +10,69 @@ import (
 	"ripple/internal/program"
 )
 
+// DamageRegion records one span of a damaged stream that a recovery-mode
+// decode skipped.
+type DamageRegion struct {
+	// Offset is the stream byte offset at which the decode error was
+	// detected.
+	Offset int64
+	// Resume is the byte offset just past the PSB sync point decoding
+	// resumed at, or -1 when the stream ended before another sync point
+	// was found.
+	Resume int64
+	// Reason is the packet error that invalidated the region.
+	Reason string
+}
+
+// DecodeReport accounts a recovery-mode decode: how much of the declared
+// trace survived and where damage was skipped. It is also populated (with
+// no regions) by a clean strict decode.
+type DecodeReport struct {
+	// Declared is the block count the stream header promises.
+	Declared uint64
+	// Decoded counts the blocks actually emitted; never exceeds Declared.
+	Decoded uint64
+	// Regions lists the damaged spans skipped, in stream order.
+	Regions []DamageRegion `json:",omitempty"`
+}
+
+// BlocksLost returns how many declared blocks the decode did not emit.
+func (r DecodeReport) BlocksLost() uint64 {
+	if r.Decoded >= r.Declared {
+		return 0
+	}
+	return r.Declared - r.Decoded
+}
+
+// Coverage returns the decoded fraction of the declared trace, in [0, 1].
+func (r DecodeReport) Coverage() float64 {
+	if r.Declared == 0 {
+		return 1
+	}
+	return float64(r.Decoded) / float64(r.Declared)
+}
+
+// Damaged reports whether any region of the stream was skipped.
+func (r DecodeReport) Damaged() bool { return len(r.Regions) > 0 }
+
 // Decoder reconstructs a basic-block execution sequence from a packet
 // stream by walking the program's CFG, consuming TNT bits at conditional
 // branches (and compressed returns) and TIP packets at indirect transfers,
 // exactly like a PT software decoder walks the binary alongside the trace.
+//
+// In strict mode (NewDecoder) any malformed packet is a terminal error.
+// In recovery mode (NewRecoveringDecoder) a malformed packet instead
+// skips forward to the next PSB sync point (see Encoder.SyncEvery),
+// resets the decode state there, and resumes; the damage is accounted in
+// the DecodeReport. Every error carries the stream byte offset and the
+// packet kind being read.
 type Decoder struct {
 	r    *bufio.Reader
 	prog *program.Program
+	// rec selects recovery mode; off is the count of stream bytes
+	// consumed so far (the offset reported in errors and regions).
+	rec bool
+	off int64
 
 	// remaining counts the blocks left to emit, from the stream header;
 	// declared is the header's total (for error reporting).
@@ -31,61 +87,111 @@ type Decoder struct {
 	cur    program.BlockID
 	done   bool
 	err    error
+	report DecodeReport
 }
 
 // NewDecoder opens a packet stream produced by an Encoder over the same
-// (identically laid out) program.
+// (identically laid out) program, in strict (fail-fast) mode.
 func NewDecoder(r io.Reader, prog *program.Program) (*Decoder, error) {
+	return newDecoder(r, prog, false)
+}
+
+// NewRecoveringDecoder opens a packet stream in recovery mode: packet
+// errors skip forward to the next PSB sync point instead of aborting.
+// The header itself must still be readable — without it there is no
+// block count to bound the decode.
+func NewRecoveringDecoder(r io.Reader, prog *program.Program) (*Decoder, error) {
+	return newDecoder(r, prog, true)
+}
+
+func newDecoder(r io.Reader, prog *program.Program, rec bool) (*Decoder, error) {
 	d := &Decoder{
 		r:    bufio.NewReaderSize(r, 1<<16),
 		prog: prog,
+		rec:  rec,
 		cur:  program.NoBlock,
 	}
-	b, err := d.r.ReadByte()
+	b, err := d.readByte()
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading stream header: %w", err)
+		return nil, d.errAt("PSB", "reading stream header: %v", err)
 	}
 	if b != pktPSB {
-		return nil, fmt.Errorf("trace: stream does not start with PSB (got %#x)", b)
+		return nil, d.errAt("PSB", "stream does not start with PSB (got %#x)", b)
 	}
-	d.remaining, err = binary.ReadUvarint(d.r)
+	d.remaining, err = binary.ReadUvarint(countingByteReader{d})
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading block count: %w", err)
+		return nil, d.errAt("PSB", "reading block count: %v", err)
 	}
 	d.declared = d.remaining
+	d.report.Declared = d.declared
 	return d, nil
 }
 
 // Declared returns the block count the stream header promises.
 func (d *Decoder) Declared() uint64 { return d.declared }
 
-// readPacketByte reads one raw byte, converting EOF into a framing error
-// (a well-formed stream always ends with an END packet).
-func (d *Decoder) readPacketByte() (byte, error) {
+// Report returns a snapshot of the decode accounting. It is complete
+// once Next has returned io.EOF (recovery mode) or the decode has
+// otherwise ended.
+func (d *Decoder) Report() DecodeReport {
+	rep := d.report
+	rep.Regions = append([]DamageRegion(nil), d.report.Regions...)
+	return rep
+}
+
+// errAt builds a decode error tagged with the current stream byte offset
+// (the position just past the last byte consumed) and the packet kind
+// being processed.
+func (d *Decoder) errAt(kind, format string, args ...any) error {
+	prefix := fmt.Sprintf("trace: offset %d (%s): ", d.off, kind)
+	return fmt.Errorf(prefix+format, args...)
+}
+
+// readByte reads one raw byte, tracking the stream offset.
+func (d *Decoder) readByte() (byte, error) {
 	b, err := d.r.ReadByte()
-	if err == io.EOF {
-		return 0, fmt.Errorf("trace: truncated stream")
+	if err == nil {
+		d.off++
 	}
 	return b, err
+}
+
+// countingByteReader adapts the decoder's counted reads to io.ByteReader
+// (for binary.ReadUvarint).
+type countingByteReader struct{ d *Decoder }
+
+func (c countingByteReader) ReadByte() (byte, error) { return c.d.readByte() }
+
+// readPacketByte reads one byte of the named packet, converting EOF into
+// a framing error (a well-formed stream always ends with an END packet).
+func (d *Decoder) readPacketByte(kind string) (byte, error) {
+	b, err := d.readByte()
+	if err == io.EOF {
+		return 0, d.errAt(kind, "truncated stream")
+	}
+	if err != nil {
+		return 0, d.errAt(kind, "read failed: %v", err)
+	}
+	return b, nil
 }
 
 // nextBit consumes one TNT bit, reading the next TNT packet if the buffer
 // is drained.
 func (d *Decoder) nextBit() (bool, error) {
 	if d.nbits == 0 {
-		if err := d.expect(pktTNT); err != nil {
+		if err := d.expect(pktTNT, "TNT"); err != nil {
 			return false, err
 		}
-		n, err := d.readPacketByte()
+		n, err := d.readPacketByte("TNT")
 		if err != nil {
 			return false, err
 		}
 		if n == 0 || int(n) > maxTNTBits {
-			return false, fmt.Errorf("trace: TNT packet with %d bits", n)
+			return false, d.errAt("TNT", "packet with %d bits", n)
 		}
 		d.bits = 0
 		for i := 0; i < int(n); i += 8 {
-			by, err := d.readPacketByte()
+			by, err := d.readPacketByte("TNT")
 			if err != nil {
 				return false, err
 			}
@@ -101,8 +207,8 @@ func (d *Decoder) nextBit() (bool, error) {
 
 // expect consumes the next packet header byte and checks its type. END is
 // surfaced as io.EOF to the caller.
-func (d *Decoder) expect(kind byte) error {
-	b, err := d.readPacketByte()
+func (d *Decoder) expect(kind byte, name string) error {
+	b, err := d.readPacketByte(name)
 	if err != nil {
 		return err
 	}
@@ -110,7 +216,7 @@ func (d *Decoder) expect(kind byte) error {
 		return io.EOF
 	}
 	if b != kind {
-		return fmt.Errorf("trace: expected packet %#x, got %#x", kind, b)
+		return d.errAt(name, "expected packet %#x, got %#x", kind, b)
 	}
 	return nil
 }
@@ -119,21 +225,21 @@ func (d *Decoder) expect(kind byte) error {
 // decompressed address.
 func (d *Decoder) nextTIP() (program.BlockID, error) {
 	if d.nbits != 0 {
-		return program.NoBlock, fmt.Errorf("trace: TIP needed with %d TNT bits pending", d.nbits)
+		return program.NoBlock, d.errAt("TIP", "TIP needed with %d TNT bits pending", d.nbits)
 	}
-	if err := d.expect(pktTIP); err != nil {
+	if err := d.expect(pktTIP, "TIP"); err != nil {
 		return program.NoBlock, err
 	}
-	n, err := d.readPacketByte()
+	n, err := d.readPacketByte("TIP")
 	if err != nil {
 		return program.NoBlock, err
 	}
 	if n > 8 {
-		return program.NoBlock, fmt.Errorf("trace: TIP with %d delta bytes", n)
+		return program.NoBlock, d.errAt("TIP", "packet with %d delta bytes", n)
 	}
 	var delta uint64
 	for i := 0; i < int(n); i++ {
-		by, err := d.readPacketByte()
+		by, err := d.readPacketByte("TIP")
 		if err != nil {
 			return program.NoBlock, err
 		}
@@ -142,65 +248,206 @@ func (d *Decoder) nextTIP() (program.BlockID, error) {
 	d.lastIP ^= delta
 	id, ok := d.prog.BlockAtEntry(d.lastIP)
 	if !ok {
-		return program.NoBlock, fmt.Errorf("trace: TIP target %#x is not a block entry", d.lastIP)
+		return program.NoBlock, d.errAt("TIP", "target %#x is not a block entry", d.lastIP)
 	}
 	return id, nil
 }
 
 // Next returns the next executed block, or io.EOF at the end of the
-// stream. The header's block count is enforced in both directions: a
-// stream whose packets run out (or hit an early END) before the declared
-// count is an error, not a silently shortened trace, and a completed
-// stream must close with exactly an END packet.
+// stream. In strict mode the header's block count is enforced in both
+// directions: a stream whose packets run out (or hit an early END)
+// before the declared count is an error, not a silently shortened trace,
+// and a completed stream must close with exactly an END packet. In
+// recovery mode those conditions (and any packet error) end or resync
+// the decode instead, and are accounted in the Report.
 func (d *Decoder) Next() (program.BlockID, error) {
 	if d.err != nil {
 		return program.NoBlock, d.err
 	}
-	if d.done {
-		return program.NoBlock, io.EOF
-	}
-	if d.remaining == 0 {
-		d.done = true
-		if err := d.finish(); err != nil {
+	for !d.done {
+		if d.remaining == 0 {
+			d.done = true
+			if err := d.finish(); err != nil {
+				if d.rec {
+					d.addRegion(err, -1)
+					break
+				}
+				d.err = err
+				return program.NoBlock, err
+			}
+			break
+		}
+		id, err := d.step()
+		if err == nil {
+			d.cur = id
+			d.remaining--
+			d.report.Decoded++
+			return id, nil
+		}
+		if err == io.EOF { // END packet before the declared count
+			err = d.errAt("END", "stream ended with %d of %d declared blocks missing", d.remaining, d.declared)
+			if d.rec {
+				// The encoder finished the stream: nothing follows an END
+				// packet, so there is no sync point to scan for. When
+				// earlier damage already accounts for the shortfall the
+				// end is expected; otherwise record the short stream
+				// itself as the damage.
+				d.done = true
+				if len(d.report.Regions) == 0 {
+					d.addRegion(err, -1)
+				}
+				break
+			}
 			d.err = err
 			return program.NoBlock, err
 		}
-		return program.NoBlock, io.EOF
-	}
-	id, err := d.step()
-	if err != nil {
-		if err == io.EOF {
-			err = fmt.Errorf("trace: stream ended with %d of %d declared blocks missing", d.remaining, d.declared)
+		if !d.rec {
+			d.err = err
+			return program.NoBlock, err
 		}
-		d.err = err
-		return program.NoBlock, err
+		if !d.resync(err) {
+			d.done = true
+		}
 	}
-	d.cur = id
-	d.remaining--
-	return id, nil
+	return program.NoBlock, io.EOF
 }
 
 // finish validates the end of a fully decoded stream: no TNT bits may be
 // left over and the next packet must be END.
 func (d *Decoder) finish() error {
 	if d.nbits != 0 {
-		return fmt.Errorf("trace: %d unconsumed TNT bits at end of stream", d.nbits)
+		return d.errAt("END", "%d unconsumed TNT bits at end of stream", d.nbits)
 	}
-	b, err := d.readPacketByte()
+	b, err := d.readPacketByte("END")
 	if err != nil {
 		return err
 	}
 	if b != pktEnd {
-		return fmt.Errorf("trace: expected END packet at end of stream, got %#x", b)
+		return d.errAt("END", "expected END packet at end of stream, got %#x", b)
+	}
+	return nil
+}
+
+// addRegion records one damaged span.
+func (d *Decoder) addRegion(cause error, resume int64) {
+	d.report.Regions = append(d.report.Regions, DamageRegion{
+		Offset: d.off,
+		Resume: resume,
+		Reason: cause.Error(),
+	})
+}
+
+// resetState clears everything a PSB re-establishes: the TNT buffer,
+// last-IP compression, the return-compression stack, and the current
+// block (the next block comes from a full-IP TIP).
+func (d *Decoder) resetState() {
+	d.bits, d.nbits = 0, 0
+	d.lastIP = 0
+	d.stack = d.stack[:0]
+	d.cur = program.NoBlock
+}
+
+// resync records a damaged region, scans forward to the next PSB sync
+// point, and resets the decode state there. It reports false when the
+// stream ends before another sync point is found. Every iteration
+// consumes at least one byte, so recovery always terminates.
+func (d *Decoder) resync(cause error) bool {
+	reg := DamageRegion{Offset: d.off, Resume: -1, Reason: cause.Error()}
+	for {
+		buf, _ := d.r.Peek(len(psbMagic))
+		if len(buf) < len(psbMagic) {
+			n, _ := d.r.Discard(len(buf))
+			d.off += int64(n)
+			d.report.Regions = append(d.report.Regions, reg)
+			return false
+		}
+		if matchMagic(buf) {
+			n, _ := d.r.Discard(len(psbMagic))
+			d.off += int64(n)
+			d.resetState()
+			reg.Resume = d.off
+			d.report.Regions = append(d.report.Regions, reg)
+			return true
+		}
+		if _, err := d.r.Discard(1); err != nil {
+			d.report.Regions = append(d.report.Regions, reg)
+			return false
+		}
+		d.off++
+	}
+}
+
+func matchMagic(buf []byte) bool {
+	for i, b := range psbMagic {
+		if buf[i] != b {
+			return false
+		}
+	}
+	return true
+}
+
+// peekSync reports whether the reader is positioned at a mid-stream PSB
+// sync point. Sync points are only valid between TNT packets (the
+// encoder flushes before emitting one), so callers check nbits == 0
+// first.
+func (d *Decoder) peekSync() bool {
+	buf, _ := d.r.Peek(len(psbMagic))
+	return len(buf) == len(psbMagic) && matchMagic(buf)
+}
+
+// stepSync consumes a sync point: the PSB magic, a full decode-state
+// reset, and the full-IP TIP that re-establishes the walk. For a
+// conditional branch the TIP target is validated against the two static
+// successors, so a sync point cannot silently teleport the walk;
+// indirect transfers and returns accept any block entry, as the walk
+// itself does.
+func (d *Decoder) stepSync() (program.BlockID, error) {
+	prev := d.cur
+	n, err := d.r.Discard(len(psbMagic))
+	d.off += int64(n)
+	if err != nil {
+		return program.NoBlock, d.errAt("PSB", "truncated sync point: %v", err)
+	}
+	d.resetState()
+	id, err := d.nextTIP()
+	if err != nil {
+		return program.NoBlock, err
+	}
+	if prev != program.NoBlock {
+		if err := d.checkSyncSuccessor(prev, id); err != nil {
+			return program.NoBlock, err
+		}
+	}
+	return id, nil
+}
+
+// checkSyncSuccessor validates that the block a sync TIP re-established
+// can actually follow prev in the CFG. Only conditional branches need
+// the check: sync points sit only at packet-producing transitions (see
+// syncableTerm), and the indirect ones accept any block entry.
+func (d *Decoder) checkSyncSuccessor(prev, next program.BlockID) error {
+	b := d.prog.Block(prev)
+	if b.Term == isa.TermCondBranch && next != b.TakenTarget && next != b.FallThrough {
+		return d.errAt("PSB", "sync TIP target (block %d) does not follow block %d in the CFG", next, prev)
 	}
 	return nil
 }
 
 func (d *Decoder) step() (program.BlockID, error) {
 	if d.cur == program.NoBlock {
+		if d.nbits == 0 && d.peekSync() {
+			return d.stepSync()
+		}
 		return d.nextTIP()
 	}
 	b := d.prog.Block(d.cur)
+	// A sync point can only sit where this step performs a packet read:
+	// at a packet-producing transition with no buffered TNT bits. At any
+	// other step a magic at the read position belongs to a later step
+	// and must not be consumed yet.
+	if d.nbits == 0 && syncableTerm(b.Term) && d.peekSync() {
+		return d.stepSync()
+	}
 	switch b.Term {
 	case isa.TermFallthrough:
 		return b.FallThrough, nil
@@ -235,7 +482,7 @@ func (d *Decoder) step() (program.BlockID, error) {
 		if compressed {
 			n := len(d.stack)
 			if n == 0 {
-				return program.NoBlock, fmt.Errorf("trace: compressed ret with empty call stack")
+				return program.NoBlock, d.errAt("TNT", "compressed ret with empty call stack")
 			}
 			t := d.stack[n-1]
 			d.stack = d.stack[:n-1]
@@ -244,11 +491,11 @@ func (d *Decoder) step() (program.BlockID, error) {
 		d.stack = d.stack[:0]
 		return d.nextTIP()
 	default:
-		return program.NoBlock, fmt.Errorf("trace: block %d has invalid terminator %v", d.cur, b.Term)
+		return program.NoBlock, d.errAt("walk", "block %d has invalid terminator %v", d.cur, b.Term)
 	}
 }
 
-// Decode reads a whole stream into a block sequence.
+// Decode reads a whole stream into a block sequence, strictly.
 func Decode(r io.Reader, prog *program.Program) ([]program.BlockID, error) {
 	d, err := NewDecoder(r, prog)
 	if err != nil {
@@ -262,6 +509,29 @@ func Decode(r io.Reader, prog *program.Program) ([]program.BlockID, error) {
 		}
 		if err != nil {
 			return nil, err
+		}
+		out = append(out, id)
+	}
+}
+
+// DecodeRecover reads a whole stream in recovery mode: packet errors
+// skip forward to the next PSB sync point instead of aborting, and the
+// report accounts what was decoded, what was lost, and where. The
+// returned error is non-nil only for unusable inputs (an unreadable
+// header); damage in the packet body never fails the call.
+func DecodeRecover(r io.Reader, prog *program.Program) ([]program.BlockID, DecodeReport, error) {
+	d, err := NewRecoveringDecoder(r, prog)
+	if err != nil {
+		return nil, DecodeReport{}, err
+	}
+	var out []program.BlockID
+	for {
+		id, err := d.Next()
+		if err == io.EOF {
+			return out, d.Report(), nil
+		}
+		if err != nil { // unreachable in recovery mode; defensive
+			return out, d.Report(), err
 		}
 		out = append(out, id)
 	}

@@ -2,7 +2,10 @@ package trace
 
 import (
 	"bytes"
+	"strings"
 	"testing"
+
+	"ripple/internal/blockseq"
 )
 
 import wl "ripple/internal/workload"
@@ -47,6 +50,11 @@ func FuzzDecode(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Decode(bytes.NewReader(data), app.Prog)
 		if err != nil {
+			// Satellite invariant: every rejection names the stream byte
+			// offset and the packet kind it was reading.
+			if !strings.Contains(err.Error(), "offset") {
+				t.Fatalf("decode error lacks byte offset: %v", err)
+			}
 			return
 		}
 		if len(got) > 1<<22 {
@@ -74,6 +82,89 @@ func FuzzDecode(f *testing.F) {
 		}
 		if !bytes.Equal(first.Bytes(), second.Bytes()) {
 			t.Fatal("encode is not a fixed point on its own decode")
+		}
+	})
+}
+
+// FuzzDecodeRecover feeds arbitrary byte streams to the recovery-mode
+// decoder. It must terminate without panicking on any input, never
+// return a non-header error, and produce a DecodeReport whose accounting
+// is internally consistent: Decoded matches the emitted block count and
+// never exceeds Declared, Decoded+BlocksLost == Declared, damage regions
+// are ordered with Resume past Offset (or -1 for a dead tail) and carry
+// a reason. On streams strict mode accepts, recovery must decode the
+// identical sequence with zero damage. The committed corpus under
+// testdata/fuzz/FuzzDecodeRecover (see gen_corpus.go) seeds sync-point
+// streams, seeded corruption, and PSB-spliced variants.
+func FuzzDecodeRecover(f *testing.F) {
+	app, err := buildFuzzApp()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := EncodeSourceSync(&buf, app.Prog, blockseq.SliceSource(app.Trace(0, 500)), 64); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{pktPSB, 0x05, pktTNT, 2, 0xFF})
+	f.Add(append([]byte{pktPSB, 0x20}, psbMagic[:]...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		strictBlocks, strictErr := Decode(bytes.NewReader(data), app.Prog)
+
+		got, rep, err := DecodeRecover(bytes.NewReader(data), app.Prog)
+		if err != nil {
+			// Only an unusable header may fail recovery; strict mode must
+			// agree the stream is unusable.
+			if strictErr == nil {
+				t.Fatalf("recovery failed (%v) on a stream strict mode accepts", err)
+			}
+			return
+		}
+		if uint64(len(got)) != rep.Decoded {
+			t.Fatalf("emitted %d blocks but report claims %d", len(got), rep.Decoded)
+		}
+		if rep.Decoded > rep.Declared {
+			t.Fatalf("decoded %d > declared %d", rep.Decoded, rep.Declared)
+		}
+		if rep.Decoded+rep.BlocksLost() != rep.Declared {
+			t.Fatalf("accounting: decoded %d + lost %d != declared %d", rep.Decoded, rep.BlocksLost(), rep.Declared)
+		}
+		if cov := rep.Coverage(); cov < 0 || cov > 1 {
+			t.Fatalf("coverage %v outside [0, 1]", cov)
+		}
+		prevEnd := int64(0)
+		for i, reg := range rep.Regions {
+			if reg.Reason == "" {
+				t.Fatalf("region %d has no reason", i)
+			}
+			if reg.Offset < prevEnd {
+				t.Fatalf("region %d offset %d before previous end %d", i, reg.Offset, prevEnd)
+			}
+			if reg.Resume == -1 {
+				if i != len(rep.Regions)-1 {
+					t.Fatalf("dead region %d is not last", i)
+				}
+				continue
+			}
+			if reg.Resume < reg.Offset {
+				t.Fatalf("region %d resumes at %d before damage at %d", i, reg.Resume, reg.Offset)
+			}
+			prevEnd = reg.Resume
+		}
+		if strictErr == nil {
+			if rep.Damaged() || rep.BlocksLost() != 0 {
+				t.Fatalf("strict-clean stream reported damage: %+v", rep)
+			}
+			if len(got) != len(strictBlocks) {
+				t.Fatalf("recovery decoded %d blocks, strict %d", len(got), len(strictBlocks))
+			}
+			for i := range got {
+				if got[i] != strictBlocks[i] {
+					t.Fatalf("recovery diverges from strict at %d", i)
+				}
+			}
 		}
 	})
 }

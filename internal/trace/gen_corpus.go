@@ -1,14 +1,18 @@
 //go:build ignore
 
-// Command gen_corpus regenerates the committed FuzzDecode seed corpus
-// from encoded app traces, in the native Go fuzzing corpus format:
+// Command gen_corpus regenerates the committed FuzzDecode and
+// FuzzDecodeRecover seed corpora from encoded app traces, in the native
+// Go fuzzing corpus format:
 //
 //	cd internal/trace && go run gen_corpus.go
 //
-// Each entry is a full valid packet stream from a differently-shaped
-// synthetic app (different seeds, block-size ranges, and trace lengths),
-// plus a truncated and a corrupted variant, so the fuzzer starts from
-// real packet structure on both the accept and reject paths.
+// FuzzDecode entries are full valid packet streams from differently-
+// shaped synthetic apps (different seeds, block-size ranges, and trace
+// lengths), plus a truncated and a corrupted variant, so the fuzzer
+// starts from real packet structure on both the accept and reject paths.
+// FuzzDecodeRecover adds sync-point (SyncEvery) streams with seeded
+// mid-region corruption and PSB-spliced variants, so recovery decoding
+// starts from streams that actually exercise resync scanning.
 package main
 
 import (
@@ -19,14 +23,19 @@ import (
 	"path/filepath"
 	"strconv"
 
+	"ripple/internal/blockseq"
+	"ripple/internal/fault"
 	"ripple/internal/trace"
 	"ripple/internal/workload"
 )
 
 func main() {
 	dir := filepath.Join("testdata", "fuzz", "FuzzDecode")
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		log.Fatal(err)
+	recDir := filepath.Join("testdata", "fuzz", "FuzzDecodeRecover")
+	for _, d := range []string{dir, recDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			log.Fatal(err)
+		}
 	}
 	models := []struct {
 		m      workload.Model
@@ -41,8 +50,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		blocks := app.Trace(0, mc.blocks)
 		var buf bytes.Buffer
-		if _, err := trace.Encode(&buf, app.Prog, app.Trace(0, mc.blocks)); err != nil {
+		if _, err := trace.Encode(&buf, app.Prog, blocks); err != nil {
 			log.Fatal(err)
 		}
 		raw := buf.Bytes()
@@ -52,6 +62,27 @@ func main() {
 			bad := append([]byte(nil), raw...)
 			bad[len(bad)/3] ^= 0x5A
 			write(dir, "corrupt-"+mc.m.Name, bad)
+		}
+
+		var sbuf bytes.Buffer
+		if _, err := trace.EncodeSourceSync(&sbuf, app.Prog, blockseq.SliceSource(blocks), 64); err != nil {
+			log.Fatal(err)
+		}
+		synced := sbuf.Bytes()
+		write(recDir, "sync-"+mc.m.Name, synced)
+		if mc.m.Seed == 5 {
+			// Seeded mid-region corruption: the recovery decoder must
+			// skip to the next sync point.
+			corrupt, _ := fault.NewInjector(mc.m.Seed).Overwrite(synced, 6, len(synced)/3, 2*len(synced)/3)
+			write(recDir, "sync-corrupt-"+mc.m.Name, corrupt)
+			cut, _ := fault.NewInjector(mc.m.Seed).Truncate(synced, len(synced)/2, len(synced)/2+1)
+			write(recDir, "sync-truncated-"+mc.m.Name, cut)
+			// PSB-spliced: a plain stream with sync magic grafted into the
+			// middle, so the fuzzer sees magic at packet-invalid positions.
+			splice := append([]byte(nil), raw[:len(raw)/2]...)
+			splice = append(splice, 0x01, 0x82, 0x02, 0x82)
+			splice = append(splice, raw[len(raw)/2:]...)
+			write(recDir, "psb-spliced-"+mc.m.Name, splice)
 		}
 	}
 }

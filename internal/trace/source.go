@@ -10,6 +10,13 @@ import (
 	"ripple/internal/program"
 )
 
+// Reporting is implemented by recovery-mode trace sources: after at least
+// one full pass, DecodeReport returns the damage accounting of the most
+// recent completed pass. ok is false until a pass has completed.
+type Reporting interface {
+	DecodeReport() (DecodeReport, bool)
+}
+
 // NewSource wraps an encoded packet stream as a replayable block source:
 // every Open calls open for a fresh reader and decodes it from the start,
 // so multi-pass consumers replay the file instead of materializing it.
@@ -18,10 +25,25 @@ func NewSource(prog *program.Program, open func() (io.ReadCloser, error)) blocks
 	return &readerSource{prog: prog, open: open}
 }
 
+// NewRecoveringSource is NewSource in recovery mode: damaged packet
+// regions are skipped at PSB sync points instead of erroring, and the
+// source additionally implements Reporting. Passes over a damaged stream
+// are still replayable — recovery decoding is deterministic for a given
+// byte stream.
+func NewRecoveringSource(prog *program.Program, open func() (io.ReadCloser, error)) blockseq.Source {
+	return &readerSource{prog: prog, open: open, rec: true}
+}
+
 // FileSource streams an encoded trace file. LenHint reads just the
 // stream header, so consumers can pre-size buffers without a full pass.
 func FileSource(path string, prog *program.Program) blockseq.Source {
 	return NewSource(prog, func() (io.ReadCloser, error) { return os.Open(path) })
+}
+
+// RecoverFileSource streams an encoded trace file in recovery mode (see
+// NewRecoveringSource).
+func RecoverFileSource(path string, prog *program.Program) blockseq.Source {
+	return NewRecoveringSource(prog, func() (io.ReadCloser, error) { return os.Open(path) })
 }
 
 // BytesSource streams an in-memory encoded trace (tests, benchmarks).
@@ -31,15 +53,29 @@ func BytesSource(data []byte, prog *program.Program) blockseq.Source {
 	})
 }
 
+// RecoverBytesSource streams an in-memory encoded trace in recovery mode
+// (see NewRecoveringSource).
+func RecoverBytesSource(data []byte, prog *program.Program) blockseq.Source {
+	return NewRecoveringSource(prog, func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(data)), nil
+	})
+}
+
 type readerSource struct {
 	prog *program.Program
 	open func() (io.ReadCloser, error)
+	rec  bool
 
 	// hintOnce guards the cached header read: parallel tuning jobs share
 	// one source, so LenHint must be safe under concurrent passes.
 	hintOnce sync.Once
 	hint     int
 	hintOK   bool
+
+	// mu guards the last completed pass's recovery report.
+	mu         sync.Mutex
+	report     DecodeReport
+	haveReport bool
 }
 
 func (s *readerSource) Open() blockseq.Seq {
@@ -47,17 +83,23 @@ func (s *readerSource) Open() blockseq.Seq {
 	if err != nil {
 		return &decodeSeq{err: err}
 	}
-	d, err := NewDecoder(rc, s.prog)
+	d, err := newDecoder(rc, s.prog, s.rec)
 	if err != nil {
 		rc.Close()
 		return &decodeSeq{err: err}
 	}
-	return &decodeSeq{rc: rc, d: d}
+	return &decodeSeq{rc: rc, d: d, src: s}
 }
 
 // LenHint opens the stream just long enough to read the header's
-// declared block count. The result is cached after the first call.
+// declared block count. The result is cached after the first call. In
+// recovery mode no hint is given: a damaged stream may decode fewer
+// blocks than the header declares, and the hint contract requires
+// exactness.
 func (s *readerSource) LenHint() (int, bool) {
+	if s.rec {
+		return 0, false
+	}
 	s.hintOnce.Do(func() {
 		rc, err := s.open()
 		if err != nil {
@@ -73,10 +115,27 @@ func (s *readerSource) LenHint() (int, bool) {
 	return s.hint, s.hintOK
 }
 
+// DecodeReport implements Reporting: the damage accounting of the most
+// recently completed recovery pass.
+func (s *readerSource) DecodeReport() (DecodeReport, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.report, s.haveReport
+}
+
+// setReport publishes a completed pass's report.
+func (s *readerSource) setReport(rep DecodeReport) {
+	s.mu.Lock()
+	s.report = rep
+	s.haveReport = true
+	s.mu.Unlock()
+}
+
 // decodeSeq is one decoding pass over the packet stream.
 type decodeSeq struct {
 	rc  io.ReadCloser
 	d   *Decoder
+	src *readerSource
 	err error
 }
 
@@ -98,6 +157,9 @@ func (s *decodeSeq) Next() (program.BlockID, bool) {
 func (s *decodeSeq) Err() error { return s.err }
 
 func (s *decodeSeq) close() {
+	if s.src != nil && s.src.rec && s.d != nil {
+		s.src.setReport(s.d.Report())
+	}
 	if s.rc != nil {
 		if cerr := s.rc.Close(); cerr != nil && s.err == nil {
 			s.err = cerr

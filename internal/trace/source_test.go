@@ -300,3 +300,30 @@ func TestTruncatedSourceErrorConformance(t *testing.T) {
 		return BytesSource(trunc, app.Prog)
 	})
 }
+
+// TestTraceSourceFaultConformance: injected faults on decoding sources —
+// strict and recovering — must not poison later replays (every Open
+// re-decodes from the start).
+func TestTraceSourceFaultConformance(t *testing.T) {
+	app := tinyApp(t)
+	raw := encoded(t, app.Prog, app.Trace(0, 3000))
+	t.Run("bytes", func(t *testing.T) {
+		blockseqtest.TestSourceFault(t, func(*testing.T) blockseq.Source {
+			return BytesSource(raw, app.Prog)
+		})
+	})
+	path := filepath.Join(t.TempDir(), "trace.pt")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Run("file", func(t *testing.T) {
+		blockseqtest.TestSourceFault(t, func(*testing.T) blockseq.Source {
+			return FileSource(path, app.Prog)
+		})
+	})
+	t.Run("recovering", func(t *testing.T) {
+		blockseqtest.TestSourceFault(t, func(*testing.T) blockseq.Source {
+			return RecoverBytesSource(raw, app.Prog)
+		})
+	})
+}

@@ -32,6 +32,15 @@ const (
 	pktTIP byte = 0x03 // target IP: sig-byte count + XOR-delta bytes
 )
 
+// psbMagic is the mid-stream sync-point marker: pktPSB followed by three
+// bytes that can never begin a packet, echoing (at reduced length) the
+// unique 16-byte PSB pattern hardware PT emits so a decoder can scan
+// forward to a known-good state after damage. The stream header's PSB is
+// not followed by the magic (it carries the block count instead), which
+// keeps streams encoded without sync points byte-identical to earlier
+// encoders.
+var psbMagic = [4]byte{pktPSB, 0x82, 0x02, 0x82}
+
 // maxTNTBits is the TNT buffer capacity (Intel PT long TNT carries 47
 // bits; we round to a whole byte budget).
 const maxTNTBits = 48
@@ -45,7 +54,9 @@ type Stats struct {
 	// RetsCompressed counts returns encoded as a single TNT bit because
 	// the decoder-side call stack predicts their target.
 	RetsCompressed uint64
-	Bytes          uint64
+	// Syncs counts mid-stream PSB sync points emitted (SyncEvery).
+	Syncs uint64
+	Bytes uint64
 }
 
 // BitsPerBlock returns the encoding density.
@@ -73,6 +84,11 @@ type Encoder struct {
 	prev   program.BlockID
 	stats  Stats
 	err    error
+
+	// syncEvery > 0 emits a PSB sync point every syncEvery blocks;
+	// sinceSync counts blocks since the last sync (or the stream start).
+	syncEvery int
+	sinceSync int
 }
 
 // NewEncoder starts a packet stream for traces of prog, written to w at
@@ -83,6 +99,20 @@ func NewEncoder(w io.Writer, prog *program.Program) *Encoder {
 		prog: prog,
 		prev: program.NoBlock,
 	}
+}
+
+// SyncEvery makes the encoder emit a periodic PSB sync point roughly
+// every n blocks — at the first packet-producing transition once n
+// blocks have passed (see syncableTerm) — exactly like hardware PT's
+// periodic PSB: pending TNT bits are flushed, last-IP compression and
+// the return-compression stack reset, and the block that follows is
+// re-established with a full-IP TIP. A
+// damaged stream can then be decoded in recovery mode, which skips
+// forward to the next sync point instead of aborting. n <= 0 (the
+// default) emits no sync points and keeps the stream byte-identical to
+// earlier encoders. Call before the first Step.
+func (e *Encoder) SyncEvery(n int) {
+	e.syncEvery = n
 }
 
 func (e *Encoder) writeByte(b byte) {
@@ -134,6 +164,39 @@ func (e *Encoder) emitTIP(addr uint64) {
 	e.stats.TIPs++
 }
 
+// syncableTerm reports whether a transition out of a block with this
+// terminator may be replaced by a sync point. Only packet-producing
+// transitions qualify: the decoder performs a read at exactly that step,
+// so the magic at the read position identifies the sync unambiguously.
+// Statically-determined transitions (fallthrough, jump, call) consume no
+// packets — a sync there could not be attributed to the right step, as
+// the decoder's read position reaches the magic while the walk may still
+// be several static steps behind.
+func syncableTerm(t isa.TermKind) bool {
+	switch t {
+	case isa.TermCondBranch, isa.TermIndirectJump, isa.TermIndirectCall, isa.TermRet:
+		return true
+	}
+	return false
+}
+
+// emitSync writes a mid-stream sync point followed by a full-IP TIP for
+// bid: pending TNT bits are flushed and last-IP compression and the
+// return stack reset, mirroring exactly the state reset a decoder
+// performs at a PSB. The transition from the previous block is not
+// encoded — the TIP carries the actual successor, which in a valid
+// stream continues the CFG walk.
+func (e *Encoder) emitSync(bid program.BlockID) {
+	e.flushTNT()
+	for _, b := range psbMagic {
+		e.writeByte(b)
+	}
+	e.lastIP = 0
+	e.stack = e.stack[:0]
+	e.emitTIP(e.prog.Block(bid).Addr)
+	e.stats.Syncs++
+}
+
 // Step records the execution of block `bid`. The first call establishes
 // the trace start (emitting a TIP for it); each later call encodes how the
 // previous block reached this one.
@@ -145,9 +208,17 @@ func (e *Encoder) Step(bid program.BlockID) error {
 		e.emitTIP(e.prog.Block(bid).Addr)
 		e.prev = bid
 		e.stats.Blocks++
+		e.sinceSync = 1
 		return e.err
 	}
 	b := e.prog.Block(e.prev)
+	if e.syncEvery > 0 && e.sinceSync >= e.syncEvery && syncableTerm(b.Term) {
+		e.emitSync(bid)
+		e.prev = bid
+		e.stats.Blocks++
+		e.sinceSync = 1
+		return e.err
+	}
 	switch b.Term {
 	case isa.TermFallthrough, isa.TermJump:
 		// Statically determined: nothing to record.
@@ -180,6 +251,7 @@ func (e *Encoder) Step(bid program.BlockID) error {
 	}
 	e.prev = bid
 	e.stats.Blocks++
+	e.sinceSync++
 	return e.err
 }
 
@@ -216,7 +288,15 @@ func Encode(w io.Writer, prog *program.Program, blocks []program.BlockID) (Stats
 // at Close), so peak memory is O(encoded bytes) — a fraction of a byte
 // per block — rather than O(blocks).
 func EncodeSource(w io.Writer, prog *program.Program, src blockseq.Source) (Stats, error) {
+	return EncodeSourceSync(w, prog, src, 0)
+}
+
+// EncodeSourceSync is EncodeSource with a periodic PSB sync point every
+// syncEvery blocks (see Encoder.SyncEvery); syncEvery <= 0 is plain
+// EncodeSource.
+func EncodeSourceSync(w io.Writer, prog *program.Program, src blockseq.Source, syncEvery int) (Stats, error) {
 	e := NewEncoder(w, prog)
+	e.SyncEvery(syncEvery)
 	seq := src.Open()
 	for {
 		bid, ok := seq.Next()

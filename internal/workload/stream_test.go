@@ -72,3 +72,16 @@ func TestStreamSourceConformance(t *testing.T) {
 		})
 	}
 }
+
+// TestStreamSourceFaultConformance: injected faults on a workload stream
+// must not poison later replays (the walker re-derives its RNG state per
+// Open).
+func TestStreamSourceFaultConformance(t *testing.T) {
+	app, err := Build(tinyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockseqtest.TestSourceFault(t, func(*testing.T) blockseq.Source {
+		return app.Stream(0, 2000)
+	})
+}

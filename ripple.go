@@ -27,6 +27,7 @@ package ripple
 
 import (
 	"io"
+	"time"
 
 	"ripple/internal/blockseq"
 	"ripple/internal/cache"
@@ -101,6 +102,14 @@ type (
 
 	// TraceStats reports a PT encode's density.
 	TraceStats = trace.Stats
+	// DecodeReport accounts a recovery-mode decode: declared vs decoded
+	// blocks and the damaged stream regions skipped at sync points.
+	DecodeReport = trace.DecodeReport
+	// DamageRegion is one skipped span of a damaged trace stream.
+	DamageRegion = trace.DamageRegion
+	// SourceCoverage aggregates the decode reports of an analysis's
+	// recovering sources (Analysis.Coverage).
+	SourceCoverage = core.SourceCoverage
 
 	// AccessEvent is one recorded cache-line access (demand or prefetch);
 	// Result.Stream holds these when Options.RecordStream is set.
@@ -227,6 +236,13 @@ type ParallelOptions struct {
 	SourceID string
 	// Log receives job-runner progress lines (nil silences them).
 	Log io.Writer
+	// Retries bounds re-executions of simulations that fail with a
+	// transient error (runner.Transient); 0 disables retry.
+	Retries int
+	// RetryBackoff is the base delay before the first retry, doubled per
+	// attempt with deterministic signature-seeded jitter; <= 0 uses the
+	// runner default (10ms).
+	RetryBackoff time.Duration
 }
 
 // resolve builds the execution substrate the core package consumes.
@@ -239,7 +255,13 @@ func (o ParallelOptions) resolve() (core.ParallelOptions, error) {
 		}
 		store = st
 	}
-	pool := runner.New(runner.Options{Workers: o.Workers, Store: store, Log: o.Log})
+	pool := runner.New(runner.Options{
+		Workers:      o.Workers,
+		Store:        store,
+		Log:          o.Log,
+		Retries:      o.Retries,
+		RetryBackoff: o.RetryBackoff,
+	})
 	return core.ParallelOptions{Pool: pool, SourceID: o.SourceID}, nil
 }
 
@@ -300,6 +322,14 @@ func DecodeTrace(r io.Reader, prog *Program) ([]BlockID, error) {
 	return trace.Decode(r, prog)
 }
 
+// DecodeTraceRecover decodes a possibly damaged packet stream in
+// recovery mode: on any packet error it scans to the next sync point
+// (EncodeTraceSourceSync), resumes, and accounts what was lost in the
+// returned DecodeReport.
+func DecodeTraceRecover(r io.Reader, prog *Program) ([]BlockID, DecodeReport, error) {
+	return trace.DecodeRecover(r, prog)
+}
+
 // TraceFileSource wraps an on-disk PT-like trace file as a replayable
 // BlockSource: each pass re-opens and re-decodes the file, so even
 // multi-pass analyses never materialize the trace.
@@ -307,10 +337,26 @@ func TraceFileSource(path string, prog *Program) BlockSource {
 	return trace.FileSource(path, prog)
 }
 
+// RecoverTraceFileSource is TraceFileSource in recovery mode: damaged
+// stream regions are skipped at sync points instead of failing the
+// pass, and AnalyzeSource surfaces the aggregate damage accounting as
+// Analysis.Coverage.
+func RecoverTraceFileSource(path string, prog *Program) BlockSource {
+	return trace.RecoverFileSource(path, prog)
+}
+
 // EncodeTraceSource writes a block source as a PT-like packet stream in
 // one streaming pass (buffering only the packet bytes).
 func EncodeTraceSource(w io.Writer, prog *Program, src BlockSource) (TraceStats, error) {
 	return trace.EncodeSource(w, prog, src)
+}
+
+// EncodeTraceSourceSync is EncodeTraceSource with a resynchronization
+// point roughly every syncEvery blocks, bounding how much trace is lost
+// past a corrupt region when decoding in recovery mode; 0 emits none
+// (byte-identical to EncodeTraceSource).
+func EncodeTraceSourceSync(w io.Writer, prog *Program, src BlockSource, syncEvery int) (TraceStats, error) {
+	return trace.EncodeSourceSync(w, prog, src, syncEvery)
 }
 
 // CollectSource drains one pass of a source into a materialized trace.
