@@ -19,6 +19,13 @@
 // -syncevery) after any corrupt region, the analysis runs over whatever
 // survives, and the report carries the decoded coverage. Transient
 // simulation failures retry with deterministic backoff (-retries).
+//
+// With -index the trace replays through its .ptidx seek index (written
+// by ripplegen -index, rebuilt automatically when missing or stale), so
+// windowed replay decodes roughly each window plus one sync interval
+// instead of the window's whole prefix. Every output is byte-identical
+// to an unindexed run; -index conflicts with -recover because the index
+// is only defined over a cleanly decoding trace.
 package main
 
 import (
@@ -53,6 +60,7 @@ func main() {
 	flag.StringVar(&o.CacheDir, "cachedir", "", "directory for the persistent result store (default: no persistence)")
 	flag.StringVar(&o.JSONOut, "json", "", "also write a JSON report to this path")
 	flag.BoolVar(&o.Recover, "recover", false, "resynchronize past damaged trace regions instead of failing")
+	flag.BoolVar(&o.Index, "index", false, "replay through the .ptidx seek index (built on the fly if absent or stale); conflicts with -recover")
 	strict := flag.Bool("strict", false, "fail on any trace damage (the default; conflicts with -recover)")
 	flag.IntVar(&o.Retries, "retries", 2, "retry budget for transiently failing simulations")
 	flag.Parse()
@@ -89,6 +97,7 @@ type options struct {
 	CacheDir              string
 	JSONOut               string
 	Recover               bool
+	Index                 bool
 	Retries               int
 	Stdout                io.Writer
 }
@@ -147,7 +156,12 @@ func run(o options) (runner.Stats, error) {
 	if o.Stdout == nil {
 		o.Stdout = io.Discard
 	}
-	prog, tr, err := load(o.ProgPath, o.PTPath, o.Recover)
+	if o.Index && o.Recover {
+		// A seek index is built from a strict decode; a damaged trace has no
+		// well-defined byte offsets to seek to.
+		return stats, fmt.Errorf("-index and -recover are mutually exclusive")
+	}
+	prog, tr, err := load(o.ProgPath, o.PTPath, o.Recover, o.Index)
 	if err != nil {
 		return stats, err
 	}
@@ -285,8 +299,10 @@ func summarizePlan(p *core.Plan) planReport {
 // trace file; the analysis and tuning passes each re-decode it, so the
 // trace is never held in memory. With rec the source decodes in recovery
 // mode: damaged regions are skipped at sync points and accounted in the
-// analysis coverage.
-func load(progPath, ptPath string, rec bool) (*program.Program, blockseq.Source, error) {
+// analysis coverage. With indexed the source replays through the .ptidx
+// seek index (rebuilt if missing or stale), so windowed replay skips
+// ahead instead of decoding each window's full prefix.
+func load(progPath, ptPath string, rec, indexed bool) (*program.Program, blockseq.Source, error) {
 	pf, err := os.Open(progPath)
 	if err != nil {
 		return nil, nil, err
@@ -298,6 +314,13 @@ func load(progPath, ptPath string, rec bool) (*program.Program, blockseq.Source,
 	}
 	if rec {
 		return prog, trace.RecoverFileSource(ptPath, prog), nil
+	}
+	if indexed {
+		src, err := trace.IndexedFileSource(ptPath, prog)
+		if err != nil {
+			return nil, nil, err
+		}
+		return prog, src, nil
 	}
 	return prog, trace.FileSource(ptPath, prog), nil
 }

@@ -11,11 +11,14 @@
 package main
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"ripple/internal/program"
 	"ripple/internal/trace"
 	"ripple/internal/workload"
 )
@@ -26,15 +29,16 @@ func main() {
 	input := flag.Int("input", 0, "input configuration (0-3)")
 	out := flag.String("out", "", "output path prefix (required)")
 	syncEvery := flag.Int("syncevery", 0, "emit a resynchronization point roughly every N blocks so damaged traces recover with bounded loss (0: none)")
+	index := flag.Bool("index", false, "also write a .ptidx seek-index sidecar so consumers can replay windows without decoding each window's full prefix")
 	flag.Parse()
 
-	if err := run(*appName, *blocks, *input, *syncEvery, *out); err != nil {
+	if err := run(*appName, *blocks, *input, *syncEvery, *out, *index); err != nil {
 		fmt.Fprintln(os.Stderr, "ripplegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(appName string, blocks, input, syncEvery int, out string) error {
+func run(appName string, blocks, input, syncEvery int, out string, index bool) error {
 	if out == "" {
 		return fmt.Errorf("-out prefix is required")
 	}
@@ -81,5 +85,33 @@ func run(appName string, blocks, input, syncEvery int, out string) error {
 	if stats.Syncs > 0 {
 		fmt.Printf("sync: %d resynchronization points (every ~%d blocks)\n", stats.Syncs, syncEvery)
 	}
+	if index {
+		entries, err := writeIndex(out+".pt", app.Prog)
+		if err != nil {
+			return fmt.Errorf("writing seek index: %w", err)
+		}
+		fmt.Printf("index: %d seek points -> %s\n", entries, trace.IndexPath(out+".pt"))
+		if entries == 0 && syncEvery == 0 {
+			fmt.Println("index: note: without -syncevery the trace has no interior seek points")
+		}
+	}
 	return nil
+}
+
+// writeIndex builds the .ptidx sidecar for a freshly written trace: one
+// strict decode collects the sync-point table, keyed by the trace file's
+// content hash so consumers detect a regenerated trace.
+func writeIndex(ptPath string, prog *program.Program) (int, error) {
+	data, err := os.ReadFile(ptPath)
+	if err != nil {
+		return 0, err
+	}
+	idx, err := trace.BuildIndex(bytes.NewReader(data), prog)
+	if err != nil {
+		return 0, err
+	}
+	if err := trace.WriteIndexFile(trace.IndexPath(ptPath), idx, sha256.Sum256(data)); err != nil {
+		return 0, err
+	}
+	return len(idx.Entries), nil
 }

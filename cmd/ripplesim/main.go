@@ -10,6 +10,14 @@
 // and the full configuration, so repeated sweeps only simulate what
 // changed.
 //
+// With -index the trace replays through its .ptidx seek index (written
+// by ripplegen -index, rebuilt automatically when missing or stale),
+// exposing seek and checkpoint capabilities to any consumer that probes
+// for them. Results are byte-identical with or without it, and store
+// entries are shared between the two modes. -index conflicts with
+// -recover because the index is only defined over a cleanly decoding
+// trace.
+//
 // Usage:
 //
 //	ripplesim -prog /tmp/fh.prog -pt /tmp/fh.pt -policy lru -prefetcher fdip
@@ -53,6 +61,7 @@ func main() {
 	workers := flag.Int("j", 0, "parallel workers for sweep mode (default GOMAXPROCS)")
 	cachedir := flag.String("cachedir", "", "persistent result store for sweep mode (default: none)")
 	rec := flag.Bool("recover", false, "resynchronize past damaged trace regions instead of failing")
+	index := flag.Bool("index", false, "replay through the .ptidx seek index (built on the fly if absent or stale); conflicts with -recover")
 	flag.Parse()
 
 	policies := strings.Split(*policy, ",")
@@ -64,11 +73,13 @@ func main() {
 		limit = *blocks
 	}
 	var err error
-	if len(policies) > 1 || len(prefetchers) > 1 {
+	if *rec && *index {
+		err = fmt.Errorf("-index and -recover are mutually exclusive")
+	} else if len(policies) > 1 || len(prefetchers) > 1 {
 		err = sweep(*progPath, *traceProgPath, *ptPath, *planPath, policies, prefetchers,
-			limit, *warmup, *accuracy, *demote, *jsonOut, *workers, *cachedir, *rec)
+			limit, *warmup, *accuracy, *demote, *jsonOut, *workers, *cachedir, *rec, *index)
 	} else {
-		err = run(*progPath, *traceProgPath, *ptPath, *planPath, *policy, *prefetcher, limit, *warmup, *accuracy, *demote, *jsonOut, *rec)
+		err = run(*progPath, *traceProgPath, *ptPath, *planPath, *policy, *prefetcher, limit, *warmup, *accuracy, *demote, *jsonOut, *rec, *index)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ripplesim:", err)
@@ -76,14 +87,14 @@ func main() {
 	}
 }
 
-func run(progPath, traceProgPath, ptPath, planPath, policy, prefetcher string, limit, warmup int, accuracy, demote, jsonOut, rec bool) error {
+func run(progPath, traceProgPath, ptPath, planPath, policy, prefetcher string, limit, warmup int, accuracy, demote, jsonOut, rec, indexed bool) error {
 	if progPath == "" || ptPath == "" {
 		return fmt.Errorf("-prog and -pt are required")
 	}
 	if traceProgPath == "" {
 		traceProgPath = progPath
 	}
-	prog, tr, reporter, err := load(progPath, traceProgPath, ptPath, limit, rec)
+	prog, tr, reporter, err := load(progPath, traceProgPath, ptPath, limit, rec, indexed)
 	if err != nil {
 		return err
 	}
@@ -160,14 +171,14 @@ func run(progPath, traceProgPath, ptPath, planPath, policy, prefetcher string, l
 // configuration, so editing the trace or plan invalidates exactly the
 // affected entries.
 func sweep(progPath, traceProgPath, ptPath, planPath string, policies, prefetchers []string,
-	limit, warmup int, accuracy, demote, jsonOut bool, workers int, cachedir string, rec bool) error {
+	limit, warmup int, accuracy, demote, jsonOut bool, workers int, cachedir string, rec, indexed bool) error {
 	if progPath == "" || ptPath == "" {
 		return fmt.Errorf("-prog and -pt are required")
 	}
 	if traceProgPath == "" {
 		traceProgPath = progPath
 	}
-	prog, tr, reporter, err := load(progPath, traceProgPath, ptPath, limit, rec)
+	prog, tr, reporter, err := load(progPath, traceProgPath, ptPath, limit, rec, indexed)
 	if err != nil {
 		return err
 	}
@@ -376,8 +387,10 @@ func resultJSON(res frontend.Result) map[string]interface{} {
 // first limit blocks. With rec the trace decodes in recovery mode and
 // the returned reporter (the unwrapped trace source) publishes the
 // damage accounting once a pass completes; the reporter is nil in
-// strict mode.
-func load(progPath, traceProgPath, ptPath string, limit int, rec bool) (*program.Program, blockseq.Source, trace.Reporting, error) {
+// strict mode. With indexed the source replays through the .ptidx seek
+// index (rebuilt if missing or stale) — a pure acceleration: the block
+// sequence, and therefore every result, is byte-identical.
+func load(progPath, traceProgPath, ptPath string, limit int, rec, indexed bool) (*program.Program, blockseq.Source, trace.Reporting, error) {
 	loadProg := func(path string) (*program.Program, error) {
 		f, err := os.Open(path)
 		if err != nil {
@@ -401,10 +414,15 @@ func load(progPath, traceProgPath, ptPath string, limit int, rec bool) (*program
 	}
 	var src blockseq.Source
 	var reporter trace.Reporting
-	if rec {
+	switch {
+	case rec:
 		ts := trace.RecoverFileSource(ptPath, decodeProg)
 		reporter, src = ts.(trace.Reporting), ts
-	} else {
+	case indexed:
+		if src, err = trace.IndexedFileSource(ptPath, decodeProg); err != nil {
+			return nil, nil, nil, err
+		}
+	default:
 		src = trace.FileSource(ptPath, decodeProg)
 	}
 	if limit >= 0 {

@@ -20,7 +20,12 @@
 // trace length.
 package blockseq
 
-import "ripple/internal/program"
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ripple/internal/program"
+)
 
 // Seq is a single pass over a block stream: a pull iterator.
 type Seq interface {
@@ -83,6 +88,27 @@ func (it *sliceSeq) Next() (program.BlockID, bool) {
 
 func (it *sliceSeq) Err() error { return nil }
 
+// SeekBlock implements Seeker: position so the next block is s[n].
+func (it *sliceSeq) SeekBlock(n int) error {
+	if n < 0 || n > len(it.s) {
+		return fmt.Errorf("blockseq: seek to block %d outside [0, %d]", n, len(it.s))
+	}
+	it.i = n
+	return nil
+}
+
+// Checkpoint implements Checkpointer: the mark is the position.
+func (it *sliceSeq) Checkpoint() (Mark, error) { return markInt(it.i), nil }
+
+// Restore implements Checkpointer.
+func (it *sliceSeq) Restore(m Mark) error {
+	n, err := unmarkInt(m)
+	if err != nil {
+		return err
+	}
+	return it.SeekBlock(n)
+}
+
 // Of builds a SliceSource from literal blocks (test convenience).
 func Of(blocks ...program.BlockID) SliceSource { return SliceSource(blocks) }
 
@@ -123,7 +149,11 @@ type limitSource struct {
 }
 
 func (l limitSource) Open() Seq {
-	return &limitSeq{seq: l.src.Open(), left: l.max}
+	max := l.max
+	if max < 0 {
+		max = 0
+	}
+	return &limitSeq{seq: l.src.Open(), left: max, max: max}
 }
 
 func (l limitSource) LenHint() (int, bool) {
@@ -143,6 +173,7 @@ func (l limitSource) LenHint() (int, bool) {
 type limitSeq struct {
 	seq  Seq
 	left int
+	max  int // the pass's cap, for seek/checkpoint bookkeeping
 }
 
 func (it *limitSeq) Next() (program.BlockID, bool) {
@@ -159,3 +190,50 @@ func (it *limitSeq) Next() (program.BlockID, bool) {
 }
 
 func (it *limitSeq) Err() error { return it.seq.Err() }
+
+// SeekBlock forwards to the wrapped pass when it can seek, keeping the
+// cap consistent with the new position.
+func (it *limitSeq) SeekBlock(n int) error {
+	sk, ok := it.seq.(Seeker)
+	if !ok {
+		return ErrNotSeekable
+	}
+	if n < 0 || n > it.max {
+		return fmt.Errorf("blockseq: seek to block %d outside [0, %d]", n, it.max)
+	}
+	if err := sk.SeekBlock(n); err != nil {
+		return err
+	}
+	it.left = it.max - n
+	return nil
+}
+
+// Checkpoint composes the remaining cap with the wrapped pass's mark.
+func (it *limitSeq) Checkpoint() (Mark, error) {
+	cp, ok := it.seq.(Checkpointer)
+	if !ok {
+		return nil, ErrNoCheckpoint
+	}
+	inner, err := cp.Checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	return append(markInt(it.left), inner...), nil
+}
+
+// Restore implements Checkpointer.
+func (it *limitSeq) Restore(m Mark) error {
+	cp, ok := it.seq.(Checkpointer)
+	if !ok {
+		return ErrNoCheckpoint
+	}
+	left, k := binary.Uvarint(m)
+	if k <= 0 || int(left) > it.max {
+		return fmt.Errorf("blockseq: malformed limit mark")
+	}
+	if err := cp.Restore(Mark(m[k:])); err != nil {
+		return err
+	}
+	it.left = int(left)
+	return nil
+}

@@ -1,0 +1,140 @@
+package blockseq
+
+import (
+	"sync"
+
+	"ripple/internal/program"
+)
+
+// Tee splits one pass into n consumers sharing a single decode: every
+// branch yields the byte-identical block sequence of seq, but seq.Next
+// is called exactly once per block. A bounded ring of buf blocks
+// decouples the branches — the fastest may run at most buf blocks ahead
+// of the slowest, holding O(buf) memory regardless of stream length.
+//
+// Because a full buffer blocks the leading branch until the trailing one
+// catches up, each branch must be drained from its own goroutine. A
+// consumer that stops early must call Stop on its branch so the others
+// can keep pulling; a branch that ends (Next returns false) releases
+// itself. The underlying pass's error is reported by every branch's Err.
+func Tee(seq Seq, n, buf int) []*TeeSeq {
+	if n < 1 {
+		panic("blockseq: Tee with no branches")
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	t := &tee{
+		seq: seq,
+		buf: make([]program.BlockID, buf),
+		pos: make([]int64, n),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	branches := make([]*TeeSeq, n)
+	for i := range branches {
+		branches[i] = &TeeSeq{t: t, id: i}
+	}
+	return branches
+}
+
+// tee is the shared state behind the branches of one Tee call.
+type tee struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	seq  Seq
+
+	buf  []program.BlockID // ring, indexed by ordinal % len(buf)
+	head int64             // lowest ordinal any active branch still needs
+	next int64             // ordinal the next underlying Next will produce
+
+	pos  []int64 // per-branch next ordinal; -1 = detached (stopped/finished)
+	done bool    // underlying pass ended
+	err  error   // underlying pass's deferred error
+}
+
+// TeeSeq is one branch of a Tee: a Seq plus Stop for early release.
+type TeeSeq struct {
+	t  *tee
+	id int
+}
+
+func (b *TeeSeq) Next() (program.BlockID, bool) {
+	t := b.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pos[b.id] < 0 {
+		return 0, false
+	}
+	for {
+		if p := t.pos[b.id]; p < t.next {
+			bid := t.buf[p%int64(len(t.buf))]
+			t.pos[b.id] = p + 1
+			t.advanceHead()
+			return bid, true
+		}
+		if t.done {
+			t.detach(b.id)
+			return 0, false
+		}
+		if t.next-t.head == int64(len(t.buf)) {
+			// Buffer full: a slower branch holds head. Wait for it.
+			t.cond.Wait()
+			continue
+		}
+		// This branch leads: pull the next block (under the lock — the
+		// decode is inherently serial, and waiters would block on it
+		// anyway).
+		bid, ok := t.seq.Next()
+		if !ok {
+			t.done = true
+			t.err = t.seq.Err()
+			t.cond.Broadcast()
+			t.detach(b.id)
+			return 0, false
+		}
+		t.buf[t.next%int64(len(t.buf))] = bid
+		t.next++
+		t.cond.Broadcast()
+	}
+}
+
+// Err returns the underlying pass's deferred error once this branch has
+// ended.
+func (b *TeeSeq) Err() error {
+	b.t.mu.Lock()
+	defer b.t.mu.Unlock()
+	return b.t.err
+}
+
+// Stop detaches the branch: it yields no further blocks and no longer
+// holds back the shared buffer. Stopping an ended branch is a no-op.
+func (b *TeeSeq) Stop() {
+	b.t.mu.Lock()
+	defer b.t.mu.Unlock()
+	b.t.detach(b.id)
+}
+
+// detach removes a branch from head accounting (caller holds mu).
+func (t *tee) detach(id int) {
+	if t.pos[id] < 0 {
+		return
+	}
+	t.pos[id] = -1
+	t.advanceHead()
+	t.cond.Broadcast()
+}
+
+// advanceHead recomputes the lowest ordinal still needed (caller holds
+// mu). With every branch detached the buffer no longer constrains.
+func (t *tee) advanceHead() {
+	low := t.next
+	for _, p := range t.pos {
+		if p >= 0 && p < low {
+			low = p
+		}
+	}
+	if low > t.head {
+		t.head = low
+		t.cond.Broadcast()
+	}
+}

@@ -1,0 +1,143 @@
+package blockseq_test
+
+import (
+	"sync"
+	"testing"
+
+	"ripple/internal/blockseq"
+	"ripple/internal/program"
+)
+
+// TestTeeBranchesSeeIdenticalStream: every branch yields the full
+// sequence while the underlying pass is decoded exactly once.
+func TestTeeBranchesSeeIdenticalStream(t *testing.T) {
+	ref := make([]program.BlockID, 10_000)
+	for i := range ref {
+		ref[i] = program.BlockID(i % 97)
+	}
+	underlying := 0
+	seq := blockseq.Func(func() blockseq.Seq {
+		underlying++
+		return blockseq.SliceSource(ref).Open()
+	}).Open()
+
+	// A buffer far smaller than the stream forces the branches to
+	// genuinely interleave through the ring.
+	branches := blockseq.Tee(seq, 3, 64)
+	got := make([][]program.BlockID, len(branches))
+	errs := make([]error, len(branches))
+	var wg sync.WaitGroup
+	for i, b := range branches {
+		wg.Add(1)
+		go func(i int, b *blockseq.TeeSeq) {
+			defer wg.Done()
+			for {
+				bid, ok := b.Next()
+				if !ok {
+					errs[i] = b.Err()
+					return
+				}
+				got[i] = append(got[i], bid)
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	if underlying != 1 {
+		t.Fatalf("underlying source opened %d times", underlying)
+	}
+	for i := range branches {
+		if errs[i] != nil {
+			t.Fatalf("branch %d failed: %v", i, errs[i])
+		}
+		if len(got[i]) != len(ref) {
+			t.Fatalf("branch %d yielded %d blocks, want %d", i, len(got[i]), len(ref))
+		}
+		for j := range ref {
+			if got[i][j] != ref[j] {
+				t.Fatalf("branch %d diverged at block %d", i, j)
+			}
+		}
+	}
+}
+
+// TestTeeStopReleasesBuffer: a stopped branch must not hold back the
+// others even when the stream is much longer than the buffer.
+func TestTeeStopReleasesBuffer(t *testing.T) {
+	ref := make([]program.BlockID, 5_000)
+	branches := blockseq.Tee(blockseq.SliceSource(ref).Open(), 2, 8)
+	// Read a few blocks on branch 0, then abandon it.
+	for i := 0; i < 3; i++ {
+		if _, ok := branches[0].Next(); !ok {
+			t.Fatal("branch 0 ended early")
+		}
+	}
+	branches[0].Stop()
+	// Branch 1 must now drain the whole stream without another goroutine.
+	n := 0
+	for {
+		if _, ok := branches[1].Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != len(ref) {
+		t.Fatalf("branch 1 yielded %d blocks after Stop, want %d", n, len(ref))
+	}
+	if err := branches[1].Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The stopped branch stays stopped.
+	if _, ok := branches[0].Next(); ok {
+		t.Fatal("stopped branch yielded a block")
+	}
+}
+
+// TestTeePropagatesError: the underlying pass's deferred error must
+// surface from every branch.
+func TestTeePropagatesError(t *testing.T) {
+	branches := blockseq.Tee(blockseq.Func(func() blockseq.Seq { return &failingSeq{} }).Open(), 2, 4)
+	var wg sync.WaitGroup
+	errs := make([]error, len(branches))
+	counts := make([]int, len(branches))
+	for i, b := range branches {
+		wg.Add(1)
+		go func(i int, b *blockseq.TeeSeq) {
+			defer wg.Done()
+			for {
+				if _, ok := b.Next(); !ok {
+					errs[i] = b.Err()
+					return
+				}
+				counts[i]++
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	for i := range branches {
+		if counts[i] != 3 {
+			t.Fatalf("branch %d yielded %d blocks before the failure, want 3", i, counts[i])
+		}
+		if errs[i] != errTruncated {
+			t.Fatalf("branch %d error = %v, want %v", i, errs[i], errTruncated)
+		}
+	}
+}
+
+// TestTeeSingleBranch: n=1 degenerates to a plain pass.
+func TestTeeSingleBranch(t *testing.T) {
+	branches := blockseq.Tee(blockseq.Of(7, 8, 9).Open(), 1, 2)
+	var got []program.BlockID
+	for {
+		bid, ok := branches[0].Next()
+		if !ok {
+			break
+		}
+		got = append(got, bid)
+	}
+	if err := branches[0].Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 7 || got[2] != 9 {
+		t.Fatalf("single branch yielded %v", got)
+	}
+}

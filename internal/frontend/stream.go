@@ -21,15 +21,26 @@ import (
 // the whole access sequence with future knowledge. The input, however, is
 // consumed one block at a time.
 func DemandLines(prog *program.Program, src blockseq.Source) (lines []uint64, blockOf []int32, err error) {
-	capHint := 1024
+	blocksHint := 0
 	if n, ok := blockseq.LenHint(src); ok {
-		capHint = n * 3 / 2
+		blocksHint = n
+	}
+	return DemandLinesSeq(prog, src.Open(), blocksHint)
+}
+
+// DemandLinesSeq is DemandLines over an already-open pass, so a consumer
+// holding one branch of a shared decode (blockseq.Tee) can expand it
+// without re-opening the source. blocksHint, when positive, pre-sizes
+// the output for a stream of that many blocks.
+func DemandLinesSeq(prog *program.Program, seq blockseq.Seq, blocksHint int) (lines []uint64, blockOf []int32, err error) {
+	capHint := 1024
+	if blocksHint > 0 {
+		capHint = blocksHint * 3 / 2
 	}
 	lines = make([]uint64, 0, capHint)
 	blockOf = make([]int32, 0, capHint)
 	var buf [16]uint64
 	last := ^uint64(0)
-	seq := src.Open()
 	for ti := int32(0); ; ti++ {
 		bid, ok := seq.Next()
 		if !ok {

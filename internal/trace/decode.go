@@ -88,6 +88,12 @@ type Decoder struct {
 	done   bool
 	err    error
 	report DecodeReport
+
+	// onSync, when set, observes every mid-stream sync point a clean
+	// decode consumes: the byte offset of its PSB magic and the 0-based
+	// ordinal of the block its TIP re-establishes. The index builder
+	// uses it to record seek targets in a single scan.
+	onSync func(off int64, block uint64)
 }
 
 // NewDecoder opens a packet stream produced by an Encoder over the same
@@ -125,6 +131,26 @@ func newDecoder(r io.Reader, prog *program.Program, rec bool) (*Decoder, error) 
 	d.declared = d.remaining
 	d.report.Declared = d.declared
 	return d, nil
+}
+
+// newDecoderAt resumes a strict decode in the middle of a stream, at the
+// byte offset of a PSB sync point recorded by an Index scan: the reader
+// must be positioned exactly at the sync's magic, off names that stream
+// offset (for error reporting), and startBlock is the 0-based ordinal of
+// the block the sync's TIP re-establishes — the first block this decoder
+// emits. A PSB resets all decode state, so nothing before the sync is
+// needed.
+func newDecoderAt(r io.Reader, prog *program.Program, declared, startBlock uint64, off int64) *Decoder {
+	d := &Decoder{
+		r:         bufio.NewReaderSize(r, 1<<16),
+		prog:      prog,
+		cur:       program.NoBlock,
+		off:       off,
+		declared:  declared,
+		remaining: declared - startBlock,
+	}
+	d.report.Declared = declared
+	return d
 }
 
 // Declared returns the block count the stream header promises.
@@ -403,6 +429,9 @@ func (d *Decoder) peekSync() bool {
 // itself does.
 func (d *Decoder) stepSync() (program.BlockID, error) {
 	prev := d.cur
+	if d.onSync != nil {
+		d.onSync(d.off, d.declared-d.remaining)
+	}
 	n, err := d.r.Discard(len(psbMagic))
 	d.off += int64(n)
 	if err != nil {

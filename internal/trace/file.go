@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// fileOpens counts os.Open calls made by trace file sources; tests use
+// it to assert that multi-pass consumers reuse one descriptor per file
+// instead of churning opens.
+var fileOpens atomic.Int64
+
+// FileOpens returns the cumulative number of file opens performed by
+// trace file sources in this process.
+func FileOpens() int64 { return fileOpens.Load() }
+
+// fileHandle serves every pass over one trace file through a single
+// shared os.File: passes read via ReadAt (concurrency-safe), so opening
+// a pass costs no file-table churn. The open is lazy and retried — a
+// failed open is not cached, preserving the per-pass error semantics
+// fault-tolerant consumers rely on (a transiently unreadable file can
+// succeed on the next pass).
+type fileHandle struct {
+	path string
+
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+}
+
+// readerAt returns an independent reader over the file from byte off to
+// EOF. Readers from the same handle may be used concurrently.
+func (h *fileHandle) readerAt(off int64) (*io.SectionReader, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.f == nil {
+		f, err := os.Open(h.path)
+		if err != nil {
+			return nil, err
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		h.f, h.size = f, fi.Size()
+		fileOpens.Add(1)
+	}
+	if off > h.size {
+		off = h.size
+	}
+	return io.NewSectionReader(h.f, off, h.size-off), nil
+}
+
+// reader returns an independent reader over the whole file.
+func (h *fileHandle) reader() (*io.SectionReader, error) { return h.readerAt(0) }
+
+// open adapts the handle to the NewSource open-callback shape. The
+// returned closer is a no-op: the underlying descriptor is shared and
+// owned by the handle.
+func (h *fileHandle) open() (io.ReadCloser, error) {
+	r, err := h.reader()
+	if err != nil {
+		return nil, err
+	}
+	return io.NopCloser(r), nil
+}
+
+// sha256 hashes the file's full contents.
+func (h *fileHandle) sha256() ([32]byte, error) {
+	var sum [32]byte
+	r, err := h.reader()
+	if err != nil {
+		return sum, err
+	}
+	hsh := sha256.New()
+	if _, err := io.Copy(hsh, r); err != nil {
+		return sum, err
+	}
+	copy(sum[:], hsh.Sum(nil))
+	return sum, nil
+}
+
+// Close releases the shared descriptor; a later pass reopens it.
+func (h *fileHandle) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.f == nil {
+		return nil
+	}
+	err := h.f.Close()
+	h.f = nil
+	return err
+}

@@ -1,0 +1,392 @@
+// Seek-indexed replay: a one-scan index of a stream's PSB sync points
+// lets a decoder start at the nearest sync at or before any block
+// ordinal instead of re-walking the whole prefix, making repeated
+// partial passes (window replay, checkpointed tuning) cost work
+// proportional to what they actually read.
+//
+// The index persists next to the trace as a `.ptidx` sidecar keyed by
+// the trace file's SHA-256, so a stale index — the trace was regenerated
+// in place — is detected and rebuilt, never silently used; a corrupt or
+// truncated sidecar is treated as absent.
+package trace
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"ripple/internal/blockseq"
+	"ripple/internal/program"
+)
+
+// indexMagic heads every sidecar file; the digit is the format version.
+const indexMagic = "RPTIDX1\n"
+
+var (
+	// ErrIndexStale reports a sidecar whose recorded trace hash does not
+	// match the trace file: the trace changed after the index was built.
+	ErrIndexStale = errors.New("trace: index does not match trace file")
+	// ErrIndexCorrupt reports a sidecar that fails structural validation
+	// (bad magic, checksum, or framing); treat it as absent and rebuild.
+	ErrIndexCorrupt = errors.New("trace: corrupt index sidecar")
+)
+
+// IndexEntry marks one mid-stream sync point.
+type IndexEntry struct {
+	// Off is the stream byte offset of the sync point's PSB magic.
+	Off int64
+	// Block is the 0-based ordinal of the first block decodable at Off
+	// (the block the sync's full-IP TIP re-establishes).
+	Block uint64
+}
+
+// Index is a seek table over one encoded stream: decoding may start at
+// byte 0 (ordinal 0) or at any entry's offset (its ordinal), because a
+// PSB sync point resets all decoder state.
+type Index struct {
+	// Declared is the block count the stream header promises.
+	Declared uint64
+	// Entries lists every sync point in stream order; both fields are
+	// strictly increasing.
+	Entries []IndexEntry
+}
+
+// BuildIndex scans an encoded stream once — a full strict decode — and
+// records every sync point. Streams encoded without sync points yield an
+// empty (but still valid) index; damaged streams fail, since a seek
+// target inside a damaged region could not decode anyway.
+func BuildIndex(r io.Reader, prog *program.Program) (*Index, error) {
+	d, err := NewDecoder(r, prog)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{Declared: d.Declared()}
+	d.onSync = func(off int64, block uint64) {
+		idx.Entries = append(idx.Entries, IndexEntry{Off: off, Block: block})
+	}
+	for {
+		if _, err := d.Next(); err != nil {
+			if err == io.EOF {
+				return idx, nil
+			}
+			return nil, err
+		}
+	}
+}
+
+// nearest returns the last sync point at or before block n, or ok=false
+// when n precedes every sync point (decode from the header instead).
+func (ix *Index) nearest(n uint64) (IndexEntry, bool) {
+	i := sort.Search(len(ix.Entries), func(i int) bool { return ix.Entries[i].Block > n })
+	if i == 0 {
+		return IndexEntry{}, false
+	}
+	return ix.Entries[i-1], true
+}
+
+// IndexPath returns the sidecar path for a trace file: `x.pt` maps to
+// `x.ptidx`, anything else gets `.ptidx` appended.
+func IndexPath(ptPath string) string {
+	if strings.HasSuffix(ptPath, ".pt") {
+		return strings.TrimSuffix(ptPath, ".pt") + ".ptidx"
+	}
+	return ptPath + ".ptidx"
+}
+
+// WriteIndexFile persists an index as a sidecar keyed by the trace
+// file's content hash. The write is atomic (temp file + rename), so a
+// crash never leaves a half-written sidecar under the final name.
+//
+// Layout: magic, then a payload of trace SHA-256 (32 bytes), uvarint
+// declared count, uvarint entry count, and delta-encoded entries; a
+// SHA-256 of everything before it closes the file, making truncation and
+// scribbling detectable.
+func WriteIndexFile(path string, idx *Index, traceSHA [32]byte) error {
+	var b bytes.Buffer
+	b.WriteString(indexMagic)
+	b.Write(traceSHA[:])
+	putUvarint(&b, idx.Declared)
+	putUvarint(&b, uint64(len(idx.Entries)))
+	var prevOff int64
+	var prevBlock uint64
+	for _, e := range idx.Entries {
+		if e.Off < prevOff || (prevBlock != 0 && e.Block <= prevBlock) {
+			return fmt.Errorf("trace: index entries not in stream order at offset %d", e.Off)
+		}
+		putUvarint(&b, uint64(e.Off-prevOff))
+		putUvarint(&b, e.Block-prevBlock)
+		prevOff, prevBlock = e.Off, e.Block
+	}
+	sum := sha256.Sum256(b.Bytes())
+	b.Write(sum[:])
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadIndexFile reads and validates a sidecar against the trace file's
+// content hash. It returns ErrIndexCorrupt (wrapped) for any structural
+// damage, ErrIndexStale when the recorded hash does not match traceSHA,
+// and the underlying error (e.g. fs.ErrNotExist) when the sidecar cannot
+// be read; callers rebuild on any failure.
+func LoadIndexFile(path string, traceSHA [32]byte) (*Index, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	const minLen = len(indexMagic) + 32 + 32
+	if len(data) < minLen || string(data[:len(indexMagic)]) != indexMagic {
+		return nil, fmt.Errorf("%w: bad magic or truncated (%d bytes)", ErrIndexCorrupt, len(data))
+	}
+	payload, tail := data[:len(data)-32], data[len(data)-32:]
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], tail) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrIndexCorrupt)
+	}
+	r := bytes.NewReader(payload[len(indexMagic):])
+	var gotSHA [32]byte
+	if _, err := io.ReadFull(r, gotSHA[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrIndexCorrupt, err)
+	}
+	if gotSHA != traceSHA {
+		return nil, ErrIndexStale
+	}
+	declared, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrIndexCorrupt, err)
+	}
+	count, err := binary.ReadUvarint(r)
+	if err != nil || count > uint64(r.Len()) { // every entry needs >= 2 bytes
+		return nil, fmt.Errorf("%w: implausible entry count %d", ErrIndexCorrupt, count)
+	}
+	idx := &Index{Declared: declared, Entries: make([]IndexEntry, 0, count)}
+	var off, block uint64
+	for i := uint64(0); i < count; i++ {
+		dOff, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrIndexCorrupt, err)
+		}
+		dBlock, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrIndexCorrupt, err)
+		}
+		off += dOff
+		block += dBlock
+		if block > declared {
+			return nil, fmt.Errorf("%w: entry block %d beyond declared %d", ErrIndexCorrupt, block, declared)
+		}
+		idx.Entries = append(idx.Entries, IndexEntry{Off: int64(off), Block: block})
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrIndexCorrupt, r.Len())
+	}
+	return idx, nil
+}
+
+func putUvarint(b *bytes.Buffer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	b.Write(buf[:n])
+}
+
+// IndexedFileSource streams an encoded trace file with seek support: its
+// passes implement blockseq.Seeker (SeekBlock repositions at the nearest
+// sync point at or before the target and decodes forward) and
+// blockseq.Checkpointer (marks are block ordinals). One os.File serves
+// every pass via ReadAt.
+//
+// The `.ptidx` sidecar is loaded when present and keyed to the file's
+// current SHA-256; a missing, corrupt, or stale sidecar triggers an
+// index rebuild (one strict decode) and a best-effort rewrite. The
+// stream must decode cleanly — recovery mode and seeking don't compose,
+// since a seek target inside a damaged region has no well-defined
+// decode.
+//
+// The source also implements DecodeCounting: DecodedBlocks meters total
+// decode work across all passes, including blocks discarded while
+// seeking.
+func IndexedFileSource(path string, prog *program.Program) (blockseq.Source, error) {
+	h := &fileHandle{path: path}
+	sha, err := h.sha256()
+	if err != nil {
+		return nil, err
+	}
+	sidecar := IndexPath(path)
+	idx, err := LoadIndexFile(sidecar, sha)
+	if err != nil {
+		r, rerr := h.reader()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if idx, rerr = BuildIndex(r, prog); rerr != nil {
+			return nil, rerr
+		}
+		// The sidecar is a cache: failing to persist it (read-only
+		// directory, say) costs the next open a rebuild, nothing more.
+		_ = WriteIndexFile(sidecar, idx, sha)
+	}
+	return &indexedSource{h: h, prog: prog, idx: idx}, nil
+}
+
+type indexedSource struct {
+	h       *fileHandle
+	prog    *program.Program
+	idx     *Index
+	decoded atomic.Uint64
+}
+
+// Open starts a pass at block 0.
+func (s *indexedSource) Open() blockseq.Seq {
+	seq := &indexedSeq{src: s}
+	if err := seq.restart(0); err != nil {
+		return &indexedSeq{err: err, done: true}
+	}
+	return seq
+}
+
+// LenHint reports the header's declared count (indexed streams decode
+// strictly, so the count is exact).
+func (s *indexedSource) LenHint() (int, bool) { return int(s.idx.Declared), true }
+
+// DecodedBlocks implements DecodeCounting.
+func (s *indexedSource) DecodedBlocks() uint64 { return s.decoded.Load() }
+
+// Index exposes the seek table (diagnostics, tests).
+func (s *indexedSource) Index() *Index { return s.idx }
+
+// Close releases the shared file descriptor. Passes opened later reopen
+// it transparently.
+func (s *indexedSource) Close() error { return s.h.Close() }
+
+// indexedSeq is one seekable pass.
+type indexedSeq struct {
+	src  *indexedSource
+	d    *Decoder
+	pos  uint64 // ordinal of the block the next Next returns
+	done bool
+	err  error
+}
+
+func (s *indexedSeq) Next() (program.BlockID, bool) {
+	if s.done || s.err != nil {
+		return 0, false
+	}
+	id, err := s.d.Next()
+	if err != nil {
+		if err != io.EOF {
+			s.err = err
+		}
+		s.done = true
+		return 0, false
+	}
+	s.pos++
+	s.src.decoded.Add(1)
+	return id, true
+}
+
+func (s *indexedSeq) Err() error { return s.err }
+
+// restart begins decoding at ordinal 0 (the header) or at a sync entry.
+func (s *indexedSeq) restart(at uint64) error {
+	if at == 0 {
+		r, err := s.src.h.reader()
+		if err != nil {
+			return err
+		}
+		d, err := NewDecoder(r, s.src.prog)
+		if err != nil {
+			return err
+		}
+		s.d, s.pos, s.done = d, 0, false
+		return nil
+	}
+	e, ok := s.src.idx.nearest(at)
+	if !ok || e.Block != at {
+		return fmt.Errorf("trace: block %d is not a sync point", at)
+	}
+	r, err := s.src.h.readerAt(e.Off)
+	if err != nil {
+		return err
+	}
+	s.d = newDecoderAt(r, s.src.prog, s.src.idx.Declared, e.Block, e.Off)
+	s.pos, s.done = e.Block, false
+	return nil
+}
+
+// SeekBlock implements blockseq.Seeker: it takes the cheaper of decoding
+// forward from the current position and restarting at the nearest sync
+// point at or before the target, so a seek never decodes more than one
+// sync interval of discarded blocks. Out-of-range targets error without
+// moving; a decode failure during the seek surfaces and poisons the
+// pass.
+func (s *indexedSeq) SeekBlock(n int) error {
+	if s.err != nil {
+		return s.err
+	}
+	declared := s.src.idx.Declared
+	if n < 0 || uint64(n) > declared {
+		return fmt.Errorf("trace: seek to block %d outside [0, %d]", n, declared)
+	}
+	target := uint64(n)
+
+	// Cost of plain forward decoding from where the pass already is.
+	forward := uint64(1<<63 - 1)
+	if !s.done && s.d != nil && target >= s.pos {
+		forward = target - s.pos
+	}
+	// Cost of restarting at the best sync point (or the header).
+	start := uint64(0)
+	if e, ok := s.src.idx.nearest(target); ok {
+		start = e.Block
+	}
+	if forward <= target-start {
+		return s.skip(forward)
+	}
+	if err := s.restart(start); err != nil {
+		return err
+	}
+	return s.skip(target - start)
+}
+
+// skip discards n blocks, metering them as decode work.
+func (s *indexedSeq) skip(n uint64) error {
+	for i := uint64(0); i < n; i++ {
+		if _, ok := s.Next(); !ok {
+			if s.err == nil {
+				s.err = fmt.Errorf("trace: stream ended %d blocks short during seek", n-i)
+				s.done = true
+			}
+			return s.err
+		}
+	}
+	return nil
+}
+
+// Checkpoint implements blockseq.Checkpointer: the mark is the pass's
+// block ordinal — restoring is a seek, which re-decodes at most one sync
+// interval.
+func (s *indexedSeq) Checkpoint() (blockseq.Mark, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(buf[:], s.pos)
+	return blockseq.Mark(buf[:k]), nil
+}
+
+// Restore implements blockseq.Checkpointer.
+func (s *indexedSeq) Restore(m blockseq.Mark) error {
+	v, k := binary.Uvarint(m)
+	if k <= 0 || k != len(m) {
+		return fmt.Errorf("trace: malformed seek mark (%d bytes)", len(m))
+	}
+	return s.SeekBlock(int(v))
+}

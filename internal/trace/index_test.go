@@ -1,0 +1,412 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ripple/internal/blockseq"
+	"ripple/internal/blockseq/blockseqtest"
+	"ripple/internal/fault"
+	"ripple/internal/program"
+)
+
+// encodedSync returns a packet stream with a sync point roughly every
+// `every` blocks.
+func encodedSync(t *testing.T, prog *program.Program, blocks []program.BlockID, every int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := EncodeSourceSync(&buf, prog, blockseq.SliceSource(blocks), every); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// writeTrace writes an encoded, sync-pointed trace file and returns its
+// path alongside the reference block sequence.
+func writeTrace(t *testing.T, dir string, every int) (string, []program.BlockID, *program.Program) {
+	t.Helper()
+	app := tinyApp(t)
+	tr := app.Trace(0, 6000)
+	raw := encodedSync(t, app.Prog, tr, every)
+	path := filepath.Join(dir, "trace.pt")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, tr, app.Prog
+}
+
+func TestBuildIndexRecordsSyncPoints(t *testing.T) {
+	app := tinyApp(t)
+	tr := app.Trace(0, 6000)
+	raw := encodedSync(t, app.Prog, tr, 256)
+	idx, err := BuildIndex(bytes.NewReader(raw), app.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Declared != uint64(len(tr)) {
+		t.Fatalf("Declared = %d, want %d", idx.Declared, len(tr))
+	}
+	// ~one sync per 256 blocks; the encoder defers to the next syncable
+	// transition, so the exact count floats a little.
+	if n := len(idx.Entries); n < len(tr)/512 || n > len(tr)/128 {
+		t.Fatalf("%d sync points for %d blocks at interval 256", n, len(tr))
+	}
+	var prev IndexEntry
+	for i, e := range idx.Entries {
+		if e.Off <= prev.Off || (i > 0 && e.Block <= prev.Block) {
+			t.Fatalf("entry %d not strictly increasing: %+v after %+v", i, e, prev)
+		}
+		if e.Block > uint64(len(tr)) {
+			t.Fatalf("entry %d block %d beyond trace", i, e.Block)
+		}
+		prev = e
+	}
+	// A stream encoded without sync points indexes to zero entries.
+	plain := encoded(t, app.Prog, tr)
+	idx2, err := BuildIndex(bytes.NewReader(plain), app.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx2.Entries) != 0 {
+		t.Fatalf("sync-free stream produced %d index entries", len(idx2.Entries))
+	}
+}
+
+func TestIndexSidecarRoundtrip(t *testing.T) {
+	app := tinyApp(t)
+	raw := encodedSync(t, app.Prog, app.Trace(0, 6000), 256)
+	idx, err := BuildIndex(bytes.NewReader(raw), app.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sha := [32]byte{1, 2, 3}
+	path := filepath.Join(t.TempDir(), "trace.ptidx")
+	if err := WriteIndexFile(path, idx, sha); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadIndexFile(path, sha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Declared != idx.Declared || len(got.Entries) != len(idx.Entries) {
+		t.Fatalf("roundtrip: %d/%d entries, declared %d/%d",
+			len(got.Entries), len(idx.Entries), got.Declared, idx.Declared)
+	}
+	for i := range idx.Entries {
+		if got.Entries[i] != idx.Entries[i] {
+			t.Fatalf("entry %d: %+v, want %+v", i, got.Entries[i], idx.Entries[i])
+		}
+	}
+	// The wrong trace hash must be stale, never silently accepted.
+	if _, err := LoadIndexFile(path, [32]byte{9}); !errors.Is(err, ErrIndexStale) {
+		t.Fatalf("mismatched hash: %v, want ErrIndexStale", err)
+	}
+	// A missing sidecar surfaces the underlying not-exist error.
+	if _, err := LoadIndexFile(path+".gone", sha); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing sidecar: %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestIndexPathNaming(t *testing.T) {
+	if got := IndexPath("a/b/trace.pt"); got != "a/b/trace.ptidx" {
+		t.Fatalf("IndexPath(trace.pt) = %q", got)
+	}
+	if got := IndexPath("a/b/trace.bin"); got != "a/b/trace.bin.ptidx" {
+		t.Fatalf("IndexPath(trace.bin) = %q", got)
+	}
+}
+
+// --- IndexedFileSource conformance ------------------------------------
+
+func TestIndexedFileSourceConformance(t *testing.T) {
+	path, _, prog := writeTrace(t, t.TempDir(), 256)
+	open := func(*testing.T) blockseq.Source {
+		src, err := IndexedFileSource(path, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	blockseqtest.TestSource(t, open)
+	blockseqtest.TestSourceSeek(t, open)
+	blockseqtest.TestSourceCheckpoint(t, open)
+}
+
+// TestIndexedFileSourceNoSyncPoints: a sync-free stream still seeks
+// (restarting from the header), just without the cost bound.
+func TestIndexedFileSourceNoSyncPoints(t *testing.T) {
+	path, _, prog := writeTrace(t, t.TempDir(), 0)
+	open := func(*testing.T) blockseq.Source {
+		src, err := IndexedFileSource(path, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	blockseqtest.TestSourceSeek(t, open)
+	blockseqtest.TestSourceCheckpoint(t, open)
+}
+
+// TestIndexedSeekDecodeBudget is the acceptance bound: positioning at
+// block n of a SyncEvery(256) trace decodes at most one sync interval of
+// discarded blocks, not the n-block prefix.
+func TestIndexedSeekDecodeBudget(t *testing.T) {
+	path, tr, prog := writeTrace(t, t.TempDir(), 256)
+	src, err := IndexedFileSource(path, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := src.(DecodeCounting)
+	target := len(tr) - 100
+	before := counting.DecodedBlocks()
+	seq := src.Open().(blockseq.Seeker)
+	if err := seq.SeekBlock(target); err != nil {
+		t.Fatal(err)
+	}
+	cost := counting.DecodedBlocks() - before
+	// Nearest sync <= target is under one interval away; the encoder may
+	// defer a sync past its nominal point, so allow 2x slack.
+	if cost > 512 {
+		t.Fatalf("seek to block %d decoded %d blocks, want <= 512", target, cost)
+	}
+	got, err := blockseq.Collect(blockseq.Func(func() blockseq.Seq { return seq.(blockseq.Seq) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("tail after seek has %d blocks, want 100", len(got))
+	}
+	for i, bid := range got {
+		if bid != tr[target+i] {
+			t.Fatalf("tail diverges at %d", i)
+		}
+	}
+}
+
+// --- sidecar staleness and damage -------------------------------------
+
+// TestIndexSidecarStaleAfterRegenerate: regenerating the trace file in
+// place must invalidate the sidecar via the hash check and rebuild it;
+// the stale index is never used.
+func TestIndexSidecarStaleAfterRegenerate(t *testing.T) {
+	dir := t.TempDir()
+	app := tinyApp(t)
+	path := filepath.Join(dir, "trace.pt")
+
+	oldTrace := app.Trace(0, 6000)
+	if err := os.WriteFile(path, encodedSync(t, app.Prog, oldTrace, 256), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := IndexedFileSource(path, app.Prog); err != nil {
+		t.Fatal(err)
+	}
+	sidecar := IndexPath(path)
+	oldSidecar, err := os.ReadFile(sidecar)
+	if err != nil {
+		t.Fatalf("first open did not write a sidecar: %v", err)
+	}
+
+	// Regenerate in place: a different input's trace, same path.
+	newTrace := app.Trace(1, 6000)
+	if err := os.WriteFile(path, encodedSync(t, app.Prog, newTrace, 256), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h := &fileHandle{path: path}
+	newSHA, err := h.sha256()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndexFile(sidecar, newSHA); !errors.Is(err, ErrIndexStale) {
+		t.Fatalf("old sidecar against regenerated trace: %v, want ErrIndexStale", err)
+	}
+
+	src, err := IndexedFileSource(path, app.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := blockseq.Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(newTrace) {
+		t.Fatalf("decoded %d blocks, want %d", len(got), len(newTrace))
+	}
+	for i := range newTrace {
+		if got[i] != newTrace[i] {
+			t.Fatalf("stale index leaked: divergence at %d", i)
+		}
+	}
+	rebuilt, err := os.ReadFile(sidecar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(rebuilt, oldSidecar) {
+		t.Fatal("sidecar was not rebuilt after the trace changed")
+	}
+	if _, err := LoadIndexFile(sidecar, newSHA); err != nil {
+		t.Fatalf("rebuilt sidecar does not validate: %v", err)
+	}
+}
+
+// TestIndexSidecarDamageTreatedAsAbsent: a corrupt or truncated sidecar
+// must be rejected structurally and rebuilt, never half-parsed.
+func TestIndexSidecarDamageTreatedAsAbsent(t *testing.T) {
+	damages := []struct {
+		name  string
+		wreck func(t *testing.T, sidecar string)
+	}{
+		{"bitflips", func(t *testing.T, sidecar string) {
+			if _, err := fault.CorruptFile(sidecar, 7, 12); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated", func(t *testing.T, sidecar string) {
+			if _, err := fault.TruncateFile(sidecar, 0.4); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"empty", func(t *testing.T, sidecar string) {
+			if err := os.WriteFile(sidecar, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, d := range damages {
+		t.Run(d.name, func(t *testing.T) {
+			path, tr, prog := writeTrace(t, t.TempDir(), 256)
+			if _, err := IndexedFileSource(path, prog); err != nil {
+				t.Fatal(err)
+			}
+			sidecar := IndexPath(path)
+			d.wreck(t, sidecar)
+			h := &fileHandle{path: path}
+			sha, err := h.sha256()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadIndexFile(sidecar, sha); err == nil {
+				t.Fatal("damaged sidecar loaded cleanly")
+			} else if errors.Is(err, ErrIndexStale) {
+				// Bit flips can land inside the stored hash; the checksum
+				// must catch that before the hash comparison does.
+				t.Fatalf("damaged sidecar reported stale, want corrupt: %v", err)
+			}
+			src, err := IndexedFileSource(path, prog)
+			if err != nil {
+				t.Fatalf("open with damaged sidecar: %v", err)
+			}
+			got, err := blockseq.Collect(src)
+			if err != nil || len(got) != len(tr) {
+				t.Fatalf("decode after rebuild: %d blocks, err %v", len(got), err)
+			}
+			if _, err := LoadIndexFile(sidecar, sha); err != nil {
+				t.Fatalf("sidecar not rebuilt after damage: %v", err)
+			}
+		})
+	}
+}
+
+// TestIndexedSeekFaultPoisonsPass: a decode failure during the seek
+// (damage at the landing region) must surface from SeekBlock and poison
+// the pass — Next yields nothing and Err reports it — instead of leaving
+// the pass at an arbitrary position.
+func TestIndexedSeekFaultPoisonsPass(t *testing.T) {
+	app := tinyApp(t)
+	tr := app.Trace(0, 6000)
+	raw := encodedSync(t, app.Prog, tr, 256)
+	idx, err := BuildIndex(bytes.NewReader(raw), app.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Entries) < 4 {
+		t.Fatalf("need several sync points, got %d", len(idx.Entries))
+	}
+	// Damage the stream just past a late sync point, then seek to a block
+	// after it using the (valid, pre-damage) index.
+	target := idx.Entries[len(idx.Entries)-2]
+	mut := append([]byte(nil), raw...)
+	for i := target.Off + int64(len(psbMagic)); i < target.Off+int64(len(psbMagic))+8 && i < int64(len(mut)); i++ {
+		mut[i] ^= 0xa5
+	}
+	path := filepath.Join(t.TempDir(), "trace.pt")
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := &indexedSource{h: &fileHandle{path: path}, prog: app.Prog, idx: idx}
+	seq := src.Open()
+	if err := seq.(blockseq.Seeker).SeekBlock(int(target.Block) + 10); err == nil {
+		t.Fatal("seek into damaged region succeeded")
+	}
+	if _, ok := seq.Next(); ok {
+		t.Fatal("poisoned pass yielded a block")
+	}
+	if seq.Err() == nil {
+		t.Fatal("poisoned pass reports no error")
+	}
+}
+
+// --- descriptor reuse --------------------------------------------------
+
+// TestFileSourceReusesDescriptor: multiple passes (and LenHint) over one
+// FileSource must cost exactly one os.Open.
+func TestFileSourceReusesDescriptor(t *testing.T) {
+	path, tr, prog := writeTrace(t, t.TempDir(), 0)
+	for name, src := range map[string]blockseq.Source{
+		"strict":  FileSource(path, prog),
+		"recover": RecoverFileSource(path, prog),
+	} {
+		t.Run(name, func(t *testing.T) {
+			before := FileOpens()
+			for pass := 0; pass < 5; pass++ {
+				blockseq.LenHint(src)
+				got, err := blockseq.Collect(src)
+				if err != nil || len(got) != len(tr) {
+					t.Fatalf("pass %d: %d blocks, err %v", pass, len(got), err)
+				}
+			}
+			if n := FileOpens() - before; n != 1 {
+				t.Fatalf("5 passes performed %d opens, want 1", n)
+			}
+		})
+	}
+}
+
+// TestIndexedFileSourceReusesDescriptor: hashing, index building, and
+// every subsequent pass share the same descriptor.
+func TestIndexedFileSourceReusesDescriptor(t *testing.T) {
+	path, tr, prog := writeTrace(t, t.TempDir(), 256)
+	before := FileOpens()
+	src, err := IndexedFileSource(path, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 3; pass++ {
+		got, err := blockseq.Collect(src)
+		if err != nil || len(got) != len(tr) {
+			t.Fatalf("pass %d: %d blocks, err %v", pass, len(got), err)
+		}
+	}
+	if n := FileOpens() - before; n != 1 {
+		t.Fatalf("open+hash+index+3 passes performed %d opens, want 1", n)
+	}
+}
+
+// TestDecodeCountingMetersPasses: the decoded-block counter advances by
+// exactly the stream length per full pass.
+func TestDecodeCountingMetersPasses(t *testing.T) {
+	path, tr, prog := writeTrace(t, t.TempDir(), 0)
+	src := FileSource(path, prog)
+	counting := src.(DecodeCounting)
+	for pass := 1; pass <= 3; pass++ {
+		if _, err := blockseq.Collect(src); err != nil {
+			t.Fatal(err)
+		}
+		if n := counting.DecodedBlocks(); n != uint64(pass*len(tr)) {
+			t.Fatalf("after %d passes DecodedBlocks = %d, want %d", pass, n, pass*len(tr))
+		}
+	}
+}

@@ -3,8 +3,8 @@ package trace
 import (
 	"bytes"
 	"io"
-	"os"
 	"sync"
+	"sync/atomic"
 
 	"ripple/internal/blockseq"
 	"ripple/internal/program"
@@ -15,6 +15,14 @@ import (
 // recent completed pass. ok is false until a pass has completed.
 type Reporting interface {
 	DecodeReport() (DecodeReport, bool)
+}
+
+// DecodeCounting is implemented by trace sources that meter decode work:
+// DecodedBlocks returns the total number of blocks decoded across all
+// passes of the source so far, including blocks discarded while seeking.
+// Perf tests assert replay-cost bounds against it.
+type DecodeCounting interface {
+	DecodedBlocks() uint64
 }
 
 // NewSource wraps an encoded packet stream as a replayable block source:
@@ -36,14 +44,19 @@ func NewRecoveringSource(prog *program.Program, open func() (io.ReadCloser, erro
 
 // FileSource streams an encoded trace file. LenHint reads just the
 // stream header, so consumers can pre-size buffers without a full pass.
+// All passes share one os.File via ReadAt, so re-opening the source for
+// multi-pass analysis does not churn file descriptors; Close (optional)
+// releases it.
 func FileSource(path string, prog *program.Program) blockseq.Source {
-	return NewSource(prog, func() (io.ReadCloser, error) { return os.Open(path) })
+	h := &fileHandle{path: path}
+	return &readerSource{prog: prog, open: h.open, closer: h}
 }
 
 // RecoverFileSource streams an encoded trace file in recovery mode (see
-// NewRecoveringSource).
+// NewRecoveringSource). Like FileSource, all passes share one os.File.
 func RecoverFileSource(path string, prog *program.Program) blockseq.Source {
-	return NewRecoveringSource(prog, func() (io.ReadCloser, error) { return os.Open(path) })
+	h := &fileHandle{path: path}
+	return &readerSource{prog: prog, open: h.open, closer: h, rec: true}
 }
 
 // BytesSource streams an in-memory encoded trace (tests, benchmarks).
@@ -65,6 +78,10 @@ type readerSource struct {
 	prog *program.Program
 	open func() (io.ReadCloser, error)
 	rec  bool
+	// closer, when set, releases the shared file handle behind open.
+	closer io.Closer
+	// decoded meters decode work across all passes (see DecodeCounting).
+	decoded atomic.Uint64
 
 	// hintOnce guards the cached header read: parallel tuning jobs share
 	// one source, so LenHint must be safe under concurrent passes.
@@ -123,6 +140,18 @@ func (s *readerSource) DecodeReport() (DecodeReport, bool) {
 	return s.report, s.haveReport
 }
 
+// DecodedBlocks implements DecodeCounting.
+func (s *readerSource) DecodedBlocks() uint64 { return s.decoded.Load() }
+
+// Close releases the shared file handle, when the source has one.
+// Later passes reopen it transparently.
+func (s *readerSource) Close() error {
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
+
 // setReport publishes a completed pass's report.
 func (s *readerSource) setReport(rep DecodeReport) {
 	s.mu.Lock()
@@ -150,6 +179,9 @@ func (s *decodeSeq) Next() (program.BlockID, bool) {
 		}
 		s.close()
 		return 0, false
+	}
+	if s.src != nil {
+		s.src.decoded.Add(1)
 	}
 	return id, true
 }

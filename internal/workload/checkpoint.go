@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"ripple/internal/blockseq"
+	"ripple/internal/program"
+)
+
+// walkMarkVersion guards the serialized checkpoint layout.
+const walkMarkVersion = 1
+
+// Checkpoint implements blockseq.Checkpointer: the mark captures the
+// walker's full dynamic state — both RNG streams, the phase-rotated
+// popularity permutation, the call stack, burst and request bookkeeping,
+// and the pass's emission progress. The per-input branch-bias table
+// (pTaken) is NOT serialized: it is derived deterministically at
+// construction and never mutated afterwards, so a fresh walker for the
+// same (app, input) already carries it.
+func (s *walkSeq) Checkpoint() (blockseq.Mark, error) {
+	w := s.w
+	var b bytes.Buffer
+	b.WriteByte(walkMarkVersion)
+	writeString(&b, w.app.Model.Name)
+	writeUvarint(&b, uint64(s.min))
+	writeUvarint(&b, uint64(s.emitted))
+	boolByte := byte(0)
+	if w.inRequest {
+		boolByte = 1
+	}
+	b.WriteByte(boolByte)
+	writeUvarint(&b, uint64(w.cur))
+	writeUvarint(&b, uint64(w.requests))
+	writeUvarint(&b, uint64(w.burstLeft))
+	writeUvarint(&b, uint64(w.burstSvc))
+	for _, v := range w.rng.State() {
+		writeUvarint(&b, v)
+	}
+	for _, v := range w.phaseRNG.State() {
+		writeUvarint(&b, v)
+	}
+	writeUvarint(&b, uint64(len(w.svcPerm)))
+	for _, v := range w.svcPerm {
+		writeUvarint(&b, uint64(v))
+	}
+	writeUvarint(&b, uint64(len(w.stack)))
+	for _, v := range w.stack {
+		writeUvarint(&b, uint64(v))
+	}
+	return blockseq.Mark(b.Bytes()), nil
+}
+
+// Restore implements blockseq.Checkpointer on a freshly opened pass: the
+// walker's state is overwritten with the mark's snapshot, after which the
+// pass replays exactly the checkpointed pass's remaining blocks.
+func (s *walkSeq) Restore(m blockseq.Mark) error {
+	r := bytes.NewReader(m)
+	ver, err := r.ReadByte()
+	if err != nil || ver != walkMarkVersion {
+		return fmt.Errorf("workload: unrecognized checkpoint mark (version %d)", ver)
+	}
+	name, err := readString(r)
+	if err != nil {
+		return fmt.Errorf("workload: corrupt checkpoint mark: %w", err)
+	}
+	w := s.w
+	if name != w.app.Model.Name {
+		return fmt.Errorf("workload: checkpoint mark is for app %q, not %q", name, w.app.Model.Name)
+	}
+	var min, emitted, inReq, cur, requests, burstLeft, burstSvc uint64
+	var rngState, phaseState [4]uint64
+	fields := []*uint64{&min, &emitted}
+	for _, f := range fields {
+		if *f, err = binary.ReadUvarint(r); err != nil {
+			return fmt.Errorf("workload: corrupt checkpoint mark: %w", err)
+		}
+	}
+	bb, err := r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("workload: corrupt checkpoint mark: %w", err)
+	}
+	inReq = uint64(bb)
+	for _, f := range []*uint64{&cur, &requests, &burstLeft, &burstSvc} {
+		if *f, err = binary.ReadUvarint(r); err != nil {
+			return fmt.Errorf("workload: corrupt checkpoint mark: %w", err)
+		}
+	}
+	for i := range rngState {
+		if rngState[i], err = binary.ReadUvarint(r); err != nil {
+			return fmt.Errorf("workload: corrupt checkpoint mark: %w", err)
+		}
+	}
+	for i := range phaseState {
+		if phaseState[i], err = binary.ReadUvarint(r); err != nil {
+			return fmt.Errorf("workload: corrupt checkpoint mark: %w", err)
+		}
+	}
+	perm, err := readIntSlice(r)
+	if err != nil {
+		return fmt.Errorf("workload: corrupt checkpoint mark: %w", err)
+	}
+	if len(perm) != len(w.svcPerm) {
+		return fmt.Errorf("workload: checkpoint mark has %d services, app has %d", len(perm), len(w.svcPerm))
+	}
+	stackRaw, err := readIntSlice(r)
+	if err != nil {
+		return fmt.Errorf("workload: corrupt checkpoint mark: %w", err)
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("workload: checkpoint mark has %d trailing bytes", r.Len())
+	}
+	if nb := w.app.Prog.NumBlocks(); int(cur) >= nb {
+		return fmt.Errorf("workload: checkpoint mark block %d outside program (%d blocks)", cur, nb)
+	}
+
+	s.min = int(min)
+	s.emitted = int(emitted)
+	w.inRequest = inReq != 0
+	w.cur = program.BlockID(cur)
+	w.requests = int(requests)
+	w.burstLeft = int(burstLeft)
+	w.burstSvc = int(burstSvc)
+	w.rng.SetState(rngState)
+	w.phaseRNG.SetState(phaseState)
+	copy(w.svcPerm, perm)
+	w.stack = w.stack[:0]
+	for _, v := range stackRaw {
+		w.stack = append(w.stack, program.BlockID(v))
+	}
+	return nil
+}
+
+func writeUvarint(b *bytes.Buffer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	b.Write(buf[:n])
+}
+
+func writeString(b *bytes.Buffer, s string) {
+	writeUvarint(b, uint64(len(s)))
+	b.WriteString(s)
+}
+
+func readString(r *bytes.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.Len()) {
+		return "", fmt.Errorf("string length %d exceeds %d remaining bytes", n, r.Len())
+	}
+	buf := make([]byte, n)
+	if _, err := r.Read(buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readIntSlice(r *bytes.Reader) ([]int, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Len()) { // every element needs at least one byte
+		return nil, fmt.Errorf("slice length %d exceeds %d remaining bytes", n, r.Len())
+	}
+	out := make([]int, n)
+	for i := range out {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}

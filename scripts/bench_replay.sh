@@ -1,0 +1,50 @@
+#!/bin/sh
+# bench_replay.sh runs the replay-acceleration benchmarks and rewrites
+# BENCH_replay.json at the repo root with the measured decode work.
+#
+# The committed file documents the win the seek index and checkpointed
+# warmup buy on this codebase: blocks decoded per op is the headline
+# metric (the accelerations cut decode work, not just wall clock, which
+# varies with the host). Rerun after touching the replay path:
+#
+#	scripts/bench_replay.sh [-benchtime 10x]
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="5x"
+if [ "${1:-}" = "-benchtime" ] && [ -n "${2:-}" ]; then
+	benchtime="$2"
+fi
+
+out="$(go test ./internal/core -run '^$' \
+	-bench 'BenchmarkWindowReplay|BenchmarkTune' -benchtime "$benchtime" 2>&1)"
+printf '%s\n' "$out"
+
+printf '%s\n' "$out" | awk -v benchtime="$benchtime" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op")     ns[name] = $i
+		if ($(i+1) == "blocks/op") blocks[name] = $i
+		if ($(i+1) == "B/op")      bytes[name] = $i
+		if ($(i+1) == "allocs/op") allocs[name] = $i
+	}
+	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+	if (n == 0) { print "bench_replay: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+	print "{"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	print "  \"metric_note\": \"blocks_per_op counts decoded (or generated) trace blocks; the seek index and checkpointed warmup are decode-work optimizations, so this is the stable headline number\","
+	print "  \"benchmarks\": {"
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		printf "    \"%s\": {\"blocks_per_op\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+			name, blocks[name], ns[name], bytes[name], allocs[name], (i < n ? "," : "")
+	}
+	print "  }"
+	print "}"
+}' >BENCH_replay.json
+
+echo "wrote BENCH_replay.json"
