@@ -43,6 +43,7 @@ import (
 	"ripple/internal/core"
 	"ripple/internal/frontend"
 	"ripple/internal/program"
+	"ripple/internal/rippled"
 	"ripple/internal/runner"
 	"ripple/internal/trace"
 )
@@ -58,6 +59,7 @@ func main() {
 	flag.IntVar(&o.Warmup, "warmup", 0, "warmup blocks excluded from tuning measurements")
 	flag.IntVar(&o.Workers, "j", 0, "parallel tuning simulations (default GOMAXPROCS)")
 	flag.StringVar(&o.CacheDir, "cachedir", "", "directory for the persistent result store (default: no persistence)")
+	flag.StringVar(&o.StoreURL, "store", "", "rippled URL for a shared fleet result store (e.g. http://127.0.0.1:8344); mutually exclusive with -cachedir")
 	flag.StringVar(&o.JSONOut, "json", "", "also write a JSON report to this path")
 	flag.BoolVar(&o.Recover, "recover", false, "resynchronize past damaged trace regions instead of failing")
 	flag.BoolVar(&o.Index, "index", false, "replay through the .ptidx seek index (built on the fly if absent or stale); conflicts with -recover")
@@ -69,14 +71,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rippleanalyze: -recover and -strict are mutually exclusive")
 		os.Exit(2)
 	}
+	if o.CacheDir != "" && o.StoreURL != "" {
+		fmt.Fprintln(os.Stderr, "rippleanalyze: -cachedir and -store are mutually exclusive")
+		os.Exit(2)
+	}
 
 	stats, err := run(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rippleanalyze:", err)
 		os.Exit(1)
 	}
-	if o.CacheDir != "" && o.Threshold == 0 {
+	if (o.CacheDir != "" || o.StoreURL != "") && o.Threshold == 0 {
 		line := fmt.Sprintf("jobs: %d simulated, %d from store", stats.Computed, stats.StoreHits)
+		if stats.FleetHits > 0 {
+			line += fmt.Sprintf(", %d from fleet", stats.FleetHits)
+		}
 		if stats.Retries > 0 {
 			line += fmt.Sprintf(", %d retried", stats.Retries)
 		}
@@ -95,6 +104,7 @@ type options struct {
 	Warmup                int
 	Workers               int
 	CacheDir              string
+	StoreURL              string
 	JSONOut               string
 	Recover               bool
 	Index                 bool
@@ -247,8 +257,14 @@ func run(o options) (runner.Stats, error) {
 // pool (with a persistent store under -cachedir) and the trace's content
 // identity, so equal (program, trace, config) reruns hit the store.
 func parallelOpts(o options) (core.ParallelOptions, *runner.Pool, error) {
-	var store *runner.Store
-	if o.CacheDir != "" {
+	var store runner.StoreBackend
+	if o.StoreURL != "" {
+		cl, err := rippled.NewClient(o.StoreURL, rippled.ClientOptions{Log: os.Stderr})
+		if err != nil {
+			return core.ParallelOptions{}, nil, err
+		}
+		store = cl
+	} else if o.CacheDir != "" {
 		st, err := runner.OpenStore(o.CacheDir)
 		if err != nil {
 			return core.ParallelOptions{}, nil, err

@@ -1,0 +1,89 @@
+// Command rippled serves a content-addressed result store and a
+// compute-lease table over HTTP, so many worker processes — or machines
+// — drain one sweep against a single shared cache (Ripple-as-a-service).
+//
+// The directory it serves is an ordinary runner store: a directory a
+// previous -cachedir run warmed is immediately servable, and entries
+// rippled writes are readable by later -cachedir runs. Workers point at
+// it with -store http://host:port on rippleexp, rippleanalyze, and
+// ripplesim; each duplicate signature is then computed exactly once
+// across the whole fleet.
+//
+// Usage:
+//
+//	rippled -dir /var/cache/ripple
+//	rippled -dir /var/cache/ripple -listen 127.0.0.1:8344 -lease-ttl 30s
+//
+// On SIGINT/SIGTERM the server drains in-flight requests and prints a
+// final stats line (hits, misses, corrupt entries quarantined, leases).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ripple/internal/rippled"
+	"ripple/internal/runner"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8344", "address to serve on (host:port; port 0 picks a free one)")
+	dir := flag.String("dir", "", "store directory to serve (required; created if absent)")
+	ttl := flag.Duration("lease-ttl", rippled.DefaultLeaseTTL, "compute-lease TTL; heartbeats renew it, expiry returns the job to the queue")
+	quiet := flag.Bool("q", false, "suppress per-event logging")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "rippled: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*listen, *dir, *ttl, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "rippled:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, dir string, ttl time.Duration, quiet bool) error {
+	store, err := runner.OpenStore(dir)
+	if err != nil {
+		return err
+	}
+	var logw io.Writer
+	if !quiet {
+		logw = os.Stderr
+	}
+	srv := rippled.NewServer(store, rippled.ServerOptions{LeaseTTL: ttl, Log: logw})
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	// The first stdout line is machine-parseable (scripts/smoke_rippled.sh
+	// starts on port 0 and reads the bound address from it).
+	fmt.Printf("rippled: serving %s on http://%s\n", dir, ln.Addr())
+
+	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}()
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	stats, _ := json.Marshal(srv.Stats())
+	fmt.Printf("rippled: final stats %s\n", stats)
+	return nil
+}

@@ -9,7 +9,10 @@
 // results are also persisted content-addressed on disk, so a repeated or
 // partially-overlapping invocation only simulates what changed; -cache=off
 // disables the persistent store even when -cachedir is set (the in-process
-// cache always remains).
+// cache always remains). With -store the results instead flow through a
+// shared rippled coordinator (see cmd/rippled): many rippleexp processes
+// drain one sweep, and each duplicate signature is computed exactly once
+// across the whole fleet.
 //
 // Usage:
 //
@@ -18,6 +21,7 @@
 //	rippleexp -run all -blocks 600000 -apps finagle-http,verilator
 //	rippleexp -run all -j 8 -cachedir ~/.cache/rippleexp
 //	rippleexp -run fig7 -cachedir ~/.cache/rippleexp -cache=off
+//	rippleexp -run all -store http://127.0.0.1:8344
 package main
 
 import (
@@ -40,7 +44,8 @@ func main() {
 	apps := flag.String("apps", "", "comma-separated application subset (default: all nine)")
 	workers := flag.Int("j", 0, "number of parallel simulation workers (default GOMAXPROCS)")
 	cachedir := flag.String("cachedir", "", "directory for the persistent result store (default: no persistence)")
-	cacheMode := flag.String("cache", "on", "result store mode: on or off (off ignores -cachedir)")
+	storeURL := flag.String("store", "", "rippled URL for a shared fleet result store (e.g. http://127.0.0.1:8344); mutually exclusive with -cachedir")
+	cacheMode := flag.String("cache", "on", "result store mode: on or off (off ignores -cachedir and -store)")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	jsonOut := flag.String("json", "", "write a JSON run summary (experiments + job-runner counters) to this path")
 	flag.Parse()
@@ -61,6 +66,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rippleexp: -cache must be 'on' or 'off'")
 		os.Exit(2)
 	}
+	if *cachedir != "" && *storeURL != "" {
+		fmt.Fprintln(os.Stderr, "rippleexp: -cachedir and -store are mutually exclusive")
+		os.Exit(2)
+	}
 
 	// Leave unset fields zero: experiment.New centralizes the defaults.
 	// Only flags the user actually passed override the config, so e.g.
@@ -77,6 +86,7 @@ func main() {
 	}
 	if *cacheMode == "on" {
 		cfg.CacheDir = *cachedir
+		cfg.StoreURL = *storeURL
 	}
 	if *quiet {
 		cfg.Log = nil
@@ -127,6 +137,7 @@ func writeSummary(path, ran string, suite *experiment.Suite) error {
 			Simulated   int64
 			StoreHits   int64
 			MemHits     int64
+			FleetHits   int64
 			Errors      int64
 			Retries     int64
 			Quarantined int64
@@ -136,6 +147,7 @@ func writeSummary(path, ran string, suite *experiment.Suite) error {
 	summary.Jobs.Simulated = st.Computed
 	summary.Jobs.StoreHits = st.StoreHits
 	summary.Jobs.MemHits = st.MemHits
+	summary.Jobs.FleetHits = st.FleetHits
 	summary.Jobs.Errors = st.Errors
 	summary.Jobs.Retries = st.Retries
 	summary.Jobs.Quarantined = st.Quarantined

@@ -42,6 +42,7 @@ import (
 	"ripple/internal/prefetch"
 	"ripple/internal/program"
 	"ripple/internal/replacement"
+	"ripple/internal/rippled"
 	"ripple/internal/runner"
 	"ripple/internal/trace"
 )
@@ -60,6 +61,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the report")
 	workers := flag.Int("j", 0, "parallel workers for sweep mode (default GOMAXPROCS)")
 	cachedir := flag.String("cachedir", "", "persistent result store for sweep mode (default: none)")
+	storeURL := flag.String("store", "", "rippled URL for a shared fleet result store in sweep mode (e.g. http://127.0.0.1:8344); mutually exclusive with -cachedir")
 	rec := flag.Bool("recover", false, "resynchronize past damaged trace regions instead of failing")
 	index := flag.Bool("index", false, "replay through the .ptidx seek index (built on the fly if absent or stale); conflicts with -recover")
 	flag.Parse()
@@ -75,9 +77,11 @@ func main() {
 	var err error
 	if *rec && *index {
 		err = fmt.Errorf("-index and -recover are mutually exclusive")
+	} else if *cachedir != "" && *storeURL != "" {
+		err = fmt.Errorf("-cachedir and -store are mutually exclusive")
 	} else if len(policies) > 1 || len(prefetchers) > 1 {
 		err = sweep(*progPath, *traceProgPath, *ptPath, *planPath, policies, prefetchers,
-			limit, *warmup, *accuracy, *demote, *jsonOut, *workers, *cachedir, *rec, *index)
+			limit, *warmup, *accuracy, *demote, *jsonOut, *workers, *cachedir, *storeURL, *rec, *index)
 	} else {
 		err = run(*progPath, *traceProgPath, *ptPath, *planPath, *policy, *prefetcher, limit, *warmup, *accuracy, *demote, *jsonOut, *rec, *index)
 	}
@@ -171,7 +175,7 @@ func run(progPath, traceProgPath, ptPath, planPath, policy, prefetcher string, l
 // configuration, so editing the trace or plan invalidates exactly the
 // affected entries.
 func sweep(progPath, traceProgPath, ptPath, planPath string, policies, prefetchers []string,
-	limit, warmup int, accuracy, demote, jsonOut bool, workers int, cachedir string, rec, indexed bool) error {
+	limit, warmup int, accuracy, demote, jsonOut bool, workers int, cachedir, storeURL string, rec, indexed bool) error {
 	if progPath == "" || ptPath == "" {
 		return fmt.Errorf("-prog and -pt are required")
 	}
@@ -221,11 +225,19 @@ func sweep(progPath, traceProgPath, ptPath, planPath string, policies, prefetche
 		base += "|recover=1"
 	}
 
-	var store *runner.Store
-	if cachedir != "" {
-		if store, err = runner.OpenStore(cachedir); err != nil {
-			return err
+	var store runner.StoreBackend
+	if storeURL != "" {
+		cl, cerr := rippled.NewClient(storeURL, rippled.ClientOptions{Log: os.Stderr})
+		if cerr != nil {
+			return cerr
 		}
+		store = cl
+	} else if cachedir != "" {
+		st, serr := runner.OpenStore(cachedir)
+		if serr != nil {
+			return serr
+		}
+		store = st
 	}
 	pool := runner.New(runner.Options{Workers: workers, Store: store, Log: os.Stderr})
 	hints := frontend.HintInvalidate

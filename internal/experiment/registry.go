@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"ripple/internal/runner"
 )
 
 // entry couples an experiment ID with its description and runner.
@@ -87,12 +89,23 @@ func (s *Suite) Tables(id string) ([]*Table, error) {
 		store := s.pool.Store()
 		sig := s.tableSig(id)
 		if store != nil {
-			if raw, ok := store.Get(sig); ok {
+			// One read path: Lookup classifies the entry, so a corrupt
+			// table cache is quarantined and reported rather than
+			// silently re-missing on every run.
+			raw, st := store.Lookup(sig)
+			switch st {
+			case runner.StatusHit:
 				var tables []*Table
 				if json.Unmarshal(raw, &tables) == nil {
 					s.logf("[%s] tables served from cache", id)
 					return tables, nil
 				}
+				// Valid framing, undecodable payload (schema drift):
+				// quarantine it like the job runner does.
+				store.Quarantine(sig)
+				s.logf("[%s] quarantined undecodable cached tables (recomputing)", id)
+			case runner.StatusCorrupt:
+				s.logf("[%s] quarantined corrupt cached tables (recomputing)", id)
 			}
 		}
 		tables, err := e.run(s)

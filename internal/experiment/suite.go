@@ -15,6 +15,7 @@ import (
 	"ripple/internal/opt"
 	"ripple/internal/prefetch"
 	"ripple/internal/replacement"
+	"ripple/internal/rippled"
 	"ripple/internal/runner"
 	"ripple/internal/workload"
 )
@@ -44,6 +45,11 @@ type Config struct {
 	// suite runs across processes are incremental. Empty disables
 	// persistence (results are still memoized in-process).
 	CacheDir string
+	// StoreURL, when non-empty, persists results through a shared
+	// rippled coordinator instead of a local directory: many suite
+	// processes then drain one sweep, each duplicate signature computed
+	// exactly once fleet-wide. Mutually exclusive with CacheDir.
+	StoreURL string
 	// Retries bounds re-executions of transiently failing jobs
 	// (runner.Transient); 0 disables retry.
 	Retries int
@@ -124,13 +130,26 @@ type appState struct {
 // New builds a suite. Invalid app names surface on first use.
 func New(cfg Config) *Suite {
 	cfg = cfg.normalize()
-	var store *runner.Store
-	if cfg.CacheDir != "" {
-		st, err := runner.OpenStore(cfg.CacheDir)
-		if err != nil && cfg.Log != nil {
-			fmt.Fprintf(cfg.Log, "experiment: result cache disabled: %v\n", err)
+	var store runner.StoreBackend
+	switch {
+	case cfg.StoreURL != "":
+		cl, err := rippled.NewClient(cfg.StoreURL, rippled.ClientOptions{Log: cfg.Log})
+		if err != nil {
+			if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log, "experiment: remote result store disabled: %v\n", err)
+			}
+		} else {
+			store = cl
 		}
-		store = st
+	case cfg.CacheDir != "":
+		st, err := runner.OpenStore(cfg.CacheDir)
+		if err != nil {
+			if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log, "experiment: result cache disabled: %v\n", err)
+			}
+		} else {
+			store = st
+		}
 	}
 	pool := runner.New(runner.Options{Workers: cfg.Workers, Store: store, Log: cfg.Log, Retries: cfg.Retries})
 	s := &Suite{

@@ -1,0 +1,113 @@
+// Package rippled is the fleet coordinator behind Ripple-as-a-service:
+// an HTTP backend for the runner's content-addressed result store plus
+// signature-keyed job leasing, so many worker processes — or machines —
+// drain one sweep while each duplicate signature is computed exactly
+// once fleet-wide.
+//
+// The package has three parts. Server exposes a filesystem runner.Store
+// over HTTP (GET/PUT/HEAD by signature hash with atomic writes, SHA-256
+// ETag validation, and the store's quarantine semantics preserved over
+// the wire) and arbitrates compute leases. Client implements
+// runner.StoreBackend and runner.Coordinator against such a server,
+// with Transient-classified retry/backoff and an outage breaker that
+// degrades to local compute when the server is unreachable. Command
+// rippled (cmd/rippled) serves a store directory.
+package rippled
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// lease is one held compute claim on a signature.
+type lease struct {
+	owner   string
+	token   string
+	expires time.Time
+}
+
+// leaseTable arbitrates signature-keyed compute leases with TTL expiry:
+// a signature has at most one live holder; an expired lease returns to
+// the queue (the next acquirer steals it). The zero table is not usable
+// — construct with newLeaseTable.
+type leaseTable struct {
+	now func() time.Time
+
+	mu   sync.Mutex
+	held map[string]*lease
+	seq  uint64
+
+	granted uint64 // acquisitions granted (incl. steals)
+	stolen  uint64 // grants that displaced an expired holder
+	busy    uint64 // acquisitions refused: live holder present
+}
+
+func newLeaseTable(now func() time.Time) *leaseTable {
+	if now == nil {
+		now = time.Now
+	}
+	return &leaseTable{now: now, held: make(map[string]*lease)}
+}
+
+// acquire claims sig for owner. Granted claims return a renewal token;
+// refused claims report the live holder and how long until its lease
+// expires (the natural retry horizon).
+func (t *leaseTable) acquire(sig, owner string, ttl time.Duration) (token, holder string, remaining time.Duration, granted bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	if l, ok := t.held[sig]; ok {
+		if now.Before(l.expires) {
+			t.busy++
+			return "", l.owner, l.expires.Sub(now), false
+		}
+		t.stolen++
+	}
+	t.seq++
+	l := &lease{owner: owner, token: fmt.Sprintf("%s#%d", owner, t.seq), expires: now.Add(ttl)}
+	t.held[sig] = l
+	t.granted++
+	return l.token, owner, ttl, true
+}
+
+// renew extends a held lease. It fails — the lease is lost — when the
+// token no longer matches (expired and stolen, released, or completed).
+func (t *leaseTable) renew(sig, token string, ttl time.Duration) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.held[sig]
+	if !ok || l.token != token || !t.now().Before(l.expires) {
+		return false
+	}
+	l.expires = t.now().Add(ttl)
+	return true
+}
+
+// release frees a held lease; stale tokens are ignored (the lease was
+// already stolen or completed).
+func (t *leaseTable) release(sig, token string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.held[sig]
+	if !ok || l.token != token {
+		return false
+	}
+	delete(t.held, sig)
+	return true
+}
+
+// complete frees any lease on sig regardless of holder: the result is
+// published, so the claim — whoever held it — is moot.
+func (t *leaseTable) complete(sig string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.held, sig)
+}
+
+// counters returns (granted, stolen, busy, live) for the stats surface.
+func (t *leaseTable) counters() (granted, stolen, busy uint64, live int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.granted, t.stolen, t.busy, len(t.held)
+}

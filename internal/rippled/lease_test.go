@@ -1,0 +1,104 @@
+package rippled
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func newTestLeases(c *fakeClock) *leaseTable { return newLeaseTable(c.now) }
+
+func TestLeaseAcquireGrantAndBusy(t *testing.T) {
+	clk := newFakeClock()
+	lt := newTestLeases(clk)
+	tok, _, _, granted := lt.acquire("sig", "alice", time.Minute)
+	if !granted || tok == "" {
+		t.Fatalf("first acquire = %q granted=%t", tok, granted)
+	}
+	_, holder, remaining, granted := lt.acquire("sig", "bob", time.Minute)
+	if granted {
+		t.Fatal("second acquire granted while lease live")
+	}
+	if holder != "alice" || remaining != time.Minute {
+		t.Fatalf("busy reply holder=%q remaining=%v", holder, remaining)
+	}
+	// A different signature is independent.
+	if _, _, _, g := lt.acquire("other", "bob", time.Minute); !g {
+		t.Fatal("unrelated signature refused")
+	}
+}
+
+func TestLeaseExpiryReturnsToQueue(t *testing.T) {
+	clk := newFakeClock()
+	lt := newTestLeases(clk)
+	tok1, _, _, _ := lt.acquire("sig", "alice", time.Minute)
+	clk.advance(time.Minute) // expires exactly at deadline
+	tok2, _, _, granted := lt.acquire("sig", "bob", time.Minute)
+	if !granted {
+		t.Fatal("expired lease not stolen")
+	}
+	if tok1 == tok2 {
+		t.Fatal("stolen lease reused the old token")
+	}
+	// The displaced holder's token is dead for renew and release alike.
+	if lt.renew("sig", tok1, time.Minute) {
+		t.Fatal("expired token renewed")
+	}
+	if lt.release("sig", tok1) {
+		t.Fatal("expired token released someone else's lease")
+	}
+	granted2, stolen, _, live := lt.counters()
+	if granted2 != 2 || stolen != 1 || live != 1 {
+		t.Fatalf("counters granted=%d stolen=%d live=%d", granted2, stolen, live)
+	}
+}
+
+func TestLeaseRenewExtends(t *testing.T) {
+	clk := newFakeClock()
+	lt := newTestLeases(clk)
+	tok, _, _, _ := lt.acquire("sig", "alice", time.Minute)
+	clk.advance(50 * time.Second)
+	if !lt.renew("sig", tok, time.Minute) {
+		t.Fatal("live lease refused renewal")
+	}
+	clk.advance(50 * time.Second) // 100s after acquire, 50s after renew
+	if _, _, _, granted := lt.acquire("sig", "bob", time.Minute); granted {
+		t.Fatal("renewed lease stolen before its extended expiry")
+	}
+	// An expired lease cannot be renewed back to life.
+	clk.advance(time.Minute)
+	if lt.renew("sig", tok, time.Minute) {
+		t.Fatal("expired lease resurrected by renew")
+	}
+}
+
+func TestLeaseReleaseFrees(t *testing.T) {
+	clk := newFakeClock()
+	lt := newTestLeases(clk)
+	tok, _, _, _ := lt.acquire("sig", "alice", time.Minute)
+	if !lt.release("sig", tok) {
+		t.Fatal("holder could not release")
+	}
+	if _, _, _, granted := lt.acquire("sig", "bob", time.Minute); !granted {
+		t.Fatal("released signature not acquirable")
+	}
+	// Double release is a stale token.
+	if lt.release("sig", tok) {
+		t.Fatal("stale release succeeded")
+	}
+}
+
+func TestLeaseCompleteFreesAnyHolder(t *testing.T) {
+	clk := newFakeClock()
+	lt := newTestLeases(clk)
+	lt.acquire("sig", "alice", time.Minute)
+	lt.complete("sig") // e.g. a PUT landed, whoever held the lease
+	if _, _, _, live := lt.counters(); live != 0 {
+		t.Fatalf("%d live leases after complete", live)
+	}
+}

@@ -1,0 +1,79 @@
+package rippled
+
+// Wire protocol, shared by Server and Client.
+//
+// Store entries are addressed by the content key runner.Key(sig) — the
+// SHA-256 of the full job signature — mirroring the on-disk layout. The
+// full signature always rides along in the X-Ripple-Sig header so the
+// server can preserve the store's embedded-signature validation (a key
+// that does not hash from its signature is rejected, never served).
+//
+//	GET    /v1/store/{key}     → 200 raw result JSON   (hit; ETag = "sha256 of body")
+//	                             404                   (miss)
+//	                             410                   (corrupt; quarantined server-side)
+//	HEAD   /v1/store/{key}     → as GET, no body
+//	PUT    /v1/store/{key}     → 204                   (atomic write; X-Ripple-Sha256 verified)
+//	POST   /v1/store/{key}/quarantine → 200 {"path":…} (entry moved aside)
+//	POST   /v1/lease/acquire   → 200 leaseResponse     (granted | busy | done)
+//	POST   /v1/lease/renew     → 200 granted | 409 lost
+//	POST   /v1/lease/release   → 200 released | 409 lost
+//	GET    /v1/stats           → 200 StatsReply
+const (
+	storePrefix = "/v1/store/"
+	acquirePath = "/v1/lease/acquire"
+	renewPath   = "/v1/lease/renew"
+	releasePath = "/v1/lease/release"
+	statsPath   = "/v1/stats"
+
+	// headerSig carries the full job signature of a store request.
+	headerSig = "X-Ripple-Sig"
+	// headerSHA carries the client-computed SHA-256 (hex) of a PUT body;
+	// the server refuses a body that does not hash to it.
+	headerSHA = "X-Ripple-Sha256"
+)
+
+// Lease states on the wire.
+const (
+	stateGranted  = "granted"  // caller holds the lease; compute
+	stateBusy     = "busy"     // live holder elsewhere; poll the store
+	stateDone     = "done"     // result already published; fetch it
+	stateLost     = "lost"     // renewal/release token no longer valid
+	stateReleased = "released" // release accepted
+)
+
+// leaseRequest is the body of every /v1/lease/* POST.
+type leaseRequest struct {
+	Sig   string `json:"sig"`
+	Owner string `json:"owner,omitempty"`
+	Token string `json:"token,omitempty"`
+	// TTLMillis is the requested lease duration; the server clamps it to
+	// its configured maximum.
+	TTLMillis int64 `json:"ttl_ms,omitempty"`
+}
+
+// leaseResponse is the body of every /v1/lease/* reply.
+type leaseResponse struct {
+	State  string `json:"state"`
+	Token  string `json:"token,omitempty"`
+	Holder string `json:"holder,omitempty"`
+	// RetryAfterMillis is the busy holder's remaining TTL: the longest a
+	// waiter could need to poll before the lease frees or expires.
+	RetryAfterMillis int64 `json:"retry_after_ms,omitempty"`
+}
+
+// quarantineReply is the body of a /v1/store/{key}/quarantine reply.
+type quarantineReply struct {
+	Path string `json:"path"`
+}
+
+// StatsReply is the /v1/stats surface (also cmd/rippled's exit report).
+type StatsReply struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Corrupt       uint64 `json:"corrupt"`
+	Puts          uint64 `json:"puts"`
+	LeasesGranted uint64 `json:"leases_granted"`
+	LeasesStolen  uint64 `json:"leases_stolen"`
+	LeasesBusy    uint64 `json:"leases_busy"`
+	LeasesLive    int    `json:"leases_live"`
+}

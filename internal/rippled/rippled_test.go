@@ -1,0 +1,441 @@
+package rippled
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ripple/internal/runner"
+)
+
+// result is the payload shape round-tripped in these tests.
+type result struct {
+	Name string
+	N    int
+}
+
+// fastOptions are ClientOptions tuned for tests: short everything.
+func fastOptions() ClientOptions {
+	return ClientOptions{
+		HTTPClient:     &http.Client{Timeout: 2 * time.Second},
+		Retries:        2,
+		RetryBackoff:   2 * time.Millisecond,
+		LeaseTTL:       300 * time.Millisecond,
+		PollInterval:   5 * time.Millisecond,
+		OutageCooldown: 200 * time.Millisecond,
+	}
+}
+
+// newTestServer starts a rippled over a fresh store directory and
+// returns the server, its httptest wrapper, and the store directory.
+func newTestServer(t *testing.T, opts ServerOptions) (*Server, *httptest.Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	store, err := runner.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store, opts)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts, dir
+}
+
+func newTestClient(t *testing.T, url string, opts ClientOptions) *Client {
+	t.Helper()
+	c, err := NewClient(url, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	srv, ts, dir := newTestServer(t, ServerOptions{})
+	c1 := newTestClient(t, ts.URL, fastOptions())
+	c2 := newTestClient(t, ts.URL, fastOptions())
+
+	const sig = "cell|app=web|policy=ripple"
+	in := result{Name: "tables", N: 42}
+	if err := c1.Put(sig, &in); err != nil {
+		t.Fatal(err)
+	}
+	raw, st := c2.Lookup(sig)
+	if st != runner.StatusHit {
+		t.Fatalf("lookup via second client = %v, want StatusHit", st)
+	}
+	var out result
+	if err := json.Unmarshal(raw, &out); err != nil || out != in {
+		t.Fatalf("round trip = %+v (%v)", out, err)
+	}
+	if _, st := c2.Lookup("never-stored"); st != runner.StatusMiss {
+		t.Fatalf("absent entry = %v, want StatusMiss", st)
+	}
+	if s := srv.Stats(); s.Puts != 1 || s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("server stats = %+v", s)
+	}
+
+	// The on-disk entry a rippled PUT produces is byte-identical to what
+	// a local -cachedir Put writes: warm directories stay interchangeable.
+	localDir := t.TempDir()
+	local, err := runner.OpenStore(localDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := local.Put(sig, &in); err != nil {
+		t.Fatal(err)
+	}
+	name := runner.Key(sig) + ".json"
+	got, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(localDir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("server-written entry differs from local store entry:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestServerRejectsKeyAndSigMismatch(t *testing.T) {
+	_, ts, _ := newTestServer(t, ServerOptions{})
+	body := `{"Name":"x"}`
+	sum := sha256.Sum256([]byte(body))
+
+	do := func(method, url, sig string) int {
+		req, err := http.NewRequest(method, url, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig != "" {
+			req.Header.Set(headerSig, sig)
+		}
+		req.Header.Set(headerSHA, hex.EncodeToString(sum[:]))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Key that is not the hash of the claimed signature: never accepted.
+	wrong := ts.URL + storePrefix + runner.Key("other-sig")
+	if code := do(http.MethodPut, wrong, "claimed-sig"); code != http.StatusBadRequest {
+		t.Fatalf("mismatched key PUT = %d, want 400", code)
+	}
+	if code := do(http.MethodGet, wrong, "claimed-sig"); code != http.StatusBadRequest {
+		t.Fatalf("mismatched key GET = %d, want 400", code)
+	}
+	// Missing signature header: rejected.
+	right := ts.URL + storePrefix + runner.Key("claimed-sig")
+	if code := do(http.MethodPut, right, ""); code != http.StatusBadRequest {
+		t.Fatalf("missing sig header = %d, want 400", code)
+	}
+	// Valid addressing for contrast.
+	if code := do(http.MethodPut, right, "claimed-sig"); code != http.StatusNoContent {
+		t.Fatalf("valid PUT = %d, want 204", code)
+	}
+}
+
+func TestServerRejectsBadPutBodies(t *testing.T) {
+	_, ts, dir := newTestServer(t, ServerOptions{})
+	const sig = "sig-bad-bodies"
+	url := ts.URL + storePrefix + runner.Key(sig)
+
+	put := func(body, sha string) int {
+		req, err := http.NewRequest(http.MethodPut, url, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(headerSig, sig)
+		if sha != "" {
+			req.Header.Set(headerSHA, sha)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := put(`{not json`, ""); code != http.StatusBadRequest {
+		t.Fatalf("invalid JSON = %d, want 400", code)
+	}
+	if code := put(``, ""); code != http.StatusBadRequest {
+		t.Fatalf("empty body = %d, want 400", code)
+	}
+	// A body that does not hash to its X-Ripple-Sha256 was damaged in
+	// flight: refused, nothing written.
+	if code := put(`{"Name":"x"}`, strings.Repeat("0", 64)); code != http.StatusBadRequest {
+		t.Fatalf("sha mismatch = %d, want 400", code)
+	}
+	if ents, err := os.ReadDir(dir); err != nil || len(ents) != 0 {
+		t.Fatalf("rejected PUTs left files behind: %v (%v)", ents, err)
+	}
+}
+
+func TestServerQuarantinesCorruptEntryOverWire(t *testing.T) {
+	_, ts, dir := newTestServer(t, ServerOptions{})
+	c := newTestClient(t, ts.URL, fastOptions())
+	const sig = "sig-corrupt"
+
+	// Plant garbage exactly where the entry would live.
+	path := filepath.Join(dir, runner.Key(sig)+".json")
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// First read classifies corrupt (410 on the wire) and quarantines.
+	if _, st := c.Lookup(sig); st != runner.StatusCorrupt {
+		t.Fatalf("corrupt entry = %v, want StatusCorrupt", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", runner.Key(sig)+".json")); err != nil {
+		t.Fatalf("damaged entry not preserved in quarantine: %v", err)
+	}
+	// Second read is a clean miss; the slot is reusable.
+	if _, st := c.Lookup(sig); st != runner.StatusMiss {
+		t.Fatal("quarantined entry did not become a miss")
+	}
+	if err := c.Put(sig, &result{Name: "fresh"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, st := c.Lookup(sig); st != runner.StatusHit {
+		t.Fatal("slot unusable after quarantine")
+	}
+}
+
+func TestClientQuarantineRequest(t *testing.T) {
+	_, ts, _ := newTestServer(t, ServerOptions{})
+	c := newTestClient(t, ts.URL, fastOptions())
+	const sig = "sig-q"
+	if err := c.Put(sig, &result{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	path, err := c.Quarantine(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("quarantine path %q not on disk: %v", path, err)
+	}
+	if _, st := c.Lookup(sig); st != runner.StatusMiss {
+		t.Fatal("entry still served after quarantine")
+	}
+	// Quarantining a missing entry is an error, not a retry storm.
+	if _, err := c.Quarantine("absent"); err == nil {
+		t.Fatal("quarantining a missing entry succeeded")
+	}
+}
+
+// TestClientLookupRetriesETagMismatch: a payload that does not hash to
+// its ETag was damaged in flight; the client must re-fetch rather than
+// decode garbage, and report a miss once retries are spent.
+func TestClientLookupRetriesETagMismatch(t *testing.T) {
+	var gets atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+storePrefix+"{key}", func(w http.ResponseWriter, r *http.Request) {
+		gets.Add(1)
+		w.Header().Set("ETag", `"`+strings.Repeat("0", 64)+`"`)
+		w.Write([]byte(`{"Name":"tampered"}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	opts := fastOptions()
+	opts.Retries = 2
+	c := newTestClient(t, ts.URL, opts)
+	if _, st := c.Lookup("sig-etag"); st != runner.StatusMiss {
+		t.Fatalf("tampered entry = %v, want StatusMiss (never a hit)", st)
+	}
+	if got := gets.Load(); got != 3 {
+		t.Fatalf("client fetched %d times, want 1 + 2 retries", got)
+	}
+}
+
+// TestClientOutageBreaker: a dead server costs one round of failures,
+// then the breaker opens and every operation degrades instantly.
+func TestClientOutageBreaker(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close() // nothing is listening anymore
+
+	var log strings.Builder
+	opts := fastOptions()
+	opts.Log = &log
+	c := newTestClient(t, url, opts)
+
+	if _, st := c.Lookup("sig-down"); st != runner.StatusMiss {
+		t.Fatalf("lookup against dead server = %v, want StatusMiss", st)
+	}
+	if !c.offline() {
+		t.Fatal("breaker did not open after network failure")
+	}
+	if !strings.Contains(log.String(), "degrading to local compute") {
+		t.Fatalf("degradation not logged: %q", log.String())
+	}
+	// While the breaker is open: everything short-circuits.
+	start := time.Now()
+	if _, st := c.Lookup("sig-down"); st != runner.StatusMiss {
+		t.Fatal("breaker-open lookup not a miss")
+	}
+	raw, lease, err := c.Coordinate(t.Context(), "sig-down")
+	if raw != nil || lease != nil || err != nil {
+		t.Fatalf("breaker-open Coordinate = (%v, %v, %v), want degrade", raw, lease, err)
+	}
+	err = c.Put("sig-down", &result{})
+	if err == nil || !runner.Transient(err) {
+		t.Fatalf("breaker-open Put error = %v, want transient", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("breaker-open operations took %v; breaker is not short-circuiting", waited)
+	}
+}
+
+// TestCoordinateLeaseLifecycle drives the wire-level lease flow: a
+// granted worker publishes; a second worker coordinating the same
+// signature receives the published bytes instead of a lease.
+func TestCoordinateLeaseLifecycle(t *testing.T) {
+	srv, ts, _ := newTestServer(t, ServerOptions{})
+	a := newTestClient(t, ts.URL, fastOptions())
+	b := newTestClient(t, ts.URL, fastOptions())
+	const sig = "sig-lease"
+
+	raw, lease, err := a.Coordinate(t.Context(), sig)
+	if err != nil || raw != nil || lease == nil {
+		t.Fatalf("first Coordinate = (%v, %v, %v), want a granted lease", raw, lease, err)
+	}
+	if err := a.Put(sig, &result{Name: "published", N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	lease.Done()
+
+	raw, lease2, err := b.Coordinate(t.Context(), sig)
+	if err != nil || lease2 != nil {
+		t.Fatalf("second Coordinate = (lease %v, err %v), want published bytes", lease2, err)
+	}
+	var out result
+	if err := json.Unmarshal(raw, &out); err != nil || out.Name != "published" || out.N != 7 {
+		t.Fatalf("published bytes = %s (%v)", raw, err)
+	}
+	if s := srv.Stats(); s.LeasesGranted != 1 || s.LeasesLive != 0 {
+		t.Fatalf("server stats = %+v, want one granted lease, none live", s)
+	}
+}
+
+// TestCoordinateReleaseReturnsSignatureToQueue: a worker that fails
+// releases; the next coordinator wins a fresh lease immediately instead
+// of waiting out the TTL.
+func TestCoordinateReleaseReturnsSignatureToQueue(t *testing.T) {
+	// Long TTL: if release did not free the lease, the second acquire
+	// would sit busy far longer than the test budget.
+	_, ts, _ := newTestServer(t, ServerOptions{LeaseTTL: time.Hour})
+	opts := fastOptions()
+	opts.LeaseTTL = time.Hour
+	a := newTestClient(t, ts.URL, opts)
+	b := newTestClient(t, ts.URL, opts)
+	const sig = "sig-release"
+
+	_, lease, err := a.Coordinate(t.Context(), sig)
+	if err != nil || lease == nil {
+		t.Fatalf("first Coordinate: lease %v err %v", lease, err)
+	}
+	lease.Release()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, lease2, err := b.Coordinate(t.Context(), sig)
+		if err != nil || lease2 == nil {
+			t.Errorf("post-release Coordinate: lease %v err %v", lease2, err)
+			return
+		}
+		lease2.Release()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("released signature not re-acquirable: second Coordinate hung")
+	}
+}
+
+// TestCoordinateHeartbeatKeepsLeaseAlive: a computation outliving the
+// TTL stays covered because the client renews in the background.
+func TestCoordinateHeartbeatKeepsLeaseAlive(t *testing.T) {
+	srv, ts, _ := newTestServer(t, ServerOptions{LeaseTTL: 150 * time.Millisecond})
+	opts := fastOptions()
+	opts.LeaseTTL = 150 * time.Millisecond
+	a := newTestClient(t, ts.URL, opts)
+	b := newTestClient(t, ts.URL, opts)
+	const sig = "sig-heartbeat"
+
+	_, lease, err := a.Coordinate(t.Context(), sig)
+	if err != nil || lease == nil {
+		t.Fatalf("Coordinate: lease %v err %v", lease, err)
+	}
+	defer lease.Release()
+
+	// Simulate a computation running for several TTLs. If heartbeats
+	// were not landing, b would steal the lease the moment it expired.
+	deadline := time.Now().Add(600 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		resp, err := b.leaseCall(t.Context(), acquirePath,
+			leaseRequest{Sig: sig, Owner: "b", TTLMillis: 150})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.State != stateBusy {
+			t.Fatalf("lease state = %q mid-computation, want busy (heartbeat lapsed)", resp.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if s := srv.Stats(); s.LeasesStolen != 0 {
+		t.Fatalf("lease stolen despite heartbeats: %+v", s)
+	}
+}
+
+func TestServerStatsEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, ServerOptions{})
+	c := newTestClient(t, ts.URL, fastOptions())
+	if err := c.Put("sig-s", &result{}); err != nil {
+		t.Fatal(err)
+	}
+	c.Lookup("sig-s")
+	resp, err := http.Get(ts.URL + statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsReply
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Puts != 1 || stats.Hits != 1 {
+		t.Fatalf("wire stats = %+v", stats)
+	}
+}
+
+func TestNewClientRejectsBadURLs(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "ftp://host", "http://"} {
+		if _, err := NewClient(bad, ClientOptions{}); err == nil {
+			t.Errorf("NewClient(%q) accepted", bad)
+		}
+	}
+	if _, err := NewClient("http://127.0.0.1:0", ClientOptions{}); err != nil {
+		t.Errorf("valid URL rejected: %v", err)
+	}
+}

@@ -1,0 +1,277 @@
+package rippled
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"ripple/internal/runner"
+)
+
+// DefaultLeaseTTL bounds how long a granted compute lease lives without
+// renewal. Workers heartbeat at a fraction of this, so a crashed worker
+// returns its signatures to the queue within one TTL.
+const DefaultLeaseTTL = 30 * time.Second
+
+// maxEntryBytes bounds one store entry on the wire; result payloads are
+// JSON tables and curves, far below this.
+const maxEntryBytes = 256 << 20
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// LeaseTTL is the default and maximum compute-lease duration
+	// (clients may ask for less, never more); <= 0 uses DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// Log receives one line per notable event (nil silences).
+	Log io.Writer
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// Server exposes a filesystem result store plus a lease table over
+// HTTP. It is an http.Handler; wiring it to a listener is the caller's
+// job (see cmd/rippled).
+type Server struct {
+	store  *runner.Store
+	leases *leaseTable
+	ttl    time.Duration
+	log    io.Writer
+	mux    *http.ServeMux
+
+	hits, misses, corrupt, puts atomic.Uint64
+}
+
+// NewServer builds a server over an open store.
+func NewServer(store *runner.Store, opts ServerOptions) *Server {
+	ttl := opts.LeaseTTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	s := &Server{
+		store:  store,
+		leases: newLeaseTable(opts.now),
+		ttl:    ttl,
+		log:    opts.Log,
+		mux:    http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET "+storePrefix+"{key}", s.handleGet)
+	s.mux.HandleFunc("PUT "+storePrefix+"{key}", s.handlePut)
+	s.mux.HandleFunc("POST "+storePrefix+"{key}/quarantine", s.handleQuarantine)
+	s.mux.HandleFunc("POST "+acquirePath, s.handleAcquire)
+	s.mux.HandleFunc("POST "+renewPath, s.handleRenew)
+	s.mux.HandleFunc("POST "+releasePath, s.handleRelease)
+	s.mux.HandleFunc("GET "+statsPath, s.handleStats)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() StatsReply {
+	granted, stolen, busy, live := s.leases.counters()
+	return StatsReply{
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Corrupt:       s.corrupt.Load(),
+		Puts:          s.puts.Load(),
+		LeasesGranted: granted,
+		LeasesStolen:  stolen,
+		LeasesBusy:    busy,
+		LeasesLive:    live,
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.log != nil {
+		fmt.Fprintf(s.log, format+"\n", args...)
+	}
+}
+
+// sigFor extracts and cross-checks the request's signature against its
+// content key, so the store's embedded-signature validation survives the
+// wire: a key that is not the hash of its claimed signature is rejected.
+func sigFor(w http.ResponseWriter, r *http.Request) (string, bool) {
+	sig := r.Header.Get(headerSig)
+	if sig == "" {
+		http.Error(w, "rippled: missing "+headerSig+" header", http.StatusBadRequest)
+		return "", false
+	}
+	if runner.Key(sig) != r.PathValue("key") {
+		http.Error(w, "rippled: key is not the hash of the claimed signature", http.StatusBadRequest)
+		return "", false
+	}
+	return sig, true
+}
+
+func etagOf(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return `"` + hex.EncodeToString(sum[:]) + `"`
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	sig, ok := sigFor(w, r)
+	if !ok {
+		return
+	}
+	raw, st := s.store.Lookup(sig)
+	switch st {
+	case runner.StatusHit:
+		s.hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("ETag", etagOf(raw))
+		w.Write(raw)
+	case runner.StatusCorrupt:
+		// Lookup already quarantined the damaged entry; 410 (not 404)
+		// lets the client count it as corruption rather than a miss.
+		s.corrupt.Add(1)
+		s.logf("rippled: quarantined corrupt entry %s", r.PathValue("key"))
+		http.Error(w, "rippled: entry was corrupt and has been quarantined", http.StatusGone)
+	default:
+		s.misses.Add(1)
+		http.Error(w, "rippled: no entry", http.StatusNotFound)
+	}
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	sig, ok := sigFor(w, r)
+	if !ok {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEntryBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, "rippled: entry too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "rippled: reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) == 0 || !json.Valid(body) {
+		http.Error(w, "rippled: body is not a JSON document", http.StatusBadRequest)
+		return
+	}
+	if want := r.Header.Get(headerSHA); want != "" {
+		sum := sha256.Sum256(body)
+		if hex.EncodeToString(sum[:]) != want {
+			http.Error(w, "rippled: body does not hash to "+headerSHA, http.StatusBadRequest)
+			return
+		}
+	}
+	if err := s.store.Put(sig, json.RawMessage(body)); err != nil {
+		http.Error(w, "rippled: store put: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.puts.Add(1)
+	// The result is published: any compute lease on this signature is
+	// moot, so free it rather than making waiters sit out the TTL.
+	s.leases.complete(sig)
+	w.Header().Set("ETag", etagOf(body))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
+	sig, ok := sigFor(w, r)
+	if !ok {
+		return
+	}
+	path, err := s.store.Quarantine(sig)
+	if err != nil {
+		http.Error(w, "rippled: quarantine: "+err.Error(), http.StatusNotFound)
+		return
+	}
+	s.corrupt.Add(1)
+	s.logf("rippled: quarantined %s on client request", r.PathValue("key"))
+	writeJSON(w, http.StatusOK, quarantineReply{Path: path})
+}
+
+// readLeaseRequest decodes and validates a lease POST body.
+func readLeaseRequest(w http.ResponseWriter, r *http.Request) (leaseRequest, bool) {
+	var req leaseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "rippled: bad lease request: "+err.Error(), http.StatusBadRequest)
+		return req, false
+	}
+	if req.Sig == "" {
+		http.Error(w, "rippled: lease request missing sig", http.StatusBadRequest)
+		return req, false
+	}
+	return req, true
+}
+
+// clampTTL resolves a requested TTL against the server bound.
+func (s *Server) clampTTL(millis int64) time.Duration {
+	ttl := time.Duration(millis) * time.Millisecond
+	if ttl <= 0 || ttl > s.ttl {
+		return s.ttl
+	}
+	return ttl
+}
+
+func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
+	req, ok := readLeaseRequest(w, r)
+	if !ok {
+		return
+	}
+	// A published result beats any lease: the acquirer should fetch, not
+	// compute. A corrupt entry is quarantined here (same semantics as a
+	// GET) and the signature falls through to a grant for recompute.
+	if _, st := s.store.Lookup(req.Sig); st == runner.StatusHit {
+		writeJSON(w, http.StatusOK, leaseResponse{State: stateDone})
+		return
+	} else if st == runner.StatusCorrupt {
+		s.corrupt.Add(1)
+		s.logf("rippled: quarantined corrupt entry %s during acquire", runner.Key(req.Sig))
+	}
+	ttl := s.clampTTL(req.TTLMillis)
+	token, holder, remaining, granted := s.leases.acquire(req.Sig, req.Owner, ttl)
+	if !granted {
+		writeJSON(w, http.StatusOK, leaseResponse{
+			State:            stateBusy,
+			Holder:           holder,
+			RetryAfterMillis: remaining.Milliseconds(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, leaseResponse{State: stateGranted, Token: token, RetryAfterMillis: remaining.Milliseconds()})
+}
+
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	req, ok := readLeaseRequest(w, r)
+	if !ok {
+		return
+	}
+	if !s.leases.renew(req.Sig, req.Token, s.clampTTL(req.TTLMillis)) {
+		writeJSON(w, http.StatusConflict, leaseResponse{State: stateLost})
+		return
+	}
+	writeJSON(w, http.StatusOK, leaseResponse{State: stateGranted, Token: req.Token})
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	req, ok := readLeaseRequest(w, r)
+	if !ok {
+		return
+	}
+	if !s.leases.release(req.Sig, req.Token) {
+		writeJSON(w, http.StatusConflict, leaseResponse{State: stateLost})
+		return
+	}
+	writeJSON(w, http.StatusOK, leaseResponse{State: stateReleased})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,52 @@
+package runner
+
+import "context"
+
+// StoreBackend is the persistence contract the pool speaks. The
+// filesystem Store implements it directly; rippled.Client implements it
+// over HTTP so many processes — or machines — share one cache. Every
+// implementation must preserve the Store's semantics: Lookup never
+// serves a damaged entry (it quarantines and reports StatusCorrupt
+// instead), and Put replaces entries atomically so a concurrent reader
+// never observes a torn result.
+type StoreBackend interface {
+	// Lookup returns the raw JSON payload stored for sig and the
+	// lookup's classification (see Status). A StatusCorrupt lookup has
+	// already quarantined the damaged entry as a side effect.
+	Lookup(sig string) (raw []byte, st Status)
+	// Put stores v (JSON-encoded) under sig, atomically replacing any
+	// existing entry.
+	Put(sig string, v any) error
+	// Quarantine moves sig's entry (whatever its state) aside so it can
+	// no longer shadow a recomputed result, returning where it went.
+	// Quarantining a missing entry is an error.
+	Quarantine(sig string) (string, error)
+}
+
+// Lease is a held fleet-wide compute lease for one signature (see
+// Coordinator). Exactly one of Done or Release must be called, once.
+type Lease interface {
+	// Done reports that the computation succeeded and its result was
+	// published to the store.
+	Done()
+	// Release abandons the lease without publishing, returning the
+	// signature to the queue so another worker can claim it.
+	Release()
+}
+
+// Coordinator is an optional StoreBackend capability that extends the
+// pool's in-process singleflight to fleet scope. After a store miss the
+// pool calls Coordinate, which blocks until one of:
+//
+//   - another worker published the result while we waited: raw is the
+//     stored payload and lease is nil;
+//   - this worker won the right to compute: lease is non-nil and must be
+//     resolved with Done (after the result is published) or Release (on
+//     failure);
+//   - coordination is unavailable (backend outage): raw and lease are
+//     both nil — the caller computes locally without fleet dedup, which
+//     degrades throughput but never correctness;
+//   - ctx ended: err is the context error.
+type Coordinator interface {
+	Coordinate(ctx context.Context, sig string) (raw []byte, lease Lease, err error)
+}

@@ -180,7 +180,7 @@ func TestSkipStoreBypassesPersistence(t *testing.T) {
 	if _, err := p.Do(context.Background(), j); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := store.Get("volatile"); ok {
+	if _, status := store.Lookup("volatile"); status != StatusMiss {
 		t.Fatal("SkipStore job was persisted")
 	}
 	// Same signature, same process: memoized, not recomputed.

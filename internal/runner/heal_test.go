@@ -306,7 +306,7 @@ func TestQuarantineExplicit(t *testing.T) {
 	if _, err := os.Stat(dst); err != nil {
 		t.Fatalf("quarantined file missing: %v", err)
 	}
-	if _, ok := st.Get("sig-q"); ok {
+	if _, status := st.Lookup("sig-q"); status != StatusMiss {
 		t.Fatal("entry still readable after quarantine")
 	}
 }

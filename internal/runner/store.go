@@ -25,6 +25,8 @@ type Store struct {
 	dir string
 }
 
+var _ StoreBackend = (*Store)(nil)
+
 // Status classifies a store lookup.
 type Status int
 
@@ -69,14 +71,6 @@ type entry struct {
 	Version int             `json:"v"`
 	Sig     string          `json:"sig"`
 	Result  json.RawMessage `json:"result"`
-}
-
-// Get returns the raw JSON payload stored for sig, or ok=false on any
-// non-hit. Compatibility wrapper over Lookup for callers that do not
-// distinguish a miss from quarantined corruption.
-func (s *Store) Get(sig string) (raw []byte, ok bool) {
-	raw, st := s.Lookup(sig)
-	return raw, st == StatusHit
 }
 
 // Lookup returns the raw JSON payload stored for sig and the lookup's

@@ -2,8 +2,10 @@ package runner
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -23,9 +25,9 @@ func TestStoreRoundTrip(t *testing.T) {
 	if err := st.Put("sig-a", &in); err != nil {
 		t.Fatal(err)
 	}
-	raw, ok := st.Get("sig-a")
-	if !ok {
-		t.Fatal("stored entry missed")
+	raw, status := st.Lookup("sig-a")
+	if status != StatusHit {
+		t.Fatalf("stored entry = %v, want StatusHit", status)
 	}
 	j := NewJob[payload]("sig-a", "a", 1, nil)
 	v, err := j.decode(raw)
@@ -43,8 +45,8 @@ func TestStoreMissesOnAbsentSig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := st.Get("never-stored"); ok {
-		t.Fatal("phantom hit")
+	if _, status := st.Lookup("never-stored"); status != StatusMiss {
+		t.Fatalf("absent entry = %v, want StatusMiss", status)
 	}
 }
 
@@ -59,17 +61,23 @@ func TestStoreToleratesCorruptFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := st.Get("sig-b"); ok {
-		t.Fatal("corrupt file served as a hit")
+	// Regression (one read path): corruption must classify as
+	// StatusCorrupt, never read as a plain miss.
+	if _, status := st.Lookup("sig-b"); status != StatusCorrupt {
+		t.Fatalf("corrupt entry = %v, want StatusCorrupt", status)
 	}
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
 		t.Fatal("corrupt file not cleaned up")
 	}
-	// The slot is immediately reusable.
+	// Once quarantined, the slot reads as a genuine miss...
+	if _, status := st.Lookup("sig-b"); status != StatusMiss {
+		t.Fatal("quarantined entry did not become a miss")
+	}
+	// ...and is immediately reusable.
 	if err := st.Put("sig-b", &payload{Name: "ok"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := st.Get("sig-b"); !ok {
+	if _, status := st.Lookup("sig-b"); status != StatusHit {
 		t.Fatal("fresh entry missed after corruption cleanup")
 	}
 }
@@ -84,12 +92,13 @@ func TestStoreRejectsSigMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Move the entry under a different signature's address: the embedded
-	// signature no longer matches and must read as a miss.
+	// signature no longer matches, so the entry is corrupt — never
+	// served, never a silent miss.
 	if err := os.Rename(filepath.Join(dir, Key("sig-c")+".json"), filepath.Join(dir, Key("sig-d")+".json")); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := st.Get("sig-d"); ok {
-		t.Fatal("entry with mismatched signature served")
+	if _, status := st.Lookup("sig-d"); status != StatusCorrupt {
+		t.Fatal("entry with mismatched signature not classified corrupt")
 	}
 }
 
@@ -138,5 +147,76 @@ func TestPoolServesFromStoreAcrossPools(t *testing.T) {
 func TestOpenStoreRejectsEmptyDir(t *testing.T) {
 	if _, err := OpenStore(""); err == nil {
 		t.Fatal("empty dir accepted")
+	}
+}
+
+// TestStoreConcurrentPutLookupSameSig is the local baseline for the
+// fleet single-flight stress test: many goroutines hammer Put and
+// Lookup of the same signature. Atomic temp-file + rename writes mean a
+// reader must observe either a miss (before any rename landed) or one
+// writer's complete entry — never a torn or corrupt one — and the final
+// state is exactly one winning write.
+func TestStoreConcurrentPutLookupSameSig(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sig = "contended"
+	const writers, readers, rounds = 8, 8, 50
+	var wg sync.WaitGroup
+	var corrupt, torn atomic.Int64
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := st.Put(sig, &payload{Name: "writer", Count: uint64(w)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds*2; r++ {
+				raw, status := st.Lookup(sig)
+				switch status {
+				case StatusCorrupt:
+					corrupt.Add(1)
+				case StatusHit:
+					var got payload
+					if json.Unmarshal(raw, &got) != nil || got.Name != "writer" || got.Count >= writers {
+						torn.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if corrupt.Load() != 0 || torn.Load() != 0 {
+		t.Fatalf("concurrent readers saw %d corrupt and %d torn entries", corrupt.Load(), torn.Load())
+	}
+	// Exactly one complete entry wins.
+	raw, status := st.Lookup(sig)
+	if status != StatusHit {
+		t.Fatalf("final lookup = %v, want StatusHit", status)
+	}
+	var got payload
+	if err := json.Unmarshal(raw, &got); err != nil || got.Name != "writer" {
+		t.Fatalf("final entry torn: %s", raw)
+	}
+	// No temp droppings: every put either renamed into place or was
+	// cleaned up.
+	ents, err := os.ReadDir(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
 	}
 }
