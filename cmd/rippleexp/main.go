@@ -14,10 +14,17 @@
 // drain one sweep, and each duplicate signature is computed exactly once
 // across the whole fleet.
 //
+// The oracle engine behind every MIN/Demand-MIN limit study is selectable
+// with -oracle: "exact" (default) replays the two-pass streaming Belady
+// engine, "sampled" estimates from a single-pass sampled-set OPTGen model
+// in O(sets × history) memory (budget via -oracle-sets). The `oracle`
+// experiment table compares the two side by side.
+//
 // Usage:
 //
 //	rippleexp -list
 //	rippleexp -run fig7
+//	rippleexp -run fig3 -oracle sampled -oracle-sets 32
 //	rippleexp -run all -blocks 600000 -apps finagle-http,verilator
 //	rippleexp -run all -j 8 -cachedir ~/.cache/rippleexp
 //	rippleexp -run fig7 -cachedir ~/.cache/rippleexp -cache=off
@@ -46,6 +53,8 @@ func main() {
 	cachedir := flag.String("cachedir", "", "directory for the persistent result store (default: no persistence)")
 	storeURL := flag.String("store", "", "rippled URL for a shared fleet result store (e.g. http://127.0.0.1:8344); mutually exclusive with -cachedir")
 	cacheMode := flag.String("cache", "on", "result store mode: on or off (off ignores -cachedir and -store)")
+	oracle := flag.String("oracle", "", "oracle engine: exact (two-pass streaming Belady, default) or sampled (single-pass sampled-set OPTGen estimate)")
+	oracleSets := flag.Int("oracle-sets", 0, "sampled-set budget for -oracle sampled (default 64)")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	jsonOut := flag.String("json", "", "write a JSON run summary (experiments + job-runner counters) to this path")
 	flag.Parse()
@@ -70,6 +79,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rippleexp: -cachedir and -store are mutually exclusive")
 		os.Exit(2)
 	}
+	if *oracle != "" && *oracle != experiment.OracleExact && *oracle != experiment.OracleSampled {
+		fmt.Fprintln(os.Stderr, "rippleexp: -oracle must be 'exact' or 'sampled'")
+		os.Exit(2)
+	}
 
 	// Leave unset fields zero: experiment.New centralizes the defaults.
 	// Only flags the user actually passed override the config, so e.g.
@@ -83,6 +96,10 @@ func main() {
 	}
 	if *apps != "" {
 		cfg.Apps = strings.Split(*apps, ",")
+	}
+	cfg.Oracle = *oracle
+	if cliflag.Passed("oracle-sets") {
+		cfg.OracleSampleSets = *oracleSets
 	}
 	if *cacheMode == "on" {
 		cfg.CacheDir = *cachedir

@@ -10,6 +10,11 @@
 // and the full configuration, so repeated sweeps only simulate what
 // changed.
 //
+// With -ideal the run additionally reports the ideal (Demand-MIN) miss
+// count for the exact access stream this configuration produced, via the
+// streaming oracle engine selected by -oracle (exact two-pass Belady, or
+// a single-pass sampled-set OPTGen estimate with -oracle sampled).
+//
 // With -index the trace replays through its .ptidx seek index (written
 // by ripplegen -index, rebuilt automatically when missing or stale),
 // exposing seek and checkpoint capabilities to any consumer that probes
@@ -22,6 +27,7 @@
 //
 //	ripplesim -prog /tmp/fh.prog -pt /tmp/fh.pt -policy lru -prefetcher fdip
 //	ripplesim -prog /tmp/fh.prog -pt /tmp/fh.pt -plan /tmp/fh.plan -accuracy
+//	ripplesim -prog /tmp/fh.prog -pt /tmp/fh.pt -ideal -oracle sampled
 //	ripplesim -prog /tmp/fh.prog -pt /tmp/fh.pt -policy lru,srrip,drrip -prefetcher none,fdip -j 4 -cachedir /tmp/simcache
 package main
 
@@ -39,6 +45,7 @@ import (
 	"ripple/internal/cliflag"
 	"ripple/internal/core"
 	"ripple/internal/frontend"
+	"ripple/internal/opt"
 	"ripple/internal/prefetch"
 	"ripple/internal/program"
 	"ripple/internal/replacement"
@@ -57,6 +64,9 @@ func main() {
 	warmup := flag.Int("warmup", 0, "warmup blocks excluded from measurement")
 	blocks := flag.Int("blocks", 0, "simulate only the first N trace blocks (default: whole trace)")
 	accuracy := flag.Bool("accuracy", false, "score replacement decisions against the Belady oracle")
+	ideal := flag.Bool("ideal", false, "also report the ideal (Demand-MIN) miss count for this configuration's access stream")
+	oracleEngine := flag.String("oracle", "exact", "oracle engine for -ideal: exact (two-pass streaming Belady) or sampled (single-pass sampled-set OPTGen estimate)")
+	oracleSets := flag.Int("oracle-sets", 0, "sampled-set budget for -oracle sampled (default 64)")
 	demote := flag.Bool("demote", false, "execute hints as LRU demotions instead of invalidations")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the report")
 	workers := flag.Int("j", 0, "parallel workers for sweep mode (default GOMAXPROCS)")
@@ -79,11 +89,18 @@ func main() {
 		err = fmt.Errorf("-index and -recover are mutually exclusive")
 	} else if *cachedir != "" && *storeURL != "" {
 		err = fmt.Errorf("-cachedir and -store are mutually exclusive")
+	} else if *oracleEngine != "exact" && *oracleEngine != "sampled" {
+		err = fmt.Errorf("-oracle must be 'exact' or 'sampled'")
 	} else if len(policies) > 1 || len(prefetchers) > 1 {
-		err = sweep(*progPath, *traceProgPath, *ptPath, *planPath, policies, prefetchers,
-			limit, *warmup, *accuracy, *demote, *jsonOut, *workers, *cachedir, *storeURL, *rec, *index)
+		if *ideal {
+			err = fmt.Errorf("-ideal is only available in single-configuration mode, not sweeps")
+		} else {
+			err = sweep(*progPath, *traceProgPath, *ptPath, *planPath, policies, prefetchers,
+				limit, *warmup, *accuracy, *demote, *jsonOut, *workers, *cachedir, *storeURL, *rec, *index)
+		}
 	} else {
-		err = run(*progPath, *traceProgPath, *ptPath, *planPath, *policy, *prefetcher, limit, *warmup, *accuracy, *demote, *jsonOut, *rec, *index)
+		err = run(*progPath, *traceProgPath, *ptPath, *planPath, *policy, *prefetcher, limit, *warmup,
+			*accuracy, *demote, *jsonOut, *rec, *index, *ideal, *oracleEngine, *oracleSets)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ripplesim:", err)
@@ -91,7 +108,8 @@ func main() {
 	}
 }
 
-func run(progPath, traceProgPath, ptPath, planPath, policy, prefetcher string, limit, warmup int, accuracy, demote, jsonOut, rec, indexed bool) error {
+func run(progPath, traceProgPath, ptPath, planPath, policy, prefetcher string, limit, warmup int,
+	accuracy, demote, jsonOut, rec, indexed, ideal bool, oracleEngine string, oracleSets int) error {
 	if progPath == "" || ptPath == "" {
 		return fmt.Errorf("-prog and -pt are required")
 	}
@@ -140,8 +158,15 @@ func run(progPath, traceProgPath, ptPath, planPath, policy, prefetcher string, l
 		return err
 	}
 
+	var idealRep *idealReport
+	if ideal {
+		if idealRep, err = idealOf(prog, tr, policy, prefetcher, hints, warmup, oracleEngine, oracleSets); err != nil {
+			return err
+		}
+	}
+
 	if jsonOut {
-		return emitJSON(res, coverageOf(reporter))
+		return emitJSON(res, coverageOf(reporter), idealRep)
 	}
 	fmt.Printf("%s: %s prefetcher, %s replacement\n", res.Program, res.Prefetcher, res.Policy)
 	printCoverage(reporter)
@@ -154,6 +179,13 @@ func run(progPath, traceProgPath, ptPath, planPath, policy, prefetcher string, l
 	if res.L1I.HintInvalidations+res.L1I.Demotions > 0 {
 		fmt.Printf("  ripple: coverage %.1f%% (%d hint evictions, %d hints found no victim)\n",
 			res.Coverage()*100, res.L1I.HintFreedFills, res.L1I.HintMisses)
+	}
+	if idealRep != nil {
+		fmt.Printf("  ideal replacement (demand-min, %s): %d misses", idealRep.Engine, idealRep.Misses)
+		if idealRep.Engine == "sampled" {
+			fmt.Printf(" estimated from %d/%d sets (history %d)", idealRep.SampleSets, idealRep.TotalSets, idealRep.History)
+		}
+		fmt.Printf("; this policy took %d\n", res.L1I.DemandMisses)
 	}
 	if accuracy {
 		fmt.Printf("  accuracy: policy %.1f%%", res.PolicyAccuracy()*100)
@@ -320,12 +352,68 @@ func fileHash(path string) (string, error) {
 	return hex.EncodeToString(h[:]), nil
 }
 
+// idealReport is the -ideal result: the Demand-MIN miss count for this
+// configuration's access stream (prefetches included), the lower bound
+// any replacement policy for the same prefetcher is compared against.
+type idealReport struct {
+	Engine     string
+	Misses     uint64
+	SampleSets int
+	TotalSets  int
+	History    int
+}
+
+// idealOf replays the exact access stream the simulation produced — same
+// policy, prefetcher, hints, and warmup — through the selected oracle
+// engine and returns its Demand-MIN miss count. The trace is re-decoded
+// per oracle pass; nothing is materialized.
+func idealOf(prog *program.Program, tr blockseq.Source, policy, prefetcher string,
+	hints frontend.HintMode, warmup int, engine string, sets int) (*idealReport, error) {
+	params := frontend.DefaultParams()
+	newOpts := func() (frontend.Options, error) {
+		pol, err := replacement.New(policy)
+		if err != nil {
+			return frontend.Options{}, err
+		}
+		pf, err := prefetch.New(prefetcher, prog)
+		if err != nil {
+			return frontend.Options{}, err
+		}
+		return frontend.Options{Policy: pol, Prefetcher: pf, Hints: hints, WarmupBlocks: warmup}, nil
+	}
+	events := frontend.AccessEvents(params, prog, tr, newOpts)
+	switch engine {
+	case "exact":
+		r, err := opt.SimulateSource(events, params.L1I, opt.ModeDemandMIN, false)
+		if err != nil {
+			return nil, err
+		}
+		return &idealReport{Engine: engine, Misses: r.DemandMisses}, nil
+	case "sampled":
+		r, err := opt.SimulateSampled(events, params.L1I, opt.ModeDemandMIN, opt.OPTGenConfig{SampleSets: sets})
+		if err != nil {
+			return nil, err
+		}
+		return &idealReport{Engine: engine, Misses: r.EstimatedDemandMisses(),
+			SampleSets: r.SampleSets, TotalSets: r.TotalSets, History: r.History}, nil
+	}
+	return nil, fmt.Errorf("unknown oracle engine %q", engine)
+}
+
 // emitJSON writes the run's metrics as a single JSON object, for scripted
 // consumers (dashboards, regression checks).
-func emitJSON(res frontend.Result, cov *trace.DecodeReport) error {
+func emitJSON(res frontend.Result, cov *trace.DecodeReport, ideal *idealReport) error {
+	m := withCoverage(resultJSON(res), cov)
+	if ideal != nil {
+		m["ideal_misses"] = ideal.Misses
+		m["ideal_engine"] = ideal.Engine
+		if ideal.Engine == "sampled" {
+			m["ideal_sample_sets"] = ideal.SampleSets
+		}
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(withCoverage(resultJSON(res), cov))
+	return enc.Encode(m)
 }
 
 // coverageOf extracts the decode report a recovering source published

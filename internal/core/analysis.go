@@ -252,11 +252,10 @@ func (a *Analysis) analyzeOne(traceIdx int32, src blockseq.Source) (int, error) 
 	if length == 0 {
 		return 0, nil
 	}
-	events := make([]opt.Event, len(lines))
-	for i, l := range lines {
-		events[i] = opt.Event{Line: l}
+	res, err := opt.SimulateSource(opt.LineEvents(lines), a.cfg.L1I, opt.ModeMIN, true)
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
 	}
-	res := opt.Simulate(events, a.cfg.L1I, opt.ModeMIN, true)
 	a.IdealMisses += res.DemandMisses
 
 	first := len(a.windows)
@@ -276,7 +275,7 @@ func (a *Analysis) analyzeOne(traceIdx int32, src blockseq.Source) (int, error) 
 		a.windows = append(a.windows, w)
 	}
 
-	err := replayWindows(src, a.windows[first:], a.cfg.MaxWindowBlocks, func(w window, at func(int32) program.BlockID) {
+	err = replayWindows(src, a.windows[first:], a.cfg.MaxWindowBlocks, func(w window, at func(int32) program.BlockID) {
 		a.markGen++
 		for ti := w.start + 1; ti <= w.end; ti++ {
 			bid := at(ti)

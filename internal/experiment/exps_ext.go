@@ -652,17 +652,27 @@ func (s *Suite) phasesCell(appName string, phased bool) runner.Job {
 			return nil, err
 		}
 		tr := app.Stream(0, s.cfg.TraceBlocks)
-		pol, _ := replacement.New("lru")
-		base, err := frontend.Run(s.cfg.Params, app.Prog, tr, frontend.Options{
-			Policy:       pol,
-			RecordStream: true,
-			WarmupBlocks: s.cfg.WarmupBlocks,
-		})
+		newOpts := func() (frontend.Options, error) {
+			pol, err := replacement.New("lru")
+			if err != nil {
+				return frontend.Options{}, err
+			}
+			return frontend.Options{Policy: pol, WarmupBlocks: s.cfg.WarmupBlocks}, nil
+		}
+		opts, err := newOpts()
 		if err != nil {
 			return nil, err
 		}
-		idealMisses := opt.Simulate(base.Stream, s.cfg.Params.L1I, opt.ModeDemandMIN, false).DemandMisses
-		base.Stream = nil
+		base, err := frontend.Run(s.cfg.Params, app.Prog, tr, opts)
+		if err != nil {
+			return nil, err
+		}
+		ideal, err := opt.SimulateSource(frontend.AccessEvents(s.cfg.Params, app.Prog, tr, newOpts),
+			s.cfg.Params.L1I, opt.ModeDemandMIN, false)
+		if err != nil {
+			return nil, err
+		}
+		idealMisses := ideal.DemandMisses
 		acfg := core.DefaultAnalysisConfig()
 		acfg.L1I = s.cfg.Params.L1I
 		a, err := core.Analyze(app.Prog, tr, acfg)

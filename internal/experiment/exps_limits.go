@@ -67,7 +67,7 @@ func (s *Suite) Fig2() (*Table, error) {
 
 // fig3Policies are the prior replacement policies of Figure 3, in its
 // order.
-var fig3Policies = []string{"hawkeye", "harmony", "srrip", "drrip", "ghrp"}
+var fig3Policies = []string{"hawkeye", "harmony", "srrip", "drrip", "ghrp", "trrip"}
 
 // Fig3 reproduces Figure 3: prior replacement policies' speedup over LRU,
 // all under FDIP. Paper: none of them beat LRU although ideal replacement
@@ -114,7 +114,7 @@ func (s *Suite) Tab1() (*Table, error) {
 	t := NewTable("tab1", "Replacement-policy metadata storage (32KB, 8-way, 64B lines)",
 		"policy", "overhead", "notes")
 	geom := s.cfg.Params.L1I
-	order := []string{"lru", "ghrp", "srrip", "drrip", "hawkeye", "random"}
+	order := []string{"lru", "ghrp", "srrip", "drrip", "hawkeye", "trrip", "random"}
 	for _, name := range order {
 		pol, err := replacement.New(name)
 		if err != nil {

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"math"
+
+	"ripple/internal/runner"
+)
+
+// OracleEngines compares the two oracle engines on the same access
+// streams: the exact two-pass streaming Belady replay against the
+// single-pass sampled-set OPTGen estimate (at the suite's configured
+// sample budget), for both MIN and Demand-MIN. The error columns
+// characterize the sampling error the `-oracle sampled` mode trades for
+// its O(sets × history) memory bound.
+//
+// The Demand-MIN comparison is not pure sampling noise: OPTGen computes
+// the true Demand-MIN optimum (a line whose next access is a prefetch is
+// free to drop), while the exact replay's victim rule only treats
+// never-demanded-again lines as free. The sampled estimate therefore
+// tracks a count that is itself a lower bound on the replay's — see the
+// opt.OPTGen docs.
+func (s *Suite) OracleEngines() (*Table, error) {
+	const pf = "fdip"
+	var jobs []runner.Job
+	for _, app := range s.cfg.Apps {
+		jobs = append(jobs,
+			s.oracleJobFor(app, pf, OracleExact),
+			s.oracleJobFor(app, pf, OracleSampled))
+	}
+	if err := s.warm(jobs...); err != nil {
+		return nil, err
+	}
+	t := NewTable("oracle", "Oracle engines: exact vs sampled-set OPTGen demand misses (FDIP)",
+		"application", "min", "min~", "min-err%", "dmin", "dmin~", "dmin-err%").WithMean()
+	for _, app := range s.cfg.Apps {
+		exact, err := s.oracleFor(app, pf, OracleExact)
+		if err != nil {
+			return nil, err
+		}
+		sampled, err := s.oracleFor(app, pf, OracleSampled)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowF(app, "%.0f",
+			float64(exact.Min), float64(sampled.Min), relErrPct(exact.Min, sampled.Min),
+			float64(exact.DemandMin), float64(sampled.DemandMin), relErrPct(exact.DemandMin, sampled.DemandMin))
+	}
+	t.Note = "~ columns are single-pass sampled-set estimates; dmin~ additionally tracks the true Demand-MIN optimum (a lower bound on the replay heuristic)"
+	return t, nil
+}
+
+// relErrPct is the signed relative error of an estimate in percent.
+func relErrPct(exact, est uint64) float64 {
+	if exact == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (float64(est) - float64(exact)) / float64(exact) * 100
+}
+
+// TRRIPZoo places the temperature-tiered RRIP policy in the Ripple
+// comparison: TRRIP as a hardware baseline over LRU, Ripple's hints
+// injected on top of it, and the resulting replacement coverage — the
+// Fig. 9-style view of a policy the paper does not study.
+func (s *Suite) TRRIPZoo() (*Table, error) {
+	const pf = "fdip"
+	jobs := s.crossJobs(s.cfg.Apps, []string{pf}, []string{"lru", "trrip"})
+	jobs = append(jobs, s.rippleJobs(s.cfg.Apps, []string{pf}, []string{"trrip"})...)
+	if err := s.warm(jobs...); err != nil {
+		return nil, err
+	}
+	t := NewTable("trrip", "Temperature-tiered RRIP under FDIP: hardware baseline and as Ripple's hint target",
+		"application", "trrip%", "ripple-trrip%", "coverage%").WithMean()
+	for _, app := range s.cfg.Apps {
+		base, err := s.run(app, pf, "lru", false)
+		if err != nil {
+			return nil, err
+		}
+		hw, err := s.run(app, pf, "trrip", false)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := s.rippleFor(app, pf, "trrip")
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowF(app, "%.2f",
+			speedupPct(base.Cycles, hw.Cycles),
+			speedupPct(base.Cycles, ev.Best.Cycles),
+			ev.Best.Coverage()*100)
+	}
+	t.Note = "speedups over the FDIP+LRU baseline; coverage is the share of ripple-trrip's evictions freed by hints"
+	return t, nil
+}

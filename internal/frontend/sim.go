@@ -31,8 +31,12 @@ type Options struct {
 	Prefetcher prefetch.Prefetcher
 	// Hints selects invalidate vs. demote execution of injected hints.
 	Hints HintMode
-	// RecordStream captures the full demand+prefetch line-event stream,
-	// which the offline ideal-replacement oracles replay.
+	// RecordStream materializes the full demand+prefetch line-event
+	// stream on Result.Stream — 16 bytes per post-warmup access, i.e.
+	// O(trace) memory. It is a legacy opt-in for callers that genuinely
+	// need the slice; every oracle consumer should instead replay the
+	// run through AccessEvents, which streams the identical events
+	// without materializing them.
 	RecordStream bool
 	// MeasureAccuracy scores every replacement decision against the
 	// Belady next-use oracle (costs one pass over the trace up front).
@@ -49,6 +53,13 @@ type Options struct {
 	// and charging one-time 260-cycle compulsory fills against a short
 	// simulation window would distort every comparison.
 	ColdHierarchy bool
+
+	// onEvent, when set, observes every demand/prefetch event as it is
+	// issued (warmup included; AccessEvents resolves the boundary via
+	// onWarmupEnd). Unexported: only AccessEvents wires these hooks.
+	onEvent func(opt.Event)
+	// onWarmupEnd fires once when the warmup boundary is crossed.
+	onWarmupEnd func()
 }
 
 // Result is everything one run measures.
@@ -221,11 +232,11 @@ func Run(p Params, prog *program.Program, src blockseq.Source, opts Options) (Re
 		s.missObs = mo
 	}
 	if opts.MeasureAccuracy {
-		lines, _, err := DemandLines(prog, src)
+		o, err := opt.BuildOracleSource(DemandEvents(prog, src), p.L1I)
 		if err != nil {
 			return Result{}, fmt.Errorf("frontend: oracle pre-pass: %w", err)
 		}
-		s.oracle = opt.BuildOracle(lines, p.L1I)
+		s.oracle = o
 	}
 	if !opts.ColdHierarchy {
 		s.prewarm()
@@ -318,6 +329,9 @@ func (s *sim) snapshotWarm() {
 		// The oracle replays only the measured region.
 		s.res.Stream = s.res.Stream[:0]
 	}
+	if s.opts.onWarmupEnd != nil {
+		s.opts.onWarmupEnd()
+	}
 }
 
 // subtract removes the warmup-era counts from the result.
@@ -366,6 +380,9 @@ func (s *sim) stall(cycles float64) {
 func (s *sim) demandAccess(l uint64) {
 	if s.opts.RecordStream {
 		s.res.Stream = append(s.res.Stream, opt.Event{Line: l})
+	}
+	if s.opts.onEvent != nil {
+		s.opts.onEvent(opt.Event{Line: l})
 	}
 	ai := cache.AccessInfo{Line: l, Sig: l}
 	r := s.l1i.Access(ai)
@@ -422,6 +439,9 @@ func (s *sim) issuePrefetch(l uint64) {
 	}
 	if s.opts.RecordStream {
 		s.res.Stream = append(s.res.Stream, opt.Event{Line: l, Prefetch: true})
+	}
+	if s.opts.onEvent != nil {
+		s.opts.onEvent(opt.Event{Line: l, Prefetch: true})
 	}
 	if !r.Hit {
 		// Pull the line through L2/L3 off the critical path; the data

@@ -1,15 +1,27 @@
 // Package opt implements the offline "ideal" replacement policies the
 // paper uses both as limit studies and as the reference that Ripple's
 // eviction analysis mimics: Belady's MIN and the revised Demand-MIN of
-// Harmony (Jain & Lin, ISCA'18), evaluated over a recorded access stream
-// with a precomputed next-use index (the standard two-pass methodology).
+// Harmony (Jain & Lin, ISCA'18), evaluated with the standard two-pass
+// methodology (next-use indexing, then a policy replay).
 //
-// It also provides the next-use Oracle used to score replacement accuracy:
-// a victim choice is "optimal" iff no other line in the set is re-used
-// later than it.
+// The exact engine streams both passes over a replayable EventSource
+// (SimulateSource / BuildOracleSource), so no caller has to materialize
+// the access stream; the slice APIs (Simulate, BuildOracle) are thin
+// SliceEvents wrappers kept for tests and small inputs. Beside it,
+// OPTGen estimates the same limits from a handful of sampled sets with
+// bounded per-set state (Hawkeye-style), making oracle memory independent
+// of trace length.
+//
+// The package also provides the next-use Oracle used to score replacement
+// accuracy: a victim choice is "optimal" iff no other line in the set is
+// re-used later than it.
 package opt
 
-import "ripple/internal/cache"
+import (
+	"errors"
+
+	"ripple/internal/cache"
+)
 
 // Event is one access in a recorded line-access stream. Demand events come
 // from committed basic blocks; prefetch events from the simulated
@@ -93,11 +105,69 @@ type entry struct {
 	dead  bool // prefetched and never demand-referenced so far
 }
 
-// Simulate replays the oracle policy over the event stream against the
-// given cache geometry. Set logEvictions to collect the eviction log that
-// Ripple's analysis needs (costs memory proportional to evictions).
+// ErrNotReplayable reports a source whose second pass yielded a different
+// event count than the first — a violation of the EventSource contract the
+// two-pass engine cannot survive, since next-use indexes from pass one
+// would mis-align with the replay.
+var ErrNotReplayable = errors.New("opt: source yielded a different event count on replay")
+
+// nextIndex is the pass-one product: for every stream position, the
+// position of the next event touching the same line (any kind) and of the
+// next demand event on that line; never (-1) when there is none.
+type nextIndex struct {
+	nextAny    []int32
+	nextDemand []int32
+}
+
+// Simulate replays the oracle policy over a materialized event stream. It
+// is a thin wrapper over SimulateSource; it panics on the streaming error
+// paths, which a well-formed in-memory slice cannot reach (a slice long
+// enough to overflow int32 positions would already be >32 GiB).
 func Simulate(events []Event, cfg cache.Config, mode Mode, logEvictions bool) Result {
-	nextAny, nextDemand := buildNextIndexes(events)
+	res, err := SimulateSource(SliceEvents(events), cfg, mode, logEvictions)
+	if err != nil {
+		panic("opt: Simulate: " + err.Error())
+	}
+	return res
+}
+
+// SimulateSource replays the oracle policy over two passes of a replayable
+// event source against the given cache geometry: pass one builds the
+// next-use indexes, pass two replays the policy. Peak memory is the 9
+// bytes/event index (plus the model), never the events themselves. Set
+// logEvictions to collect the eviction log that Ripple's analysis needs
+// (costs memory proportional to evictions).
+func SimulateSource(src EventSource, cfg cache.Config, mode Mode, logEvictions bool) (Result, error) {
+	idx, err := buildNextIndexesSource(src)
+	if err != nil {
+		return Result{}, err
+	}
+	return replayOracle(src, cfg, mode, logEvictions, idx, nil)
+}
+
+// SimulateSourceModes replays several oracle modes over one source,
+// sharing the pass-one index across all of them (1 + len(modes) passes
+// total instead of 2×len(modes)). Results are returned in mode order.
+func SimulateSourceModes(src EventSource, cfg cache.Config, modes []Mode, logEvictions bool) ([]Result, error) {
+	idx, err := buildNextIndexesSource(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(modes))
+	for i, m := range modes {
+		r, err := replayOracle(src, cfg, m, logEvictions, idx, nil)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// replayOracle is the shared pass-two engine. The onAccess hook, when
+// non-nil, observes every event with its stream position and hit/miss
+// outcome (BuildOracleSource uses it to mark per-access ideal outcomes).
+func replayOracle(src EventSource, cfg cache.Config, mode Mode, logEvictions bool, idx nextIndex, onAccess func(ev Event, i int32, miss bool)) (Result, error) {
 	nsets := cfg.Sets()
 	setMask := uint64(nsets - 1)
 	sets := make([][]entry, nsets)
@@ -106,9 +176,19 @@ func Simulate(events []Event, cfg cache.Config, mode Mode, logEvictions bool) Re
 	}
 	res := Result{Mode: mode}
 	var clock uint64
+	n := len(idx.nextAny)
 
-	for i := range events {
-		ev := &events[i]
+	seq := src.Open()
+	i := 0
+	for {
+		ev, ok := seq.Next()
+		if !ok {
+			break
+		}
+		if i >= n {
+			stopSeq(seq)
+			return Result{}, ErrNotReplayable
+		}
 		if !ev.Prefetch {
 			res.DemandAccesses++
 		}
@@ -127,7 +207,14 @@ func Simulate(events []Event, cfg cache.Config, mode Mode, logEvictions bool) Re
 			}
 		}
 		if hit {
+			if onAccess != nil {
+				onAccess(ev, int32(i), false)
+			}
+			i++
 			continue
+		}
+		if onAccess != nil {
+			onAccess(ev, int32(i), true)
 		}
 		if !ev.Prefetch {
 			res.DemandMisses++
@@ -138,9 +225,10 @@ func Simulate(events []Event, cfg cache.Config, mode Mode, logEvictions bool) Re
 		ne := entry{line: ev.Line, last: int32(i), stamp: clock, dead: ev.Prefetch}
 		if len(s) < cfg.Ways {
 			sets[ev.Line&setMask] = append(s, ne)
+			i++
 			continue
 		}
-		w := victim(s, mode, nextAny, nextDemand, events)
+		w := victim(s, mode, idx.nextAny, idx.nextDemand)
 		res.Evictions++
 		if s[w].dead {
 			res.DeadPrefetchEvictions++
@@ -153,13 +241,20 @@ func Simulate(events []Event, cfg cache.Config, mode Mode, logEvictions bool) Re
 			})
 		}
 		s[w] = ne
+		i++
 	}
-	return res
+	if err := seq.Err(); err != nil {
+		return Result{}, err
+	}
+	if i != n {
+		return Result{}, ErrNotReplayable
+	}
+	return res, nil
 }
 
 // victim selects the way to replace under the oracle mode. All ways are
 // occupied when called.
-func victim(s []entry, mode Mode, nextAny, nextDemand []int32, events []Event) int {
+func victim(s []entry, mode Mode, nextAny, nextDemand []int32) int {
 	switch mode {
 	case ModeMIN:
 		// Farthest next event; dead lines (no next event) win immediately.
@@ -222,9 +317,62 @@ func victim(s []entry, mode Mode, nextAny, nextDemand []int32, events []Event) i
 	}
 }
 
-// buildNextIndexes computes, for every event index, the index of the next
-// event touching the same line (any kind) and the next *demand* event on
-// that line; -1 when there is none.
+// buildNextIndexesSource computes the next-use indexes in one forward
+// pass: when a line reappears at position i, its previous position's
+// next-any link is patched to i. Next-demand links are then derived by a
+// backward sweep over the completed next-any chain — the next demand on a
+// line is its next access if that access is a demand, else that access's
+// own next demand. This yields arrays identical to the slice-era backward
+// builder (buildNextIndexes) without needing the events in memory.
+func buildNextIndexesSource(src EventSource) (nextIndex, error) {
+	capHint := 1 << 10
+	if n, ok := LenHint(src); ok && n > 0 {
+		capHint = n
+	}
+	nextAny := make([]int32, 0, capHint)
+	demand := make([]bool, 0, capHint)
+	lastAny := make(map[uint64]int32, 1<<14)
+
+	seq := src.Open()
+	n := 0
+	for {
+		ev, ok := seq.Next()
+		if !ok {
+			break
+		}
+		if n >= maxStreamEvents {
+			stopSeq(seq)
+			return nextIndex{}, ErrStreamTooLong
+		}
+		if j, ok := lastAny[ev.Line]; ok {
+			nextAny[j] = int32(n)
+		}
+		lastAny[ev.Line] = int32(n)
+		nextAny = append(nextAny, never)
+		demand = append(demand, !ev.Prefetch)
+		n++
+	}
+	if err := seq.Err(); err != nil {
+		return nextIndex{}, err
+	}
+
+	nextDemand := make([]int32, n)
+	for i := n - 1; i >= 0; i-- {
+		j := nextAny[i]
+		switch {
+		case j == never:
+			nextDemand[i] = never
+		case demand[j]:
+			nextDemand[i] = j
+		default:
+			nextDemand[i] = nextDemand[j]
+		}
+	}
+	return nextIndex{nextAny: nextAny, nextDemand: nextDemand}, nil
+}
+
+// buildNextIndexes is the slice-era backward builder, kept as the
+// reference implementation the streaming builder is tested against.
 func buildNextIndexes(events []Event) (nextAny, nextDemand []int32) {
 	n := len(events)
 	nextAny = make([]int32, n)

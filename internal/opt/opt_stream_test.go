@@ -1,0 +1,492 @@
+package opt
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"ripple/internal/cache"
+	"ripple/internal/stats"
+)
+
+// referenceSimulate is the pre-streaming slice engine, kept verbatim as
+// the reference the streaming paths must match bit-identically.
+func referenceSimulate(events []Event, cfg cache.Config, mode Mode, logEvictions bool) Result {
+	nextAny, nextDemand := buildNextIndexes(events)
+	nsets := cfg.Sets()
+	setMask := uint64(nsets - 1)
+	sets := make([][]entry, nsets)
+	for i := range sets {
+		sets[i] = make([]entry, 0, cfg.Ways)
+	}
+	res := Result{Mode: mode}
+	var clock uint64
+
+	for i := range events {
+		ev := &events[i]
+		if !ev.Prefetch {
+			res.DemandAccesses++
+		}
+		s := sets[ev.Line&setMask]
+		hit := false
+		for w := range s {
+			if s[w].line == ev.Line {
+				hit = true
+				clock++
+				s[w].last = int32(i)
+				s[w].stamp = clock
+				if !ev.Prefetch {
+					s[w].dead = false
+				}
+				break
+			}
+		}
+		if hit {
+			continue
+		}
+		if !ev.Prefetch {
+			res.DemandMisses++
+		} else {
+			res.PrefetchFills++
+		}
+		clock++
+		ne := entry{line: ev.Line, last: int32(i), stamp: clock, dead: ev.Prefetch}
+		if len(s) < cfg.Ways {
+			sets[ev.Line&setMask] = append(s, ne)
+			continue
+		}
+		w := victim(s, mode, nextAny, nextDemand)
+		res.Evictions++
+		if s[w].dead {
+			res.DeadPrefetchEvictions++
+		}
+		if logEvictions {
+			res.EvictionLog = append(res.EvictionLog, Eviction{
+				Line:    s[w].line,
+				LastUse: s[w].last,
+				At:      int32(i),
+			})
+		}
+		s[w] = ne
+	}
+	return res
+}
+
+func randomEvents(rng *stats.RNG, n, lines int, pfOdds float64) []Event {
+	ev := make([]Event, n)
+	for i := range ev {
+		ev[i] = Event{Line: uint64(rng.Intn(lines)), Prefetch: rng.Bool(pfOdds)}
+	}
+	return ev
+}
+
+var streamCfgs = []cache.Config{
+	{SizeBytes: 128, Ways: 2, LineBytes: 64},  // 1 set
+	{SizeBytes: 512, Ways: 2, LineBytes: 64},  // 4 sets
+	{SizeBytes: 2048, Ways: 4, LineBytes: 64}, // 8 sets
+}
+
+// TestStreamIndexMatchesBackward: the forward patch-on-reappearance
+// builder must produce the exact arrays of the slice-era backward pass.
+func TestStreamIndexMatchesBackward(t *testing.T) {
+	rng := stats.NewRNG(4097)
+	for trial := 0; trial < 50; trial++ {
+		ev := randomEvents(rng, 50+rng.Intn(400), 1+rng.Intn(30), 0.3)
+		wantAny, wantDemand := buildNextIndexes(ev)
+		idx, err := buildNextIndexesSource(SliceEvents(ev))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(idx.nextAny, wantAny) {
+			t.Fatalf("trial %d: nextAny diverges", trial)
+		}
+		if !reflect.DeepEqual(idx.nextDemand, wantDemand) {
+			t.Fatalf("trial %d: nextDemand diverges", trial)
+		}
+	}
+}
+
+// TestSimulateSourceMatchesReference is the tentpole equivalence suite:
+// the streaming engine must be bit-identical to the slice-era engine on
+// every mode, geometry, and logging setting, eviction log included.
+func TestSimulateSourceMatchesReference(t *testing.T) {
+	rng := stats.NewRNG(99)
+	modes := []Mode{ModeMIN, ModeDemandMIN, ModePolluteEvict}
+	for trial := 0; trial < 30; trial++ {
+		ev := randomEvents(rng, 100+rng.Intn(500), 2+rng.Intn(40), 0.25)
+		for _, cfg := range streamCfgs {
+			for _, mode := range modes {
+				for _, logEv := range []bool{false, true} {
+					want := referenceSimulate(ev, cfg, mode, logEv)
+					got, err := SimulateSource(SliceEvents(ev), cfg, mode, logEv)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("trial %d cfg %+v mode %v log %v:\n got %+v\nwant %+v",
+							trial, cfg, mode, logEv, got, want)
+					}
+					if wrap := Simulate(ev, cfg, mode, logEv); !reflect.DeepEqual(wrap, want) {
+						t.Fatalf("Simulate wrapper diverges from reference")
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSimulateSourceModesSharesIndex: the multi-mode entry point must
+// equal independent per-mode runs.
+func TestSimulateSourceModesSharesIndex(t *testing.T) {
+	rng := stats.NewRNG(555)
+	ev := randomEvents(rng, 600, 32, 0.3)
+	cfg := streamCfgs[1]
+	modes := []Mode{ModeMIN, ModeDemandMIN, ModePolluteEvict}
+	got, err := SimulateSourceModes(SliceEvents(ev), cfg, modes, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(modes) {
+		t.Fatalf("got %d results", len(got))
+	}
+	for i, mode := range modes {
+		want := referenceSimulate(ev, cfg, mode, true)
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("mode %v diverges", mode)
+		}
+	}
+}
+
+// referenceBuildOracle is the pre-streaming oracle builder, kept as the
+// reference for BuildOracleSource.
+func referenceBuildOracle(lines []uint64, cfg cache.Config) *Oracle {
+	o := &Oracle{positions: make(map[uint64][]int32, 1<<14)}
+	for i, l := range lines {
+		o.positions[l] = append(o.positions[l], int32(i))
+	}
+	o.idealMiss = make([]bool, len(lines))
+	events := make([]Event, len(lines))
+	for i, l := range lines {
+		events[i] = Event{Line: l}
+	}
+	nextAny, nextDemand := buildNextIndexes(events)
+	nsets := cfg.Sets()
+	setMask := uint64(nsets - 1)
+	sets := make([][]entry, nsets)
+	for i := range sets {
+		sets[i] = make([]entry, 0, cfg.Ways)
+	}
+	for i, l := range lines {
+		s := sets[l&setMask]
+		hit := false
+		for w := range s {
+			if s[w].line == l {
+				hit = true
+				s[w].last = int32(i)
+				break
+			}
+		}
+		if hit {
+			continue
+		}
+		o.idealMiss[i] = true
+		ne := entry{line: l, last: int32(i)}
+		if len(s) < cfg.Ways {
+			sets[l&setMask] = append(s, ne)
+			continue
+		}
+		w := victim(s, ModeMIN, nextAny, nextDemand)
+		s[w] = ne
+	}
+	return o
+}
+
+func TestBuildOracleSourceMatchesReference(t *testing.T) {
+	rng := stats.NewRNG(808)
+	for trial := 0; trial < 20; trial++ {
+		n := 100 + rng.Intn(400)
+		lines := make([]uint64, n)
+		for i := range lines {
+			lines[i] = uint64(rng.Intn(30))
+		}
+		for _, cfg := range streamCfgs {
+			want := referenceBuildOracle(lines, cfg)
+			got := BuildOracle(lines, cfg)
+			if !reflect.DeepEqual(got.idealMiss, want.idealMiss) {
+				t.Fatalf("trial %d cfg %+v: idealMiss diverges", trial, cfg)
+			}
+			if !reflect.DeepEqual(got.positions, want.positions) {
+				t.Fatalf("trial %d cfg %+v: positions diverge", trial, cfg)
+			}
+		}
+	}
+}
+
+// TestStreamTooLong exercises the int32 position-space guard at a
+// test-sized boundary: maxStreamEvents events are fine, one more is a
+// typed error from every streaming entry point.
+func TestStreamTooLong(t *testing.T) {
+	old := maxStreamEvents
+	maxStreamEvents = 1000
+	defer func() { maxStreamEvents = old }()
+
+	ok := randomEvents(stats.NewRNG(7), 1000, 16, 0.2)
+	if _, err := SimulateSource(SliceEvents(ok), cfg1set, ModeMIN, false); err != nil {
+		t.Fatalf("at the boundary: %v", err)
+	}
+
+	over := randomEvents(stats.NewRNG(7), 1001, 16, 0.2)
+	if _, err := SimulateSource(SliceEvents(over), cfg1set, ModeMIN, false); !errors.Is(err, ErrStreamTooLong) {
+		t.Fatalf("SimulateSource err = %v, want ErrStreamTooLong", err)
+	}
+	if _, err := SimulateSourceModes(SliceEvents(over), cfg1set, []Mode{ModeMIN}, false); !errors.Is(err, ErrStreamTooLong) {
+		t.Fatalf("SimulateSourceModes err = %v, want ErrStreamTooLong", err)
+	}
+	lines := make([]uint64, 1001)
+	if _, err := BuildOracleSource(LineEvents(lines), cfg1set); !errors.Is(err, ErrStreamTooLong) {
+		t.Fatalf("BuildOracleSource err = %v, want ErrStreamTooLong", err)
+	}
+}
+
+// growingSource yields one extra event on every Open — a contract
+// violation the engine must detect rather than mis-align on.
+type growingSource struct {
+	ev    []Event
+	opens int
+}
+
+func (g *growingSource) Open() EventSeq {
+	g.opens++
+	extra := make([]Event, g.opens-1)
+	return &sliceSeq{ev: append(append([]Event{}, g.ev...), extra...)}
+}
+
+func TestNonReplayableSourceDetected(t *testing.T) {
+	src := &growingSource{ev: demand(0, 2, 4, 0, 2)}
+	if _, err := SimulateSource(src, cfg1set, ModeMIN, false); !errors.Is(err, ErrNotReplayable) {
+		t.Fatalf("err = %v, want ErrNotReplayable", err)
+	}
+}
+
+// TestOPTGenExactOnFullSampling is the sampled-engine ground truth: with
+// every set sampled and an occupancy window no shorter than the stream,
+// the interval formulation must reproduce the exact forced-fill engine's
+// demand-miss count on arbitrary streams. MIN must match on any stream;
+// Demand-MIN must match wherever the replay heuristic is optimal
+// (prefetch-free streams, where it degenerates to MIN) and never exceed
+// it elsewhere — OPTGen's Demand-MIN is the true optimum, which the
+// replay's "free only if never demanded again" rule upper-bounds (the
+// replay does not exploit evictions of lines re-prefetched before their
+// next demand).
+func TestOPTGenExactOnFullSampling(t *testing.T) {
+	rng := stats.NewRNG(31337)
+	for trial := 0; trial < 60; trial++ {
+		n := 100 + rng.Intn(600)
+		pfOdds := 0.3
+		if trial%2 == 0 {
+			pfOdds = 0 // prefetch-free: Demand-MIN must match exactly
+		}
+		ev := randomEvents(rng, n, 2+rng.Intn(40), pfOdds)
+		for _, cfg := range streamCfgs {
+			gc := OPTGenConfig{SampleSets: cfg.Sets(), History: n}
+			for _, mode := range []Mode{ModeMIN, ModeDemandMIN} {
+				exact := Simulate(ev, cfg, mode, false)
+				got, err := SimulateSampled(SliceEvents(ev), cfg, mode, gc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustMatch := mode == ModeMIN || pfOdds == 0
+				if mustMatch && got.SampledDemandMisses != exact.DemandMisses {
+					t.Fatalf("trial %d cfg %+v mode %v: sampled %d misses, exact %d",
+						trial, cfg, mode, got.SampledDemandMisses, exact.DemandMisses)
+				}
+				if got.SampledDemandMisses > exact.DemandMisses {
+					t.Fatalf("trial %d cfg %+v mode %v: sampled %d misses exceeds replay's %d",
+						trial, cfg, mode, got.SampledDemandMisses, exact.DemandMisses)
+				}
+				if mustMatch && got.EstimatedDemandMisses() != exact.DemandMisses {
+					t.Fatalf("full-sampling estimate %d != exact %d", got.EstimatedDemandMisses(), exact.DemandMisses)
+				}
+				if got.SampledDemandAccesses != exact.DemandAccesses || got.DemandAccesses != exact.DemandAccesses {
+					t.Fatalf("demand accounting diverges: %+v vs %+v", got, exact)
+				}
+			}
+		}
+	}
+}
+
+// exhaustiveDemandOptimalMisses brute-forces the minimal *demand*-miss
+// count over every forced-fill eviction policy: each miss (demand or
+// prefetch) fills and, in a full set, tries every victim; only demand
+// misses cost. Exponential — tiny traces only.
+func exhaustiveDemandOptimalMisses(ev []Event, ways int) uint64 {
+	var rec func(i int, set []uint64) uint64
+	rec = func(i int, set []uint64) uint64 {
+		if i == len(ev) {
+			return 0
+		}
+		e := ev[i]
+		for _, x := range set {
+			if x == e.Line {
+				return rec(i+1, set)
+			}
+		}
+		var cost uint64
+		if !e.Prefetch {
+			cost = 1
+		}
+		if len(set) < ways {
+			return cost + rec(i+1, append(append([]uint64{}, set...), e.Line))
+		}
+		best := ^uint64(0)
+		for v := range set {
+			ns := append([]uint64{}, set...)
+			ns[v] = e.Line
+			if m := cost + rec(i+1, ns); m < best {
+				best = m
+			}
+		}
+		return best
+	}
+	return rec(0, nil)
+}
+
+// TestOPTGenDemandMINMatchesExhaustive certifies the Demand-MIN interval
+// formulation against the brute-force forced-fill optimum on tiny random
+// streams with prefetches — the ground truth the replay heuristic only
+// approximates.
+func TestOPTGenDemandMINMatchesExhaustive(t *testing.T) {
+	rng := stats.NewRNG(424242)
+	for trial := 0; trial < 80; trial++ {
+		n := 8 + rng.Intn(6)
+		ev := randomEvents(rng, n, 1+rng.Intn(4), 0.4)
+		want := exhaustiveDemandOptimalMisses(ev, 2)
+		got, err := SimulateSampled(SliceEvents(ev), cfg1set, ModeDemandMIN, OPTGenConfig{SampleSets: 1, History: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.SampledDemandMisses != want {
+			t.Fatalf("trial %d: OPTGen demand-min %d misses, optimum %d (trace %v)",
+				trial, got.SampledDemandMisses, want, ev)
+		}
+	}
+}
+
+// TestOPTGenSampledEstimate: sampling a quarter of the sets on a uniform
+// stream must land near the exact count — loose bound, deterministic
+// seed.
+func TestOPTGenSampledEstimate(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 16384, Ways: 4, LineBytes: 64} // 64 sets
+	rng := stats.NewRNG(2718)
+	ev := randomEvents(rng, 40000, 1024, 0.2)
+	exact := Simulate(ev, cfg, ModeDemandMIN, false)
+	got, err := SimulateSampled(SliceEvents(ev), cfg, ModeDemandMIN, OPTGenConfig{SampleSets: 16, History: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SampleSets != 16 || got.TotalSets != 64 {
+		t.Fatalf("sampling geometry %d/%d", got.SampleSets, got.TotalSets)
+	}
+	est, want := float64(got.EstimatedDemandMisses()), float64(exact.DemandMisses)
+	if relErr := math.Abs(est-want) / want; relErr > 0.10 {
+		t.Fatalf("sampled estimate %v vs exact %v: rel err %.3f", est, want, relErr)
+	}
+}
+
+// TestOPTGenBoundedHistoryUpperBounds: a short window can only turn hits
+// into misses, so the bounded estimate upper-bounds the exact count and
+// the whole-stream demand tally stays exact.
+func TestOPTGenBoundedHistoryUpperBounds(t *testing.T) {
+	rng := stats.NewRNG(11)
+	ev := randomEvents(rng, 2000, 64, 0.25)
+	cfg := streamCfgs[2]
+	exact := Simulate(ev, cfg, ModeMIN, false)
+	got, err := SimulateSampled(SliceEvents(ev), cfg, ModeMIN, OPTGenConfig{SampleSets: cfg.Sets(), History: 2 * cfg.Ways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SampledDemandMisses < exact.DemandMisses {
+		t.Fatalf("bounded history undercounts: %d < exact %d", got.SampledDemandMisses, exact.DemandMisses)
+	}
+	if got.DemandAccesses != exact.DemandAccesses {
+		t.Fatalf("demand tally %d != %d", got.DemandAccesses, exact.DemandAccesses)
+	}
+}
+
+func TestOPTGenConfigNormalization(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 2048, Ways: 2, LineBytes: 64} // 16 sets
+	g, err := NewOPTGen(cfg, ModeMIN, OPTGenConfig{SampleSets: 100, History: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.Result()
+	if r.SampleSets != 16 {
+		t.Fatalf("SampleSets = %d, want capped at 16", r.SampleSets)
+	}
+	if r.History != DefaultHistoryWays*cfg.Ways {
+		t.Fatalf("History = %d", r.History)
+	}
+	if g, err = NewOPTGen(cfg, ModeMIN, OPTGenConfig{SampleSets: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Result().SampleSets != 4 {
+		t.Fatalf("SampleSets = %d, want rounded down to 4", g.Result().SampleSets)
+	}
+	if _, err := NewOPTGen(cfg, ModePolluteEvict, OPTGenConfig{}); err == nil {
+		t.Fatal("pollute-evict must be rejected")
+	}
+}
+
+// TestOPTGenLastMapBounded: the per-set line map must stay O(History)
+// even when the stream touches far more distinct lines than the window.
+func TestOPTGenLastMapBounded(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 128, Ways: 2, LineBytes: 64} // 1 set
+	hist := 32
+	g, err := NewOPTGen(cfg, ModeMIN, OPTGenConfig{SampleSets: 1, History: hist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		g.Access(Event{Line: uint64(i)}) // all distinct, all cold
+	}
+	if n := len(g.sets[0].last); n >= 2*hist {
+		t.Fatalf("last map grew to %d entries (window %d)", n, hist)
+	}
+	if r := g.Result(); r.SampledDemandMisses != 100000 {
+		t.Fatalf("all-cold stream: %d misses", r.SampledDemandMisses)
+	}
+}
+
+// TestSliceAndLineSources: the adapters honour the source contract,
+// including exact length hints and replayability.
+func TestSliceAndLineSources(t *testing.T) {
+	ev := demand(1, 2, 3)
+	if n, ok := SliceEvents(ev).LenHint(); !ok || n != 3 {
+		t.Fatalf("SliceEvents hint %d/%v", n, ok)
+	}
+	lines := LineEvents([]uint64{5, 6})
+	if n, ok := lines.LenHint(); !ok || n != 2 {
+		t.Fatalf("LineEvents hint %d/%v", n, ok)
+	}
+	for pass := 0; pass < 2; pass++ {
+		seq := lines.Open()
+		var got []uint64
+		for {
+			e, ok := seq.Next()
+			if !ok {
+				break
+			}
+			if e.Prefetch {
+				t.Fatal("LineEvents must be demand-only")
+			}
+			got = append(got, e.Line)
+		}
+		if seq.Err() != nil {
+			t.Fatal(seq.Err())
+		}
+		if !reflect.DeepEqual(got, []uint64{5, 6}) {
+			t.Fatalf("pass %d: %v", pass, got)
+		}
+	}
+}

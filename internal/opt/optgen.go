@@ -1,0 +1,286 @@
+package opt
+
+import (
+	"fmt"
+
+	"ripple/internal/cache"
+)
+
+// OPTGen estimates the MIN / Demand-MIN demand-miss counts from a handful
+// of sampled cache sets with bounded per-set state, Hawkeye-style: where
+// the exact engine spends 9 bytes per trace event on next-use indexes,
+// OPTGen's footprint is O(SampleSets × History) regardless of trace
+// length, and it needs only a single pass.
+//
+// The model is interval scheduling over set-local time. The exact engine
+// is a forced-fill MIN — every miss fills and, in a full set, evicts a
+// resident — so at each set-local access time one way is pinned by the
+// access itself, leaving ways−1 for lines being carried across it. A
+// reuse interval (prev, t) can therefore be retained (the access at t is
+// a hit) iff every interior slot prev<u<t currently carries at most
+// ways−2 retained intervals; retaining it increments those slots. Greedy
+// in end-time order (the order a single pass discovers intervals) is
+// optimal for this capacitated problem, which makes the engine exact —
+// not approximate — on any set it samples, as long as the reuse distance
+// fits the History window. (The textbook OPTgen formulation — closed
+// intervals at capacity ways — models a bypassing MIN and undercounts
+// against forced-fill: on a 2-way set, A B P A B costs 3 forced-fill
+// misses but only 2 with bypass.)
+//
+// Under Demand-MIN, an interval ended by a prefetch is never retained
+// (the prefetcher can always re-fetch, so dropping the line is free) and
+// only demand-ended intervals can count misses. This is the *true*
+// Demand-MIN optimum (certified against brute force in the tests): it
+// exploits free evictions of any line whose next access is a prefetch,
+// which the exact replay's victim rule — free only if never demanded
+// again — does not. On streams with prefetch-then-demand reuse chains
+// the sampled Demand-MIN count is therefore a certified lower bound on
+// (not a reproduction of) the replay's; on prefetch-free streams, and
+// for MIN always, the two agree exactly. Pollute-evict has no interval
+// formulation; the exact engine remains its only implementation.
+type OPTGen struct {
+	mode Mode
+	ways int
+
+	setMask     uint64
+	strideMask  uint64 // sampled iff set&strideMask == 0
+	strideShift uint
+
+	sets    []optgenSet
+	histLen int64
+
+	totalDemand   uint64
+	sampledDemand uint64
+	sampledMiss   uint64
+
+	sampleSets int
+	totalSets  int
+}
+
+// optgenSet is the bounded per-sampled-set state: a set-local access
+// clock, a ring of occupancy counters over the last histLen accesses, and
+// the last-access time per line (swept so it never holds more than ~2×
+// histLen entries).
+type optgenSet struct {
+	time int64
+	occ  []uint8
+	last map[uint64]int64
+}
+
+// OPTGenConfig sizes the sampled engine; zero values select defaults.
+type OPTGenConfig struct {
+	// SampleSets bounds how many cache sets the engine models (default
+	// DefaultSampleSets, the Hawkeye hardware budget). It is rounded
+	// down to a power of two and capped at the geometry's set count, and
+	// the sampled sets stride the index space evenly.
+	SampleSets int
+	// History bounds the per-set occupancy window in set-local accesses
+	// (default DefaultHistoryWays × associativity). Reuse intervals
+	// longer than the window count as misses — the engine's only source
+	// of non-sampling error.
+	History int
+}
+
+const (
+	// DefaultSampleSets matches Hawkeye's 64-set sampling budget.
+	DefaultSampleSets = 64
+	// DefaultHistoryWays scales the default per-set occupancy window:
+	// History = DefaultHistoryWays × cfg.Ways set-local accesses —
+	// Hawkeye's 8× associativity budget, which also keeps the per-set
+	// line map saturated at O(History) so engine memory is independent
+	// of trace length.
+	DefaultHistoryWays = 8
+)
+
+// NewOPTGen builds a sampled oracle engine for the geometry. Only MIN and
+// Demand-MIN have an interval formulation; other modes are rejected.
+func NewOPTGen(cfg cache.Config, mode Mode, gc OPTGenConfig) (*OPTGen, error) {
+	if mode != ModeMIN && mode != ModeDemandMIN {
+		return nil, fmt.Errorf("opt: OPTGen supports min and demand-min, not %v", mode)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nsets := cfg.Sets()
+
+	want := gc.SampleSets
+	if want <= 0 {
+		want = DefaultSampleSets
+	}
+	ss := 1
+	for ss*2 <= want {
+		ss *= 2
+	}
+	if ss > nsets {
+		ss = nsets
+	}
+
+	hist := gc.History
+	if hist <= 0 {
+		hist = DefaultHistoryWays * cfg.Ways
+	}
+	if hist < cfg.Ways {
+		hist = cfg.Ways
+	}
+
+	stride := nsets / ss
+	shift := uint(0)
+	for 1<<shift != stride {
+		shift++
+	}
+	g := &OPTGen{
+		mode:        mode,
+		ways:        cfg.Ways,
+		setMask:     uint64(nsets - 1),
+		strideMask:  uint64(stride - 1),
+		strideShift: shift,
+		sets:        make([]optgenSet, ss),
+		histLen:     int64(hist),
+		sampleSets:  ss,
+		totalSets:   nsets,
+	}
+	for i := range g.sets {
+		g.sets[i] = optgenSet{
+			occ:  make([]uint8, hist),
+			last: make(map[uint64]int64, 64),
+		}
+	}
+	return g, nil
+}
+
+// Access feeds one event through the engine. Events outside the sampled
+// sets only advance the whole-stream demand counter used for scaling.
+func (g *OPTGen) Access(ev Event) {
+	demand := !ev.Prefetch
+	if demand {
+		g.totalDemand++
+	}
+	set := ev.Line & g.setMask
+	if set&g.strideMask != 0 {
+		return
+	}
+	s := &g.sets[set>>g.strideShift]
+	h := g.histLen
+	t := s.time
+	s.time++
+	s.occ[t%h] = 0 // slot t recycles the slot of time t−h
+
+	if demand {
+		g.sampledDemand++
+	}
+	prev, seen := s.last[ev.Line]
+	s.last[ev.Line] = t
+	if int64(len(s.last)) >= 2*h {
+		s.sweep(t, h)
+	}
+
+	if !seen || t-prev > h {
+		// Cold, or the reuse interval outran the occupancy window.
+		if demand {
+			g.sampledMiss++
+		}
+		return
+	}
+	if ev.Prefetch && g.mode == ModeDemandMIN {
+		// Free refetch: never retained, never a demand miss.
+		return
+	}
+	for u := prev + 1; u < t; u++ {
+		if int(s.occ[u%h]) > g.ways-2 {
+			if demand {
+				g.sampledMiss++
+			}
+			return
+		}
+	}
+	for u := prev + 1; u < t; u++ {
+		s.occ[u%h]++
+	}
+}
+
+// sweep drops last-access entries that fell out of the occupancy window,
+// bounding the per-set map at O(History) live lines.
+func (s *optgenSet) sweep(t, h int64) {
+	for l, u := range s.last {
+		if t-u > h {
+			delete(s.last, l)
+		}
+	}
+}
+
+// SampledResult reports a sampled oracle estimate.
+type SampledResult struct {
+	Mode       Mode
+	SampleSets int
+	TotalSets  int
+	History    int
+
+	// DemandAccesses counts demand events across the whole stream (all
+	// sets); the Sampled pair counts only events landing in sampled sets.
+	DemandAccesses        uint64
+	SampledDemandAccesses uint64
+	SampledDemandMisses   uint64
+}
+
+// MissRatio is the demand-miss ratio observed on the sampled sets.
+func (r SampledResult) MissRatio() float64 {
+	if r.SampledDemandAccesses == 0 {
+		return 0
+	}
+	return float64(r.SampledDemandMisses) / float64(r.SampledDemandAccesses)
+}
+
+// EstimatedDemandMisses scales the sampled miss ratio to the whole
+// stream. When every set is sampled the count is returned directly (and,
+// given a History no shorter than the longest reuse interval, equals the
+// exact engine's DemandMisses).
+func (r SampledResult) EstimatedDemandMisses() uint64 {
+	switch {
+	case r.SampledDemandAccesses == 0:
+		return 0
+	case r.SampledDemandAccesses == r.DemandAccesses:
+		return r.SampledDemandMisses
+	}
+	return uint64(r.MissRatio()*float64(r.DemandAccesses) + 0.5)
+}
+
+// Result snapshots the engine's current estimate.
+func (g *OPTGen) Result() SampledResult {
+	return SampledResult{
+		Mode:                  g.mode,
+		SampleSets:            g.sampleSets,
+		TotalSets:             g.totalSets,
+		History:               int(g.histLen),
+		DemandAccesses:        g.totalDemand,
+		SampledDemandAccesses: g.sampledDemand,
+		SampledDemandMisses:   g.sampledMiss,
+	}
+}
+
+// DriveOPTGen streams one pass of src through every engine, letting
+// several variants (MIN and Demand-MIN, say) share a single replay.
+func DriveOPTGen(src EventSource, gens ...*OPTGen) error {
+	seq := src.Open()
+	for {
+		ev, ok := seq.Next()
+		if !ok {
+			break
+		}
+		for _, g := range gens {
+			g.Access(ev)
+		}
+	}
+	return seq.Err()
+}
+
+// SimulateSampled runs the sampled-set oracle over a single pass of src.
+func SimulateSampled(src EventSource, cfg cache.Config, mode Mode, gc OPTGenConfig) (SampledResult, error) {
+	g, err := NewOPTGen(cfg, mode, gc)
+	if err != nil {
+		return SampledResult{}, err
+	}
+	if err := DriveOPTGen(src, g); err != nil {
+		return SampledResult{}, err
+	}
+	return g.Result(), nil
+}

@@ -23,52 +23,38 @@ type Oracle struct {
 }
 
 // BuildOracle indexes a demand line stream (lines[i] is the line demanded
-// at stream position i) and replays Belady's MIN over it against the given
-// cache geometry to learn which accesses miss even under ideal
-// replacement.
+// at stream position i). It is a thin wrapper over BuildOracleSource; like
+// Simulate, it panics on the streaming error paths a slice cannot reach.
 func BuildOracle(lines []uint64, cfg cache.Config) *Oracle {
-	o := &Oracle{positions: make(map[uint64][]int32, 1<<14)}
-	for i, l := range lines {
-		o.positions[l] = append(o.positions[l], int32(i))
-	}
-	o.idealMiss = make([]bool, len(lines))
-
-	// Inline MIN replay marking per-access outcomes (Simulate reports
-	// aggregates only).
-	events := make([]Event, len(lines))
-	for i, l := range lines {
-		events[i] = Event{Line: l}
-	}
-	nextAny, nextDemand := buildNextIndexes(events)
-	nsets := cfg.Sets()
-	setMask := uint64(nsets - 1)
-	sets := make([][]entry, nsets)
-	for i := range sets {
-		sets[i] = make([]entry, 0, cfg.Ways)
-	}
-	for i, l := range lines {
-		s := sets[l&setMask]
-		hit := false
-		for w := range s {
-			if s[w].line == l {
-				hit = true
-				s[w].last = int32(i)
-				break
-			}
-		}
-		if hit {
-			continue
-		}
-		o.idealMiss[i] = true
-		ne := entry{line: l, last: int32(i)}
-		if len(s) < cfg.Ways {
-			sets[l&setMask] = append(s, ne)
-			continue
-		}
-		w := victim(s, ModeMIN, nextAny, nextDemand, events)
-		s[w] = ne
+	o, err := BuildOracleSource(LineEvents(lines), cfg)
+	if err != nil {
+		panic("opt: BuildOracle: " + err.Error())
 	}
 	return o
+}
+
+// BuildOracleSource builds the accuracy oracle from two passes over a
+// replayable demand stream: pass one indexes next-use positions, pass two
+// replays Belady's MIN against the given cache geometry to learn which
+// accesses miss even under ideal replacement. The source must yield the
+// pure demand line stream (every event a demand access); prefetch flags
+// are ignored.
+func BuildOracleSource(src EventSource, cfg cache.Config) (*Oracle, error) {
+	idx, err := buildNextIndexesSource(src)
+	if err != nil {
+		return nil, err
+	}
+	o := &Oracle{
+		positions: make(map[uint64][]int32, 1<<14),
+		idealMiss: make([]bool, len(idx.nextAny)),
+	}
+	if _, err := replayOracle(src, cfg, ModeMIN, false, idx, func(ev Event, i int32, miss bool) {
+		o.positions[ev.Line] = append(o.positions[ev.Line], i)
+		o.idealMiss[i] = miss
+	}); err != nil {
+		return nil, err
+	}
+	return o, nil
 }
 
 // NextUse returns the first demand position of line strictly after pos, or

@@ -41,6 +41,7 @@ var catalog = map[string]Factory{
 	"hawkeye":   func() cache.Policy { return NewHawkeye(false) },
 	"harmony":   func() cache.Policy { return NewHawkeye(true) },
 	"ship":      func() cache.Policy { return NewSHiP() },
+	"trrip":     func() cache.Policy { return NewTRRIP() },
 }
 
 // New returns a fresh policy by name, or an error listing valid names.
@@ -54,7 +55,7 @@ func New(name string) (cache.Policy, error) {
 
 // Names lists the available policy names in a stable order.
 func Names() []string {
-	return []string{"lru", "random", "srrip", "drrip", "ghrp", "ghrp-orig", "hawkeye", "harmony", "ship"}
+	return []string{"lru", "random", "srrip", "drrip", "ghrp", "ghrp-orig", "hawkeye", "harmony", "ship", "trrip"}
 }
 
 // base provides the geometry bookkeeping shared by all policies.

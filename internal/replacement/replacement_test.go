@@ -379,3 +379,39 @@ func TestResetClearsLearnedState(t *testing.T) {
 		}
 	}
 }
+
+func TestTRRIPTemperatureTiers(t *testing.T) {
+	p := NewTRRIP()
+	p.Reset(1, 2)
+	sig := uint64(0x80)
+	ai := cache.AccessInfo{Line: sig, Sig: sig}
+	// Untrained signatures start lukewarm: SRRIP-like "long" insertion.
+	p.OnFill(0, 0, ai)
+	if p.rrpv[0] != rripMax-1 {
+		t.Fatalf("lukewarm insertion rrpv = %d, want %d", p.rrpv[0], rripMax-1)
+	}
+	// Two fill+hit generations heat the signature to the hot tier.
+	p.OnHit(0, 0, ai)
+	p.OnFill(0, 0, ai)
+	p.OnHit(0, 0, ai)
+	p.OnFill(0, 1, ai)
+	if p.rrpv[1] != 0 {
+		t.Fatalf("hot insertion rrpv = %d, want 0", p.rrpv[1])
+	}
+	// Repeated evictions without re-reference cool it to the cold tier.
+	for i := 0; i < 3; i++ {
+		p.OnFill(0, 1, ai)
+		p.OnEvict(0, 1, false)
+	}
+	p.OnFill(0, 1, ai)
+	if p.rrpv[1] != rripMax {
+		t.Fatalf("cold insertion rrpv = %d, want %d", p.rrpv[1], rripMax)
+	}
+	// Demote drops a line straight to the cold tier.
+	p.OnFill(0, 0, ai)
+	p.OnHit(0, 0, ai)
+	p.Demote(0, 0)
+	if v := p.Victim(0, cache.AccessInfo{}); v != 0 {
+		t.Fatalf("victim after demote = %d, want 0", v)
+	}
+}

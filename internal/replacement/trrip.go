@@ -1,0 +1,135 @@
+package replacement
+
+import "ripple/internal/cache"
+
+// TRRIP — Temperature-tiered RRIP — extends the SHiP idea from a binary
+// reuse prediction to a three-tier line-temperature model. A per-signature
+// saturating counter classifies each fill as hot, warm, or cold, and the
+// insertion RRPV is tiered accordingly: hot lines insert at near-immediate
+// re-reference (RRPV 0), warm lines at "long" (like SRRIP), and cold lines
+// at "distant" (scan-like, first to go). Hits heat a signature up; an
+// eviction without re-reference cools it down.
+//
+// The middle tier is the point: instruction working sets are mostly
+// warm — re-referenced, but not tightly — and a binary predictor must
+// round them either up (protecting everything, degenerating to LRU) or
+// down (scanning everything, degenerating to SRRIP). TRRIP keeps the two
+// extremes for the genuinely hot call targets and genuinely cold error
+// paths, which also makes it a natural target for Ripple's demote hints:
+// Demote drops a line straight to the cold tier.
+type TRRIP struct {
+	base
+	rrpv  []uint8
+	sig   []uint64
+	reref []bool
+	temp  []uint8 // 2-bit temperature table, indexed by hashed signature
+}
+
+const (
+	trripTableBits = 12
+	// Temperature thresholds: counter >= hot inserts at RRPV 0,
+	// >= warm at rripMax-1, below that at rripMax.
+	trripHot  = 3
+	trripWarm = 1
+)
+
+// NewTRRIP returns a fresh TRRIP policy.
+func NewTRRIP() *TRRIP { return &TRRIP{} }
+
+// Name implements cache.Policy.
+func (p *TRRIP) Name() string { return "trrip" }
+
+// Reset implements cache.Policy.
+func (p *TRRIP) Reset(sets, ways int) {
+	p.reset(sets, ways)
+	n := sets * ways
+	p.rrpv = make([]uint8, n)
+	for i := range p.rrpv {
+		p.rrpv[i] = rripMax
+	}
+	p.sig = make([]uint64, n)
+	p.reref = make([]bool, n)
+	p.temp = make([]uint8, 1<<trripTableBits)
+	for i := range p.temp {
+		p.temp[i] = trripWarm // start lukewarm: SRRIP-like until trained
+	}
+}
+
+func (p *TRRIP) cell(sig uint64) *uint8 {
+	return &p.temp[mix64(sig)&(1<<trripTableBits-1)]
+}
+
+// OnHit implements cache.Policy: promote and heat the signature. Prefetch
+// probes do not promote.
+func (p *TRRIP) OnHit(set, way int, ai cache.AccessInfo) {
+	if ai.Prefetch {
+		return
+	}
+	i := p.idx(set, way)
+	p.rrpv[i] = 0
+	if !p.reref[i] {
+		p.reref[i] = true
+		if c := p.cell(p.sig[i]); *c < 3 {
+			*c++
+		}
+	}
+}
+
+// OnFill implements cache.Policy: tiered insertion by temperature.
+func (p *TRRIP) OnFill(set, way int, ai cache.AccessInfo) {
+	i := p.idx(set, way)
+	p.sig[i] = ai.Sig
+	p.reref[i] = false
+	switch c := *p.cell(ai.Sig); {
+	case c >= trripHot:
+		p.rrpv[i] = 0
+	case c >= trripWarm:
+		p.rrpv[i] = rripMax - 1
+	default:
+		p.rrpv[i] = rripMax
+	}
+}
+
+// OnEvict implements cache.Policy: eviction without re-reference cools
+// the signature.
+func (p *TRRIP) OnEvict(set, way int, reref bool) {
+	i := p.idx(set, way)
+	if !p.reref[i] {
+		if c := p.cell(p.sig[i]); *c > 0 {
+			*c--
+		}
+	}
+}
+
+// Victim implements cache.Policy (SRRIP-style aging search).
+func (p *TRRIP) Victim(set int, ai cache.AccessInfo) int {
+	row := p.rrpv[set*p.ways : (set+1)*p.ways]
+	for {
+		for w := range row {
+			if row[w] == rripMax {
+				return w
+			}
+		}
+		for w := range row {
+			row[w]++
+		}
+	}
+}
+
+// Demote implements cache.Demoter: a hinted line drops to the cold tier,
+// so it is the set's next victim unless re-referenced first.
+func (p *TRRIP) Demote(set, way int) {
+	p.rrpv[p.idx(set, way)] = rripMax
+}
+
+// OverheadBytes implements Overheader: 2-bit RRPV per line, the 2-bit
+// temperature table, and per-line 14-bit signatures + outcome bit.
+func (p *TRRIP) OverheadBytes(sets, ways int) float64 {
+	lines := float64(sets * ways)
+	return 2*lines/8 + float64(2*(1<<trripTableBits))/8 + lines*15/8
+}
+
+// OverheadNote implements Overheader.
+func (p *TRRIP) OverheadNote() string {
+	return "2-bit RRPV per line, 2-bit temperature table, per-line signatures"
+}

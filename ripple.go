@@ -116,6 +116,14 @@ type (
 	// AccessEvent is one recorded cache-line access (demand or prefetch);
 	// Result.Stream holds these when Options.RecordStream is set.
 	AccessEvent = opt.Event
+	// EventSource is a replayable iterator factory over access events —
+	// the oracle engines' streaming input (see SliceEventSource,
+	// AccessEventSource).
+	EventSource = opt.EventSource
+	// OPTGenConfig sizes the sampled-set oracle engine.
+	OPTGenConfig = opt.OPTGenConfig
+	// SampledOracleResult is a sampled-set oracle estimate.
+	SampledOracleResult = opt.SampledResult
 
 	// LBRConfig parameterizes LBR-style profile sampling.
 	LBRConfig = lbr.Config
@@ -388,6 +396,37 @@ func CollectSource(src BlockSource) ([]BlockID, error) {
 // returns the demand misses an ideal cache replacement would incur.
 func IdealMisses(stream []AccessEvent, l1i CacheConfig) uint64 {
 	return opt.Simulate(stream, l1i, opt.ModeDemandMIN, false).DemandMisses
+}
+
+// SliceEventSource adapts a materialized access stream to a replayable
+// EventSource.
+func SliceEventSource(stream []AccessEvent) EventSource { return opt.SliceEvents(stream) }
+
+// AccessEventSource exposes a configured simulation's full demand+
+// prefetch access stream as a replayable EventSource: each pass re-runs
+// the deterministic simulation with fresh state from newOpts instead of
+// materializing the stream (the streaming replacement for
+// Options.RecordStream). See frontend.AccessEvents.
+func AccessEventSource(p Params, prog *Program, src BlockSource, newOpts func() (Options, error)) EventSource {
+	return frontend.AccessEvents(p, prog, src, newOpts)
+}
+
+// IdealMissesSource is IdealMisses over a replayable event source,
+// holding O(events) index state but never the events themselves.
+func IdealMissesSource(src EventSource, l1i CacheConfig) (uint64, error) {
+	r, err := opt.SimulateSource(src, l1i, opt.ModeDemandMIN, false)
+	if err != nil {
+		return 0, err
+	}
+	return r.DemandMisses, nil
+}
+
+// SampledIdealMisses estimates the Demand-MIN demand-miss count from a
+// single pass of a sampled-set OPTGen engine (Hawkeye-style), in O(sets
+// × history) memory regardless of stream length. The zero OPTGenConfig
+// selects the default 64-set, 8×associativity budget.
+func SampledIdealMisses(src EventSource, l1i CacheConfig, cfg OPTGenConfig) (SampledOracleResult, error) {
+	return opt.SimulateSampled(src, l1i, opt.ModeDemandMIN, cfg)
 }
 
 // AnalyzeMulti analyzes several independent profiles together (merged
