@@ -1,0 +1,293 @@
+// Command rippleprobe interrogates replacement policies as black boxes:
+// it drives them through synthesized membership-query schedules (the
+// software analogue of eviction-set probing) and reports what the
+// transcripts reveal.
+//
+// Three modes:
+//
+//	rippleprobe -policy lru                  conformance: replay seeded
+//	    schedules through the implementation and its independent
+//	    reference spec, report the first divergence (if any) and the
+//	    learned behavioral model. -policy all covers the whole zoo.
+//
+//	rippleprobe -matrix                      distinguishability: search a
+//	    separating witness sequence for every required subject pair —
+//	    all base-policy pairs plus each policy against its invalidate /
+//	    demote hint-injected variants.
+//
+//	rippleprobe -witness lru+none,srrip+none show the shortest found
+//	    witness for one pair: the op schedule and both transcripts up to
+//	    the divergence.
+//
+// Output is deterministic for fixed flags: schedules are seeded, the
+// witness search is exhaustive in seed order, and every table is sorted.
+// -json writes the same report machine-readably.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"ripple/internal/probe"
+	"ripple/internal/replacement"
+)
+
+func main() {
+	var o options
+	flag.StringVar(&o.Policy, "policy", "", "policy to check conformance for (a catalog name, or 'all')")
+	flag.StringVar(&o.Hints, "hints", "all", "hint mode(s) to probe: none, invalidate, demote, or all")
+	flag.BoolVar(&o.Matrix, "matrix", false, "build the pairwise distinguishability matrix over the zoo")
+	flag.StringVar(&o.Witness, "witness", "", "subject pair 'a+mode,b+mode' to search a separating witness for")
+	flag.IntVar(&o.Sets, "sets", 8, "probed geometry: sets (power of two)")
+	flag.IntVar(&o.Ways, "ways", 4, "probed geometry: ways")
+	flag.IntVar(&o.Seqs, "seqs", 1000, "conformance: seeded schedules per hint mode")
+	flag.IntVar(&o.SeqLen, "seqlen", 192, "ops per schedule (matrix/witness default 256 when unset)")
+	flag.Uint64Var(&o.Seed, "seed", 0, "base seed offsetting every schedule")
+	flag.IntVar(&o.WitnessSeeds, "witness-seeds", 30000, "matrix/witness: max schedules tried per pair")
+	flag.StringVar(&o.JSONOut, "json", "", "also write a JSON report to this path ('-' for stdout)")
+	flag.Parse()
+	o.Stdout = os.Stdout
+	if err := run(o); err != nil {
+		fmt.Fprintf(os.Stderr, "rippleprobe: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	Policy       string
+	Hints        string
+	Matrix       bool
+	Witness      string
+	Sets, Ways   int
+	Seqs         int
+	SeqLen       int
+	Seed         uint64
+	WitnessSeeds int
+	JSONOut      string
+	Stdout       io.Writer
+}
+
+// report is the JSON shape; unused sections are omitted.
+type report struct {
+	Sets        int                `json:"sets"`
+	Ways        int                `json:"ways"`
+	Conformance []conformanceEntry `json:"conformance,omitempty"`
+	Matrix      []matrixEntry      `json:"matrix,omitempty"`
+	Witness     *witnessDetail     `json:"witness,omitempty"`
+}
+
+type conformanceEntry struct {
+	Policy   string      `json:"policy"`
+	Hints    string      `json:"hints"`
+	Seqs     int         `json:"seqs"`
+	Conforms bool        `json:"conforms"`
+	Mismatch string      `json:"mismatch,omitempty"`
+	Model    probe.Model `json:"model"`
+}
+
+type matrixEntry struct {
+	A     string `json:"a"`
+	B     string `json:"b"`
+	Found bool   `json:"found"`
+	Seed  uint64 `json:"seed,omitempty"`
+	Len   int    `json:"len,omitempty"`
+}
+
+type witnessDetail struct {
+	Witness probe.Witness `json:"witness"`
+	Ops     []opLine      `json:"ops"`
+}
+
+type opLine struct {
+	Kind string `json:"kind"`
+	Line uint64 `json:"line"`
+	A    string `json:"a"`
+	B    string `json:"b"`
+}
+
+func run(o options) error {
+	zoo := replacement.ProbeZoo()
+	rep := report{Sets: o.Sets, Ways: o.Ways}
+	var failed bool
+
+	modes, err := parseModes(o.Hints)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case o.Matrix:
+		seqLen := o.SeqLen
+		if seqLen == 192 { // conformance default; matrix wants longer
+			seqLen = 256
+		}
+		results := probe.DistinguishAll(zoo, o.Sets, o.Ways,
+			probe.SearchOpts{MaxSeeds: o.WitnessSeeds, SeqLen: seqLen})
+		fmt.Fprintf(o.Stdout, "distinguishability matrix: %d subject pairs over %dx%d\n",
+			len(results), o.Sets, o.Ways)
+		for _, res := range results {
+			e := matrixEntry{A: res.A, B: res.B}
+			if res.Witness != nil {
+				e.Found, e.Seed, e.Len = true, res.Witness.Seed, res.Witness.Len
+				fmt.Fprintf(o.Stdout, "  %-22s | %-22s  seed=%-6d len=%d\n", res.A, res.B, e.Seed, e.Len)
+			} else {
+				failed = true
+				fmt.Fprintf(o.Stdout, "  %-22s | %-22s  INDISTINGUISHABLE within %d seeds\n",
+					res.A, res.B, o.WitnessSeeds)
+			}
+			rep.Matrix = append(rep.Matrix, e)
+		}
+
+	case o.Witness != "":
+		parts := strings.Split(o.Witness, ",")
+		if len(parts) != 2 {
+			return fmt.Errorf("-witness wants 'subjectA,subjectB' (e.g. lru+none,srrip+none), got %q", o.Witness)
+		}
+		subs := probe.Subjects(zoo)
+		a, err := probe.SubjectByID(subs, strings.TrimSpace(parts[0]))
+		if err != nil {
+			return err
+		}
+		b, err := probe.SubjectByID(subs, strings.TrimSpace(parts[1]))
+		if err != nil {
+			return err
+		}
+		seqLen := o.SeqLen
+		if seqLen == 192 {
+			seqLen = 256
+		}
+		w, ok := probe.FindWitness(a, b, o.Sets, o.Ways,
+			probe.SearchOpts{MaxSeeds: o.WitnessSeeds, SeqLen: seqLen})
+		if !ok {
+			return fmt.Errorf("no witness separates %s and %s within %d seeds", a.ID(), b.ID(), o.WitnessSeeds)
+		}
+		detail := describeWitness(w, a, b)
+		rep.Witness = &detail
+		fmt.Fprintf(o.Stdout, "witness for %s | %s: seed=%d len=%d over %dx%d\n",
+			w.A, w.B, w.Seed, w.Len, w.Sets, w.Ways)
+		fmt.Fprintf(o.Stdout, "  %-4s %-9s %-8s %-22s %-22s\n", "op", "kind", "line", a.ID(), b.ID())
+		for i, l := range detail.Ops {
+			marker := " "
+			if i == len(detail.Ops)-1 {
+				marker = "*" // the divergence
+			}
+			fmt.Fprintf(o.Stdout, "%s %-4d %-9s %-8d %-22s %-22s\n", marker, i, l.Kind, l.Line, l.A, l.B)
+		}
+
+	case o.Policy != "":
+		names := []string{o.Policy}
+		if o.Policy == "all" {
+			names = replacement.Names()
+		}
+		regs := map[string]probe.Registration{}
+		for _, reg := range zoo {
+			regs[reg.Name] = reg
+		}
+		for _, name := range names {
+			reg, ok := regs[name]
+			if !ok {
+				return fmt.Errorf("unknown policy %q (catalog: %s)", name, strings.Join(replacement.Names(), ", "))
+			}
+			for _, mode := range modes {
+				if mode == probe.HintDemote && !reg.Demotes() {
+					continue
+				}
+				cfg := probe.Config{Sets: o.Sets, Ways: o.Ways, Hints: mode}
+				m := probe.Diff(reg.New, reg.Ref, cfg,
+					probe.DiffOpts{Seqs: o.Seqs, SeqLen: o.SeqLen, Seed: o.Seed})
+				e := conformanceEntry{
+					Policy: name, Hints: mode.String(), Seqs: o.Seqs,
+					Conforms: m == nil,
+					Model:    probe.Learn(reg.Probe(), cfg),
+				}
+				if m != nil {
+					failed = true
+					e.Mismatch = m.Error()
+					fmt.Fprintf(o.Stdout, "FAIL %-10s hints=%-10s %v\n", name, mode, m)
+				} else {
+					fmt.Fprintf(o.Stdout, "ok   %-10s hints=%-10s %d seqs  model: order=%v promote=%t scan-through=%t demote-forces=%t fp=%s\n",
+						name, mode, o.Seqs, e.Model.EvictionOrder, e.Model.PromotesOnHit,
+						e.Model.ScanThroughInsert, e.Model.DemoteForcesVictim, e.Model.Fingerprint)
+				}
+				rep.Conformance = append(rep.Conformance, e)
+			}
+		}
+
+	default:
+		return fmt.Errorf("pick a mode: -policy NAME|all, -matrix, or -witness A,B")
+	}
+
+	if o.JSONOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if o.JSONOut == "-" {
+			if _, err := o.Stdout.Write(data); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(o.JSONOut, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if failed {
+		return fmt.Errorf("probe found divergences (see report)")
+	}
+	return nil
+}
+
+func parseModes(s string) ([]probe.HintMode, error) {
+	if s == "all" || s == "" {
+		return []probe.HintMode{probe.HintNone, probe.HintInvalidate, probe.HintDemote}, nil
+	}
+	var modes []probe.HintMode
+	for _, part := range strings.Split(s, ",") {
+		m, err := probe.ParseHintMode(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		modes = append(modes, m)
+	}
+	sort.Slice(modes, func(i, j int) bool { return modes[i] < modes[j] })
+	return modes, nil
+}
+
+// describeWitness replays the witness and renders both transcripts.
+func describeWitness(w probe.Witness, a, b probe.Subject) witnessDetail {
+	ops := probe.WitnessOps(w)
+	cfgA := probe.Config{Sets: w.Sets, Ways: w.Ways, Hints: a.Hints}
+	cfgB := probe.Config{Sets: w.Sets, Ways: w.Ways, Hints: b.Hints}
+	ta, _ := probe.Run(a.New(), cfgA, ops)
+	tb, _ := probe.Run(b.New(), cfgB, ops)
+	detail := witnessDetail{Witness: w}
+	for i := range ops {
+		detail.Ops = append(detail.Ops, opLine{
+			Kind: ops[i].Kind.String(),
+			Line: ops[i].Line,
+			A:    renderOutcome(ta[i]),
+			B:    renderOutcome(tb[i]),
+		})
+	}
+	return detail
+}
+
+func renderOutcome(o probe.Outcome) string {
+	if o.Way < 0 {
+		return "hint"
+	}
+	s := "miss"
+	if o.Hit {
+		s = "hit"
+	}
+	s += fmt.Sprintf(" way=%d", o.Way)
+	if o.Evicted >= 0 {
+		s += fmt.Sprintf(" evict=%d", o.Evicted)
+	}
+	return s
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runGolden executes run() with -json - (report appended to stdout) and
+// compares the combined output byte-for-byte against a committed golden.
+// The CLI's whole value is reproducibility — seeded schedules, seed-order
+// witness search, sorted tables — so the goldens assert byte identity,
+// not shape.
+func runGolden(t *testing.T, name string, o options) {
+	t.Helper()
+	var buf bytes.Buffer
+	o.Stdout = &buf
+	o.JSONOut = "-"
+	if err := run(o); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+
+	// Determinism: a second run must be byte-identical.
+	var again bytes.Buffer
+	o2 := o
+	o2.Stdout = &again
+	if err := run(o2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two identical invocations produced different output")
+	}
+
+	golden := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v — regenerate with -update", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output differs from %s — regenerate with -update if intended\ngot:\n%s", golden, buf.String())
+	}
+}
+
+func TestGoldenConformance(t *testing.T) {
+	runGolden(t, "conformance", options{
+		Policy: "all", Hints: "all",
+		Sets: 8, Ways: 4, Seqs: 100, SeqLen: 192,
+	})
+}
+
+func TestGoldenMatrix(t *testing.T) {
+	runGolden(t, "matrix", options{
+		Matrix: true, Hints: "all",
+		Sets: 8, Ways: 4, SeqLen: 192, WitnessSeeds: 30000,
+	})
+}
+
+func TestGoldenWitness(t *testing.T) {
+	runGolden(t, "witness", options{
+		Witness: "lru+none,lru+demote", Hints: "all",
+		Sets: 8, Ways: 4, SeqLen: 192, WitnessSeeds: 30000,
+	})
+}
+
+func TestUnknownPolicyFails(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(options{Policy: "bogus", Hints: "all", Sets: 8, Ways: 4, Seqs: 1, SeqLen: 16, Stdout: &buf})
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestNoModeFails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(options{Hints: "all", Sets: 8, Ways: 4, Stdout: &buf}); err == nil {
+		t.Fatal("mode-less invocation accepted")
+	}
+}

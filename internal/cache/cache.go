@@ -45,6 +45,23 @@ type Policy interface {
 // Demoter is optionally implemented by policies that support moving a line
 // to the most-replaceable position without invalidating it (the paper's
 // "reducing LRU priority" variant of the invalidate instruction).
+//
+// The contract, locked by probetest.CheckDemoterContract for every
+// catalog policy:
+//
+//   - Demote(set, way) fires only for resident lines: Cache.Demote
+//     resolves the line first and is a no-op (never a policy callback)
+//     for non-resident or just-evicted lines, so demoting such a line
+//     is always harmless.
+//   - After a demote, the line must be the set's next replacement victim
+//     unless a later event (its own re-reference, or another line's
+//     demotion) outranks it. In particular, when every other resident
+//     line has been re-referenced since fill, the demoted line IS the
+//     next victim.
+//   - Demotion updates replacement state only. It must not invalidate
+//     the line (a subsequent access still hits) and must not train any
+//     reuse predictor — it is a hint about the future, not an observed
+//     access.
 type Demoter interface {
 	Demote(set, way int)
 }

@@ -440,3 +440,56 @@ func (n nonDemoter) OnHit(set, way int, ai AccessInfo)  { n.p.OnHit(set, way, ai
 func (n nonDemoter) OnFill(set, way int, ai AccessInfo) { n.p.OnFill(set, way, ai) }
 func (n nonDemoter) OnEvict(set, way int, reref bool)   { n.p.OnEvict(set, way, reref) }
 func (n nonDemoter) Victim(set int, ai AccessInfo) int  { return n.p.Victim(set, ai) }
+
+// countingDemoter records Demote callbacks so tests can assert the cache
+// never forwards demote hints for non-resident lines.
+type countingDemoter struct {
+	fifoPolicy
+	demotes int
+}
+
+func (p *countingDemoter) Demote(set, way int) {
+	p.demotes++
+	p.fifoPolicy.Demote(set, way)
+}
+
+// TestDemoteNonResidentIsNoOp locks the first clause of the Demoter
+// contract: Cache.Demote on a line that was never filled, or that was
+// just evicted, reports false, counts a hint miss, and never reaches the
+// policy.
+func TestDemoteNonResidentIsNoOp(t *testing.T) {
+	pol := &countingDemoter{}
+	c, err := New(Config{SizeBytes: 256, Ways: 2, LineBytes: 64}, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Demote(0) {
+		t.Error("Demote of a never-filled line reported resident")
+	}
+	// Fill set 0 beyond capacity; line 0 is the FIFO victim.
+	c.Access(AccessInfo{Line: 0})
+	c.Access(AccessInfo{Line: 2})
+	c.Access(AccessInfo{Line: 4}) // evicts line 0
+	if c.Contains(0) {
+		t.Fatal("line 0 should have been evicted")
+	}
+	if c.Demote(0) {
+		t.Error("Demote of a just-evicted line reported resident")
+	}
+	if pol.demotes != 0 {
+		t.Errorf("policy saw %d Demote callbacks for non-resident lines, want 0", pol.demotes)
+	}
+	if c.Stats.HintMisses != 2 {
+		t.Errorf("HintMisses = %d, want 2", c.Stats.HintMisses)
+	}
+	if c.Stats.Demotions != 0 {
+		t.Errorf("Demotions = %d, want 0", c.Stats.Demotions)
+	}
+	// A resident demote still works and reaches the policy exactly once.
+	if !c.Demote(2) {
+		t.Error("Demote of a resident line reported non-resident")
+	}
+	if pol.demotes != 1 || c.Stats.Demotions != 1 {
+		t.Errorf("resident demote: %d callbacks / %d Demotions, want 1 / 1", pol.demotes, c.Stats.Demotions)
+	}
+}

@@ -1,0 +1,66 @@
+package probe
+
+import (
+	"fmt"
+
+	"ripple/internal/cache"
+)
+
+// Mismatch pinpoints the first observable divergence between an
+// implementation and its reference specification.
+type Mismatch struct {
+	// Seq is the 0-based schedule index within the run, Seed the seed
+	// that regenerates it via RandomSchedule(Seed, cfg, SeqLen).
+	Seq    int
+	Seed   uint64
+	SeqLen int
+	// Op is the schedule position of the diverging outcome.
+	Op        int
+	Got, Want Outcome
+}
+
+// Error implements error so a Mismatch can flow through test plumbing.
+func (m *Mismatch) Error() string {
+	return fmt.Sprintf("probe: divergence at seq %d (seed %#x) op %d: impl %+v, ref %+v",
+		m.Seq, m.Seed, m.Op, m.Got, m.Want)
+}
+
+// DiffOpts sizes a differential conformance run.
+type DiffOpts struct {
+	// Seqs is the number of seeded schedules replayed (default 1000).
+	Seqs int
+	// SeqLen is the ops per schedule (default 192).
+	SeqLen int
+	// Seed offsets the schedule seeds so independent runs don't overlap.
+	Seed uint64
+}
+
+func (o *DiffOpts) defaults() {
+	if o.Seqs == 0 {
+		o.Seqs = 1000
+	}
+	if o.SeqLen == 0 {
+		o.SeqLen = 192
+	}
+}
+
+// Diff replays opts.Seqs seeded random schedules through fresh instances
+// from impl and ref and returns the first transcript divergence, or nil
+// when the implementation conforms to its reference specification over
+// every schedule.
+func Diff(impl, ref func() cache.Policy, cfg Config, opts DiffOpts) *Mismatch {
+	opts.defaults()
+	for i := 0; i < opts.Seqs; i++ {
+		seed := opts.Seed + uint64(i)
+		sched := RandomSchedule(seed, cfg, opts.SeqLen)
+		got, _ := Run(impl(), cfg, sched)
+		want, _ := Run(ref(), cfg, sched)
+		if at := FirstDivergence(got, want); at >= 0 {
+			return &Mismatch{
+				Seq: i, Seed: seed, SeqLen: opts.SeqLen,
+				Op: at, Got: got[at], Want: want[at],
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package probe
+
+import (
+	"fmt"
+	"sort"
+
+	"ripple/internal/cache"
+)
+
+// Subject is one probed configuration: a policy plus a hint execution
+// mode. The zoo's base policies are subjects with HintNone; their
+// hint-injected variants reuse the same policy under HintInvalidate or
+// HintDemote.
+type Subject struct {
+	// Name is the policy's catalog name.
+	Name  string
+	Hints HintMode
+	New   func() cache.Policy
+}
+
+// ID is the subject's stable identifier, e.g. "lru+none" or
+// "srrip+demote".
+func (s Subject) ID() string { return s.Name + "+" + s.Hints.String() }
+
+// Witness is a reproducible separating sequence for a subject pair: the
+// first Len ops of RandomSchedule(Seed, cfg, Len) drive the two
+// subjects to transcripts whose first divergence is at op Len-1.
+type Witness struct {
+	A, B       string // subject IDs, lexicographically ordered
+	Sets, Ways int
+	Seed       uint64
+	Len        int
+}
+
+// Key is the witness's pair key in a witness table.
+func (w Witness) Key() string { return w.A + "|" + w.B }
+
+// PairKey builds the canonical (sorted) key for two subject IDs.
+func PairKey(a, b string) string {
+	if b < a {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// SearchOpts bounds a witness search.
+type SearchOpts struct {
+	// MaxSeeds is how many seeded schedules to try (default 20000).
+	MaxSeeds int
+	// SeqLen is the ops per tried schedule (default 256).
+	SeqLen int
+}
+
+func (o *SearchOpts) defaults() {
+	if o.MaxSeeds == 0 {
+		o.MaxSeeds = 20000
+	}
+	if o.SeqLen == 0 {
+		o.SeqLen = 256
+	}
+}
+
+// FindWitness searches seeded random schedules for a sequence whose
+// transcripts separate a and b, returning the truncated witness (the
+// divergence is at its last op) or ok=false if none was found within
+// opts.MaxSeeds. The search is deterministic: the same pair always
+// yields the same witness.
+func FindWitness(a, b Subject, sets, ways int, opts SearchOpts) (Witness, bool) {
+	opts.defaults()
+	cfgA := Config{Sets: sets, Ways: ways, Hints: a.Hints}
+	cfgB := Config{Sets: sets, Ways: ways, Hints: b.Hints}
+	for seed := uint64(0); seed < uint64(opts.MaxSeeds); seed++ {
+		sched := RandomSchedule(seed, cfgA, opts.SeqLen)
+		ta, _ := Run(a.New(), cfgA, sched)
+		tb, _ := Run(b.New(), cfgB, sched)
+		if at := FirstDivergence(ta, tb); at >= 0 {
+			idA, idB := a.ID(), b.ID()
+			if idB < idA {
+				idA, idB = idB, idA
+			}
+			return Witness{A: idA, B: idB, Sets: sets, Ways: ways, Seed: seed, Len: at + 1}, true
+		}
+	}
+	return Witness{}, false
+}
+
+// ReplayWitness re-derives the witness schedule and returns the first
+// divergence index between the two subjects' transcripts (-1 if they
+// agree — a stale or invalid witness).
+func ReplayWitness(w Witness, a, b Subject) int {
+	cfgA := Config{Sets: w.Sets, Ways: w.Ways, Hints: a.Hints}
+	cfgB := Config{Sets: w.Sets, Ways: w.Ways, Hints: b.Hints}
+	sched := RandomSchedule(w.Seed, cfgA, w.Len)
+	ta, _ := Run(a.New(), cfgA, sched)
+	tb, _ := Run(b.New(), cfgB, sched)
+	return FirstDivergence(ta, tb)
+}
+
+// WitnessOps returns the witness's op sequence, for display.
+func WitnessOps(w Witness) []Op {
+	cfg := Config{Sets: w.Sets, Ways: w.Ways}
+	return RandomSchedule(w.Seed, cfg, w.Len)
+}
+
+// Subjects expands zoo registrations into the distinguishability
+// matrix's subject list: every policy under HintNone and HintInvalidate
+// (probe-configured), plus HintDemote for policies implementing
+// cache.Demoter.
+func Subjects(zoo []Registration) []Subject {
+	var subs []Subject
+	for _, reg := range zoo {
+		subs = append(subs, Subject{Name: reg.Name, Hints: HintNone, New: reg.Probe()})
+		subs = append(subs, Subject{Name: reg.Name, Hints: HintInvalidate, New: reg.Probe()})
+		if reg.Demotes() {
+			subs = append(subs, Subject{Name: reg.Name, Hints: HintDemote, New: reg.Probe()})
+		}
+	}
+	return subs
+}
+
+// RequiredPairs lists the subject-ID pairs the matrix must separate:
+// every pair of distinct base policies, and each policy against its own
+// invalidate and demote hint-injected variants (plus invalidate vs
+// demote where both exist). Keys are canonical (PairKey) and sorted.
+func RequiredPairs(zoo []Registration) [][2]string {
+	var pairs [][2]string
+	add := func(a, b Subject) {
+		ia, ib := a.ID(), b.ID()
+		if ib < ia {
+			ia, ib = ib, ia
+		}
+		pairs = append(pairs, [2]string{ia, ib})
+	}
+	for i, ra := range zoo {
+		baseA := Subject{Name: ra.Name, Hints: HintNone}
+		for _, rb := range zoo[i+1:] {
+			add(baseA, Subject{Name: rb.Name, Hints: HintNone})
+		}
+		inv := Subject{Name: ra.Name, Hints: HintInvalidate}
+		add(baseA, inv)
+		if ra.Demotes() {
+			dem := Subject{Name: ra.Name, Hints: HintDemote}
+			add(baseA, dem)
+			add(inv, dem)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	return pairs
+}
+
+// SubjectByID resolves a subject ID against the expanded subject list.
+func SubjectByID(subs []Subject, id string) (Subject, error) {
+	for _, s := range subs {
+		if s.ID() == id {
+			return s, nil
+		}
+	}
+	return Subject{}, fmt.Errorf("probe: unknown subject %q", id)
+}
+
+// PairResult is one matrix cell: a witness, or a report that the pair
+// is indistinguishable within the search budget.
+type PairResult struct {
+	A, B    string
+	Witness *Witness
+}
+
+// DistinguishAll searches a witness for every required pair over the
+// zoo and returns results in deterministic (sorted-pair) order.
+func DistinguishAll(zoo []Registration, sets, ways int, opts SearchOpts) []PairResult {
+	subs := Subjects(zoo)
+	var out []PairResult
+	for _, pair := range RequiredPairs(zoo) {
+		a, errA := SubjectByID(subs, pair[0])
+		b, errB := SubjectByID(subs, pair[1])
+		if errA != nil || errB != nil {
+			out = append(out, PairResult{A: pair[0], B: pair[1]})
+			continue
+		}
+		res := PairResult{A: pair[0], B: pair[1]}
+		if w, ok := FindWitness(a, b, sets, ways, opts); ok {
+			res.Witness = &w
+		}
+		out = append(out, res)
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+//go:build ignore
+
+// Command gen_corpus regenerates the committed FuzzPolicyEvents seed
+// corpus in the native Go fuzzing corpus format:
+//
+//	cd internal/probe && go run gen_corpus.go
+//
+// The seeds are packed probe schedules with deliberately different
+// shapes: pure thrash scans (every access a capacity miss), hot loops
+// that keep signature predictors training, hint-heavy streams (both the
+// decoder's prefetch and hint bands well represented), and a couple of
+// raw RandomSchedule encodings so the fuzzer starts from inputs that
+// already reach eviction, demotion, and invalidation paths in every zoo
+// policy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ripple/internal/probe"
+	"ripple/internal/stats"
+)
+
+// Matches the geometry in fuzz_test.go.
+var cfg = probe.Config{Sets: 8, Ways: 4}
+
+func main() {
+	dir := filepath.Join("testdata", "fuzz", "FuzzPolicyEvents")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	pool := probe.Pool(cfg)
+
+	// kindByte picks a decoder byte that maps to the wanted op kind while
+	// also steering the line index (OpsFromBytes uses kb<<8|lb % len(pool)).
+	pack := func(ops []probe.Op) []byte {
+		data := make([]byte, 0, 2*len(ops))
+		for _, op := range ops {
+			idx := 0
+			for i, line := range pool {
+				if line == op.Line {
+					idx = i
+					break
+				}
+			}
+			var kb byte
+			switch op.Kind {
+			case probe.OpAccess:
+				kb = 0
+			case probe.OpPrefetch:
+				kb = 10
+			case probe.OpHint:
+				kb = 12
+			}
+			// Keep the kind band (kb%16) while encoding the pool index:
+			// idx < len(pool) <= 256, so (kb<<8|lb)%len(pool) with lb=idx
+			// works whenever 256*kb % len(pool) == 0; our pool is 64 lines,
+			// so any kb preserves idx exactly.
+			data = append(data, kb, byte(idx))
+		}
+		return data
+	}
+
+	write := func(name string, data []byte) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	}
+
+	// Thrash scan: every line in the pool, twice — pure capacity misses,
+	// maximal Victim pressure, trains GHRP's dead path and SHiP's
+	// no-reuse path.
+	var scan []probe.Op
+	for pass := 0; pass < 2; pass++ {
+		for _, line := range pool {
+			scan = append(scan, probe.Op{Kind: probe.OpAccess, Line: line})
+		}
+	}
+	write("thrash-scan", pack(scan))
+
+	// Hot loop: a ways+1 cycle on one set repeated until predictors
+	// saturate — recurring (sig, history) contexts, reuse training.
+	var loop []probe.Op
+	for rep := 0; rep < 24; rep++ {
+		for tag := 1; tag <= cfg.Ways+1; tag++ {
+			loop = append(loop, probe.Op{Kind: probe.OpAccess, Line: cfg.Line(0, tag)})
+		}
+	}
+	write("hot-loop", pack(loop))
+
+	// Hint storm: fill, then alternate hints and re-accesses so
+	// invalidate and demote execution paths dominate.
+	var hints []probe.Op
+	for tag := 1; tag <= cfg.Ways; tag++ {
+		for set := 0; set < cfg.Sets; set++ {
+			hints = append(hints, probe.Op{Kind: probe.OpAccess, Line: cfg.Line(set, tag)})
+		}
+	}
+	for i := 0; i < 64; i++ {
+		line := pool[(i*7)%len(pool)]
+		hints = append(hints,
+			probe.Op{Kind: probe.OpHint, Line: line},
+			probe.Op{Kind: probe.OpAccess, Line: line})
+	}
+	write("hint-storm", pack(hints))
+
+	// Prefetch-heavy: harmony's Demand-MIN cares about intervals ending
+	// in prefetches; give the fuzzer a stream where half the ops are
+	// prefetch probes on recently used lines.
+	rng := stats.NewRNG(99)
+	var pf []probe.Op
+	for i := 0; i < 256; i++ {
+		line := pool[rng.Intn(len(pool)/2)]
+		kind := probe.OpAccess
+		if i%2 == 1 {
+			kind = probe.OpPrefetch
+		}
+		pf = append(pf, probe.Op{Kind: kind, Line: line})
+	}
+	write("prefetch-heavy", pack(pf))
+
+	// Two raw RandomSchedule encodings: the mixed distribution the
+	// conformance harness itself replays.
+	for _, seed := range []uint64{3, 17} {
+		write(fmt.Sprintf("random-%d", seed), pack(probe.RandomSchedule(seed, cfg, 400)))
+	}
+}

@@ -1,0 +1,178 @@
+package probe
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+
+	"ripple/internal/cache"
+)
+
+// Model is the compact behavioral model Learn infers from a policy's
+// victim choices: an age-vector characterization (where fresh fills sit
+// in the eviction order, whether hits and prefetch probes promote,
+// whether demotion forces victimhood) plus a canonical fingerprint of
+// the full probe-battery transcript. Two policies with equal Models are
+// indistinguishable under the battery; the differential conformance kit
+// requires an implementation's Model to equal its reference spec's.
+type Model struct {
+	Ways  int
+	Hints string
+	// Deterministic: two fresh instances replay the same schedule to the
+	// same transcript (true for the whole zoo — Random is seeded).
+	Deterministic bool
+	// PromotesOnHit: a demand hit moves a line out of the next-victim
+	// position.
+	PromotesOnHit bool
+	// ScanThroughInsert: a fresh fill is itself the next victim, so a
+	// scan streams through one way (SHiP's distant insertion) instead of
+	// rolling the whole set (LRU/SRRIP).
+	ScanThroughInsert bool
+	// PrefetchPromotes: a prefetch probe hit refreshes recency.
+	PrefetchPromotes bool
+	// Demotes: the policy implements cache.Demoter.
+	Demotes bool
+	// DemoteForcesVictim: after demoting a line in a set whose other
+	// lines were all re-referenced, that line is the next victim (the
+	// Demoter contract).
+	DemoteForcesVictim bool
+	// EvictionOrder is the observed way sequence when a full set of
+	// untouched fills is displaced by a scan of fresh lines — the raw
+	// age vector (LRU: 0,1,2,...; scan-through: w,w,w,...).
+	EvictionOrder []int
+	// Fingerprint hashes the complete battery + canonical-schedule
+	// transcripts; equal fingerprints mean black-box indistinguishable
+	// under the canonical probes.
+	Fingerprint string
+}
+
+// Equal reports whether two models are identical.
+func (m Model) Equal(o Model) bool {
+	if m.Ways != o.Ways || m.Hints != o.Hints ||
+		m.Deterministic != o.Deterministic ||
+		m.PromotesOnHit != o.PromotesOnHit ||
+		m.ScanThroughInsert != o.ScanThroughInsert ||
+		m.PrefetchPromotes != o.PrefetchPromotes ||
+		m.Demotes != o.Demotes ||
+		m.DemoteForcesVictim != o.DemoteForcesVictim ||
+		m.Fingerprint != o.Fingerprint ||
+		len(m.EvictionOrder) != len(o.EvictionOrder) {
+		return false
+	}
+	for i := range m.EvictionOrder {
+		if m.EvictionOrder[i] != o.EvictionOrder[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// learnSeeds are the canonical random schedules folded into the
+// fingerprint (on the caller's full geometry and hint mode).
+var learnSeeds = []uint64{1, 2, 3, 4}
+
+const learnSchedLen = 256
+
+// Learn infers a Model by running the probe battery against fresh
+// instances from factory. The battery probes a single set of cfg.Ways
+// ways; the fingerprint additionally folds in canonical random
+// schedules over the full cfg geometry under cfg.Hints.
+func Learn(factory func() cache.Policy, cfg Config) Model {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	one := Config{Sets: 1, Ways: cfg.Ways, Hints: cfg.Hints}
+	w := cfg.Ways
+	fills := make([]Op, 0, w)
+	for i := 0; i < w; i++ {
+		fills = append(fills, Op{Kind: OpAccess, Line: one.Line(0, i+1)})
+	}
+	fresh := func(j int) Op { return Op{Kind: OpAccess, Line: one.Line(0, w+1+j)} }
+	h := sha256.New()
+
+	// Age vector: scan W fresh lines through a full set of untouched
+	// fills and record which way each eviction hits.
+	scan := append([]Op{}, fills...)
+	for j := 0; j < w; j++ {
+		scan = append(scan, fresh(j))
+	}
+	scanOut, _ := Run(factory(), one, scan)
+	order := make([]int, w)
+	for j := 0; j < w; j++ {
+		order[j] = int(scanOut[w+j].Way)
+	}
+	hashOutcomes(h, scanOut)
+
+	// Hit promotion: re-reference the oldest line, then force an
+	// eviction; an unpromoted policy still victimizes it.
+	promo := append(append([]Op{}, fills...), Op{Kind: OpAccess, Line: fills[0].Line}, fresh(0))
+	promoOut, _ := Run(factory(), one, promo)
+	promotes := promoOut[len(promoOut)-1].Evicted != int64(fills[0].Line)
+	hashOutcomes(h, promoOut)
+
+	// Prefetch probe promotion: same shape, but the re-reference is a
+	// prefetch probe.
+	pf := append(append([]Op{}, fills...), Op{Kind: OpPrefetch, Line: fills[0].Line}, fresh(0))
+	pfOut, _ := Run(factory(), one, pf)
+	pfPromotes := pfOut[len(pfOut)-1].Evicted != int64(fills[0].Line)
+	hashOutcomes(h, pfOut)
+
+	// Demoter contract: promote every line, demote one, and check it is
+	// the next victim.
+	_, demotes := factory().(cache.Demoter)
+	demoteForces := false
+	if demotes {
+		dcfg := one
+		dcfg.Hints = HintDemote
+		dops := append([]Op{}, fills...)
+		for i := 0; i < w; i++ {
+			dops = append(dops, Op{Kind: OpAccess, Line: fills[i].Line})
+		}
+		victim := fills[w/2].Line
+		dops = append(dops, Op{Kind: OpHint, Line: victim}, fresh(0))
+		dOut, _ := Run(factory(), dcfg, dops)
+		demoteForces = dOut[len(dOut)-1].Evicted == int64(victim)
+		hashOutcomes(h, dOut)
+	}
+
+	// Determinism + canonical-schedule fingerprint over the full
+	// geometry and the subject's own hint mode.
+	deterministic := true
+	for _, seed := range learnSeeds {
+		sched := RandomSchedule(seed, cfg, learnSchedLen)
+		a, _ := Run(factory(), cfg, sched)
+		b, _ := Run(factory(), cfg, sched)
+		if FirstDivergence(a, b) >= 0 {
+			deterministic = false
+		}
+		hashOutcomes(h, a)
+	}
+
+	return Model{
+		Ways:               w,
+		Hints:              cfg.Hints.String(),
+		Deterministic:      deterministic,
+		PromotesOnHit:      promotes,
+		ScanThroughInsert:  w >= 2 && order[0] == order[1],
+		PrefetchPromotes:   pfPromotes,
+		Demotes:            demotes,
+		DemoteForcesVictim: demoteForces,
+		EvictionOrder:      order,
+		Fingerprint:        hex.EncodeToString(h.Sum(nil))[:16],
+	}
+}
+
+// hashOutcomes folds a transcript into the fingerprint hash.
+func hashOutcomes(h hash.Hash, outs []Outcome) {
+	var buf [10]byte
+	for _, o := range outs {
+		buf[0] = 0
+		if o.Hit {
+			buf[0] = 1
+		}
+		buf[1] = byte(o.Way)
+		binary.LittleEndian.PutUint64(buf[2:], uint64(o.Evicted))
+		h.Write(buf[:])
+	}
+}

@@ -1,0 +1,286 @@
+// Package probetest is a reusable conformance harness for replacement
+// policies. Given a probe.Registration — production factory, independent
+// reference specification, optional probe-configured variant, and
+// set-symmetry classes — it proves in one place the properties every
+// zoo policy must satisfy:
+//
+//   - differential conformance: the implementation and its reference
+//     spec produce byte-identical observable transcripts over ≥1000
+//     seeded random schedules, under every hint mode;
+//   - model agreement: probe.Learn infers the same behavioral model
+//     from both;
+//   - determinism: two fresh instances replay any schedule identically;
+//   - Reset idempotence: a used-then-Reset instance is indistinguishable
+//     from a fresh one;
+//   - set-permutation invariance: relabeling sets within the policy's
+//     symmetry classes permutes the transcript and nothing else.
+//
+// Usage:
+//
+//	func TestConformance(t *testing.T) {
+//	    for _, reg := range ProbeZoo() {
+//	        reg := reg
+//	        t.Run(reg.Name, func(t *testing.T) {
+//	            t.Parallel()
+//	            probetest.TestPolicyConformance(t, reg)
+//	        })
+//	    }
+//	}
+package probetest
+
+import (
+	"testing"
+
+	"ripple/internal/cache"
+	"ripple/internal/probe"
+	"ripple/internal/stats"
+)
+
+// Geometry for the differential runs. The workhorse is deliberately
+// small: with few sets every one of them comes under replacement
+// pressure, so Victim — where policies actually differ — is consulted
+// constantly instead of never (a 192-op schedule over 64 sets barely
+// fills a single way). Eight sets still cover a DRRIP SRRIP-leader
+// (set 0), a BRRIP leader (set 1), followers, and a Hawkeye sampled set
+// (set 0). A secondary structural pass at the full 64-set stride
+// geometry covers the higher leader/sampler sets (32, 33, 8, 16, ...).
+const (
+	confSets = 8
+	confWays = 4
+
+	structSets   = 64
+	structWays   = 8
+	structSeqLen = 768
+)
+
+// Opts tunes TestPolicyConformance; the zero value is the full check.
+type Opts struct {
+	// Seqs is the number of seeded schedules per hint mode (default
+	// 1000, the conformance floor).
+	Seqs int
+	// SeqLen is the ops per schedule (default 192).
+	SeqLen int
+}
+
+func (o *Opts) defaults() {
+	if o.Seqs == 0 {
+		o.Seqs = 1000
+	}
+	if o.SeqLen == 0 {
+		o.SeqLen = 192
+	}
+}
+
+// TestPolicyConformance runs the full conformance suite for one
+// registered policy with default options.
+func TestPolicyConformance(t *testing.T, reg probe.Registration) {
+	t.Helper()
+	TestPolicyConformanceOpts(t, reg, Opts{})
+}
+
+// TestPolicyConformanceOpts is TestPolicyConformance with explicit
+// sizing.
+func TestPolicyConformanceOpts(t *testing.T, reg probe.Registration, opts Opts) {
+	t.Helper()
+	opts.defaults()
+	if reg.New == nil || reg.Ref == nil {
+		t.Fatalf("registration %q: New and Ref are required", reg.Name)
+	}
+
+	modes := []probe.HintMode{probe.HintNone, probe.HintInvalidate}
+	if reg.Demotes() {
+		modes = append(modes, probe.HintDemote)
+	}
+
+	t.Run("differential", func(t *testing.T) {
+		for _, mode := range modes {
+			cfg := probe.Config{Sets: confSets, Ways: confWays, Hints: mode}
+			dopts := probe.DiffOpts{Seqs: opts.Seqs, SeqLen: opts.SeqLen}
+			if m := probe.Diff(reg.New, reg.Ref, cfg, dopts); m != nil {
+				t.Errorf("production vs reference, hints=%s: %v", mode, m)
+			}
+			// The probe-configured variant must track its own reference
+			// too (disjoint seed range so the two runs don't overlap).
+			dopts.Seed = 1 << 32
+			if m := probe.Diff(reg.Probe(), reg.ProbeReference(), cfg, dopts); m != nil {
+				t.Errorf("probe variant vs reference, hints=%s: %v", mode, m)
+			}
+		}
+	})
+
+	t.Run("structural", func(t *testing.T) {
+		// Fewer but longer schedules on the full stride geometry, so
+		// DRRIP's second leader pair and Hawkeye's non-zero sampled sets
+		// see traffic too.
+		seqs := opts.Seqs / 5
+		if seqs == 0 {
+			seqs = 1
+		}
+		for _, mode := range modes {
+			cfg := probe.Config{Sets: structSets, Ways: structWays, Hints: mode}
+			dopts := probe.DiffOpts{Seqs: seqs, SeqLen: structSeqLen, Seed: 2 << 32}
+			if m := probe.Diff(reg.New, reg.Ref, cfg, dopts); m != nil {
+				t.Errorf("structural, hints=%s: %v", mode, m)
+			}
+		}
+	})
+
+	t.Run("model", func(t *testing.T) {
+		for _, mode := range modes {
+			cfg := probe.Config{Sets: confSets, Ways: confWays, Hints: mode}
+			got := probe.Learn(reg.Probe(), cfg)
+			want := probe.Learn(reg.ProbeReference(), cfg)
+			if !got.Equal(want) {
+				t.Errorf("hints=%s: learned model diverges:\nimpl %+v\nref  %+v", mode, got, want)
+			}
+			if !got.Deterministic {
+				t.Errorf("hints=%s: policy is not deterministic under replay", mode)
+			}
+		}
+	})
+
+	t.Run("reset", func(t *testing.T) {
+		for _, mode := range modes {
+			checkResetIdempotent(t, reg, mode, opts.SeqLen)
+		}
+	})
+
+	t.Run("permutation", func(t *testing.T) {
+		for _, mode := range modes {
+			checkSetPermutation(t, reg, mode, opts.SeqLen)
+		}
+	})
+}
+
+// checkResetIdempotent drives an instance through a warm-up schedule,
+// Resets it, and requires the replay transcript to match a fresh
+// instance's: Reset must clear all learned state.
+func checkResetIdempotent(t *testing.T, reg probe.Registration, mode probe.HintMode, seqLen int) {
+	t.Helper()
+	cfg := probe.Config{Sets: confSets, Ways: confWays, Hints: mode}
+	warm := probe.RandomSchedule(0xAAAA, cfg, seqLen)
+	sched := probe.RandomSchedule(0xBBBB, cfg, seqLen)
+
+	used := reg.Probe()()
+	probe.Run(used, cfg, warm) // cache.New resets; run leaves learned state behind
+	usedOut, _ := probe.Run(used, cfg, sched)
+
+	freshOut, _ := probe.Run(reg.Probe()(), cfg, sched)
+	if at := probe.FirstDivergence(usedOut, freshOut); at >= 0 {
+		t.Errorf("hints=%s: Reset is not idempotent: op %d: used %+v, fresh %+v",
+			mode, at, usedOut[at], freshOut[at])
+	}
+}
+
+// checkSetPermutation replays a schedule and its set-relabeled twin
+// (permuting only within the registration's symmetry classes) and
+// requires the twin transcript to be the relabeling of the original.
+func checkSetPermutation(t *testing.T, reg probe.Registration, mode probe.HintMode, seqLen int) {
+	t.Helper()
+	cfg := probe.Config{Sets: confSets, Ways: confWays, Hints: mode}
+	rng := stats.NewRNG(0x5E7135)
+	for trial := 0; trial < 4; trial++ {
+		perm := probe.ClassPerm(rng, cfg.Sets, classFn(reg))
+		sched := probe.RandomSchedule(uint64(0xC000+trial), cfg, seqLen)
+		base, _ := probe.Run(reg.Probe()(), cfg, sched)
+		perOut, _ := probe.Run(reg.Probe()(), cfg, probe.PermuteOps(sched, cfg, perm))
+		for i := range base {
+			if want := probe.PermuteOutcome(base[i], cfg, perm); perOut[i] != want {
+				t.Errorf("hints=%s trial %d: not set-permutation invariant at op %d: got %+v, want %+v",
+					mode, trial, i, perOut[i], want)
+				break
+			}
+		}
+	}
+}
+
+func classFn(reg probe.Registration) func(int) int {
+	if reg.SetClass == nil {
+		return nil
+	}
+	return reg.SetClass
+}
+
+// CheckDemoterContract asserts the cache.Demoter contract for one
+// policy (see the interface docs): demoting a non-resident or invalid
+// line is harmless, and after every resident line has been promoted,
+// the demoted line is the set's next victim.
+func CheckDemoterContract(t *testing.T, factory func() cache.Policy) {
+	t.Helper()
+	p := factory()
+	if _, ok := p.(cache.Demoter); !ok {
+		t.Fatalf("policy %s does not implement cache.Demoter", p.Name())
+	}
+	cfg := probe.Config{Sets: 1, Ways: confWays, Hints: probe.HintDemote}
+	w := cfg.Ways
+	fills := make([]probe.Op, 0, w)
+	for i := 0; i < w; i++ {
+		fills = append(fills, probe.Op{Kind: probe.OpAccess, Line: cfg.Line(0, i+1)})
+	}
+
+	t.Run("forces-victim", func(t *testing.T) {
+		for target := 0; target < w; target++ {
+			// Fill the set, promote every line (second touch), demote one,
+			// and force an eviction: the demoted line must go first.
+			ops := append([]probe.Op{}, fills...)
+			for i := 0; i < w; i++ {
+				ops = append(ops, probe.Op{Kind: probe.OpAccess, Line: fills[i].Line})
+			}
+			ops = append(ops,
+				probe.Op{Kind: probe.OpHint, Line: fills[target].Line},
+				probe.Op{Kind: probe.OpAccess, Line: cfg.Line(0, w+1)},
+			)
+			out, _ := probe.Run(factory(), cfg, ops)
+			last := out[len(out)-1]
+			if last.Evicted != int64(fills[target].Line) {
+				t.Errorf("demoted way %d: evicted %#x, want the demoted line %#x",
+					target, last.Evicted, fills[target].Line)
+			}
+		}
+	})
+
+	t.Run("nonresident-harmless", func(t *testing.T) {
+		// Demoting a line that was never filled, or one that was just
+		// evicted, must leave the transcript of subsequent ops unchanged.
+		suffix := probe.RandomSchedule(0xD30, cfg, 64)
+		base := append([]probe.Op{}, fills...)
+		refOut, _ := probe.Run(factory(), cfg, append(append([]probe.Op{}, base...), suffix...))
+
+		never := append(append([]probe.Op{}, base...),
+			probe.Op{Kind: probe.OpHint, Line: cfg.Line(0, w+7)})
+		gotOut, _ := probe.Run(factory(), cfg, append(never, suffix...))
+		// Skip the hint's own zero outcome when comparing.
+		if d := probe.FirstDivergence(refOut, trimHint(gotOut, len(base))); d >= 0 {
+			t.Errorf("demote of never-resident line perturbed op %d", d)
+		}
+	})
+
+	t.Run("evicted-harmless", func(t *testing.T) {
+		// Demoting a line immediately after its eviction must be a no-op:
+		// the line is gone, there is no way to demote. Learn the victim
+		// from a dry run, then replay with the hint injected.
+		press := append(append([]probe.Op{}, fills...),
+			probe.Op{Kind: probe.OpAccess, Line: cfg.Line(0, w+1)})
+		dry, _ := probe.Run(factory(), cfg, press)
+		evicted := dry[len(dry)-1].Evicted
+		if evicted < 0 {
+			t.Fatal("pressure access did not evict")
+		}
+		suffix := probe.RandomSchedule(0xD31, cfg, 64)
+		refOut, _ := probe.Run(factory(), cfg, append(append([]probe.Op{}, press...), suffix...))
+		hinted := append(append([]probe.Op{}, press...),
+			probe.Op{Kind: probe.OpHint, Line: uint64(evicted)})
+		gotOut, _ := probe.Run(factory(), cfg, append(hinted, suffix...))
+		if d := probe.FirstDivergence(refOut, trimHint(gotOut, len(press))); d >= 0 {
+			t.Errorf("demote of just-evicted line %#x perturbed op %d", evicted, d)
+		}
+	})
+}
+
+// trimHint removes the hint outcome injected at position at, realigning
+// the transcript with a hint-free baseline.
+func trimHint(out []probe.Outcome, at int) []probe.Outcome {
+	trimmed := make([]probe.Outcome, 0, len(out)-1)
+	trimmed = append(trimmed, out[:at]...)
+	return append(trimmed, out[at+1:]...)
+}

@@ -1,0 +1,150 @@
+package probe
+
+import (
+	"ripple/internal/stats"
+)
+
+// PoolSize is the number of distinct probe lines per schedule, as a
+// multiple of the geometry's capacity: 2x capacity keeps every set under
+// replacement pressure without devolving into a pure compulsory-miss
+// scan.
+const poolCapacityMult = 2
+
+// Pool enumerates the line-address pool a schedule draws from: for each
+// set, poolCapacityMult*ways tags.
+func Pool(cfg Config) []uint64 {
+	lines := make([]uint64, 0, cfg.Sets*cfg.Ways*poolCapacityMult)
+	for tag := 1; tag <= cfg.Ways*poolCapacityMult; tag++ {
+		for set := 0; set < cfg.Sets; set++ {
+			lines = append(lines, cfg.Line(set, tag))
+		}
+	}
+	return lines
+}
+
+// RandomSchedule synthesizes a deterministic membership-query schedule
+// of n ops: mostly demand accesses with a skew toward a hot half of the
+// pool, a sprinkle of prefetch probes and hint ops, and occasional short
+// repeated loops. The loops matter: history-hashed predictors (GHRP) and
+// signature tables (SHiP/TRRIP, Hawkeye's sampler) only train when
+// access contexts recur, so a memoryless uniform stream would leave
+// their predictive paths unexercised.
+func RandomSchedule(seed uint64, cfg Config, n int) []Op {
+	rng := stats.NewRNG(seed ^ 0x9021ACE5EED)
+	pool := Pool(cfg)
+	ops := make([]Op, 0, n)
+	pick := func() uint64 {
+		if rng.Bool(0.7) {
+			return pool[rng.Intn(len(pool)/2)]
+		}
+		return pool[rng.Intn(len(pool))]
+	}
+	for len(ops) < n {
+		if rng.Bool(0.15) {
+			// Loop burst: a short cycle of lines repeated a few times.
+			c := rng.IntRange(2, cfg.Ways+2)
+			cycle := make([]uint64, c)
+			for i := range cycle {
+				cycle[i] = pick()
+			}
+			reps := rng.IntRange(2, 6)
+			for r := 0; r < reps && len(ops) < n; r++ {
+				for _, line := range cycle {
+					if len(ops) == n {
+						break
+					}
+					ops = append(ops, Op{Kind: OpAccess, Line: line})
+				}
+			}
+			continue
+		}
+		kind := OpAccess
+		switch {
+		case rng.Bool(0.08):
+			kind = OpPrefetch
+		case rng.Bool(0.09):
+			kind = OpHint
+		}
+		ops = append(ops, Op{Kind: kind, Line: pick()})
+	}
+	return ops
+}
+
+// OpsFromBytes decodes an arbitrary byte string (a fuzz input) into a
+// protocol-valid schedule over cfg's pool: two bytes per op, the first
+// selecting the kind (weighted toward demand accesses), the second the
+// pool line. Truncation is harmless; at most maxOps ops are produced.
+func OpsFromBytes(data []byte, cfg Config, maxOps int) []Op {
+	pool := Pool(cfg)
+	n := len(data) / 2
+	if n > maxOps {
+		n = maxOps
+	}
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		kb, lb := data[2*i], data[2*i+1]
+		kind := OpAccess
+		switch kb % 16 {
+		case 10, 11:
+			kind = OpPrefetch
+		case 12, 13, 14, 15:
+			kind = OpHint
+		}
+		idx := (int(kb)<<8 | int(lb)) % len(pool)
+		ops = append(ops, Op{Kind: kind, Line: pool[idx]})
+	}
+	return ops
+}
+
+// ClassPerm draws a random permutation of [0, sets) that only relabels
+// sets within the same symmetry class, so policies with privileged sets
+// (DRRIP's dueling leaders, Hawkeye's sampled sets) keep their structure.
+func ClassPerm(rng *stats.RNG, sets int, class func(set int) int) []int {
+	if class == nil {
+		return rng.Perm(sets)
+	}
+	groups := map[int][]int{}
+	order := []int{}
+	for s := 0; s < sets; s++ {
+		c := class(s)
+		if _, ok := groups[c]; !ok {
+			order = append(order, c)
+		}
+		groups[c] = append(groups[c], s)
+	}
+	perm := make([]int, sets)
+	for _, c := range order {
+		members := groups[c]
+		shuffle := rng.Perm(len(members))
+		for i, m := range members {
+			perm[m] = members[shuffle[i]]
+		}
+	}
+	return perm
+}
+
+// PermuteOps relabels every op's set through perm while preserving tags,
+// producing the schedule the permutation metamorphic test replays.
+func PermuteOps(ops []Op, cfg Config, perm []int) []Op {
+	out := make([]Op, len(ops))
+	for i, op := range ops {
+		set := int(op.Line) & (cfg.Sets - 1)
+		tag := op.Line >> cfg.setBits()
+		out[i] = Op{Kind: op.Kind, Line: tag<<cfg.setBits() | uint64(perm[set])}
+	}
+	return out
+}
+
+// PermuteOutcome maps an outcome of the original run into the relabeled
+// frame: way indices are set-local and unchanged, evicted lines get
+// their set bits relabeled.
+func PermuteOutcome(o Outcome, cfg Config, perm []int) Outcome {
+	if o.Evicted < 0 {
+		return o
+	}
+	line := uint64(o.Evicted)
+	set := int(line) & (cfg.Sets - 1)
+	tag := line >> cfg.setBits()
+	o.Evicted = int64(tag<<cfg.setBits() | uint64(perm[set]))
+	return o
+}

@@ -1,0 +1,150 @@
+package probe_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ripple/internal/probe"
+	"ripple/internal/replacement"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata/witnesses.json")
+
+// Matrix geometry: small enough that schedules keep every set under
+// replacement pressure (see probetest), which is what makes every pair
+// separable within the seed budget.
+const (
+	matrixSets     = 8
+	matrixWays     = 4
+	matrixMaxSeeds = 30000
+	matrixSeqLen   = 256
+)
+
+func witnessPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join("testdata", "witnesses.json")
+}
+
+// witnessFile is the committed matrix: one witness per required subject
+// pair, in canonical sorted order.
+type witnessFile struct {
+	// Comment documents the file for human readers.
+	Comment   string          `json:"comment"`
+	Witnesses []probe.Witness `json:"witnesses"`
+}
+
+// TestDistinguishabilityMatrix proves the committed witness table is
+// complete and live: it covers exactly the required pairs — every pair
+// of distinct base policies, and every policy against its hint-injected
+// invalidate/demote variants — and each witness sequence still drives
+// its two subjects to transcripts that diverge at precisely the
+// witness's final op. Run with -update to re-search and regenerate.
+func TestDistinguishabilityMatrix(t *testing.T) {
+	zoo := replacement.ProbeZoo()
+	subs := probe.Subjects(zoo)
+	required := probe.RequiredPairs(zoo)
+
+	if *update {
+		results := probe.DistinguishAll(zoo, matrixSets, matrixWays,
+			probe.SearchOpts{MaxSeeds: matrixMaxSeeds, SeqLen: matrixSeqLen})
+		wf := witnessFile{
+			Comment: "Distinguishability witnesses for the replacement-policy zoo; regenerate with: go test ./internal/probe -run TestDistinguishabilityMatrix -update",
+		}
+		for _, res := range results {
+			if res.Witness == nil {
+				t.Fatalf("no witness found for %s | %s within %d seeds — cannot commit an incomplete matrix",
+					res.A, res.B, matrixMaxSeeds)
+			}
+			wf.Witnesses = append(wf.Witnesses, *res.Witness)
+		}
+		data, err := json.MarshalIndent(wf, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(witnessPath(t), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d witnesses", len(wf.Witnesses))
+		return
+	}
+
+	raw, err := os.ReadFile(witnessPath(t))
+	if err != nil {
+		t.Fatalf("%v — regenerate with -update", err)
+	}
+	var wf witnessFile
+	if err := json.Unmarshal(raw, &wf); err != nil {
+		t.Fatal(err)
+	}
+
+	byKey := map[string]probe.Witness{}
+	for _, w := range wf.Witnesses {
+		if _, dup := byKey[w.Key()]; dup {
+			t.Errorf("duplicate witness for pair %s", w.Key())
+		}
+		byKey[w.Key()] = w
+	}
+
+	// Exactly the required pairs: nothing missing, nothing stale.
+	requiredKeys := map[string]bool{}
+	for _, pair := range required {
+		key := probe.PairKey(pair[0], pair[1])
+		requiredKeys[key] = true
+		if _, ok := byKey[key]; !ok {
+			t.Errorf("missing witness for required pair %s — regenerate with -update", key)
+		}
+	}
+	for key := range byKey {
+		if !requiredKeys[key] {
+			t.Errorf("stale witness for no-longer-required pair %s — regenerate with -update", key)
+		}
+	}
+
+	// Every witness must replay to a divergence at exactly its last op.
+	for _, w := range wf.Witnesses {
+		a, errA := probe.SubjectByID(subs, w.A)
+		b, errB := probe.SubjectByID(subs, w.B)
+		if errA != nil || errB != nil {
+			t.Errorf("witness %s references unknown subjects (%v, %v)", w.Key(), errA, errB)
+			continue
+		}
+		switch at := probe.ReplayWitness(w, a, b); {
+		case at < 0:
+			t.Errorf("witness %s no longer separates its subjects — regenerate with -update", w.Key())
+		case at != w.Len-1:
+			t.Errorf("witness %s diverges at op %d, want %d (its final op)", w.Key(), at, w.Len-1)
+		}
+	}
+}
+
+// TestRequiredPairsShape pins the size and composition of the matrix for
+// the current ten-policy zoo: C(10,2)=45 base pairs, 10 base-vs-
+// invalidate pairs, and for the nine Demoter policies base-vs-demote and
+// invalidate-vs-demote — 73 in total.
+func TestRequiredPairsShape(t *testing.T) {
+	zoo := replacement.ProbeZoo()
+	demoters := 0
+	for _, reg := range zoo {
+		if reg.Demotes() {
+			demoters++
+		}
+	}
+	n := len(zoo)
+	want := n*(n-1)/2 + n + 2*demoters
+	pairs := probe.RequiredPairs(zoo)
+	if len(pairs) != want {
+		t.Fatalf("RequiredPairs: %d pairs, want %d (%d policies, %d demoters)",
+			len(pairs), want, n, demoters)
+	}
+	seen := map[string]bool{}
+	for _, p := range pairs {
+		key := probe.PairKey(p[0], p[1])
+		if seen[key] {
+			t.Errorf("duplicate required pair %s", key)
+		}
+		seen[key] = true
+	}
+}

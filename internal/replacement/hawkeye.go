@@ -21,6 +21,8 @@ import "ripple/internal/cache"
 type Hawkeye struct {
 	base
 	prefetchAware bool // Harmony when true
+	averse        int8 // instance aversion threshold when averseSet
+	averseSet     bool
 
 	counters []int8 // 3-bit saturating signature counters [-4, 3]
 
@@ -96,8 +98,25 @@ func (p *Hawkeye) trainFriendly(sig uint64, friendly bool) {
 // priority, and thrash (see TestHawkeyeAversionThrashes).
 var HawkeyeAverseBelow int8 = -4
 
+// SetAverseThreshold overrides the package-level HawkeyeAverseBelow for
+// this instance only. The probe harness raises it (to -2) so the averse
+// insertion path becomes black-box observable — under the production
+// default, Hawkeye/Harmony are behaviorally indistinguishable from LRU
+// on demand streams, which is exactly the paper's degeneracy argument.
+// The override is configuration, not learned state: Reset preserves it.
+func (p *Hawkeye) SetAverseThreshold(t int8) {
+	p.averse, p.averseSet = t, true
+}
+
+func (p *Hawkeye) averseBelow() int8 {
+	if p.averseSet {
+		return p.averse
+	}
+	return HawkeyeAverseBelow
+}
+
 func (p *Hawkeye) predictFriendly(sig uint64) bool {
-	return p.counters[p.counterIdx(sig)] >= HawkeyeAverseBelow
+	return p.counters[p.counterIdx(sig)] >= p.averseBelow()
 }
 
 // sample feeds the access to the set's OPTgen (if sampled) and trains the
