@@ -110,7 +110,7 @@ func writeIndex(ptPath string, prog *program.Program) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := trace.WriteIndexFile(trace.IndexPath(ptPath), idx, sha256.Sum256(data)); err != nil {
+	if err := trace.WriteIndexFile(trace.IndexPath(ptPath), idx, sha256.Sum256(data), int64(len(data))); err != nil {
 		return 0, err
 	}
 	return len(idx.Entries), nil

@@ -41,6 +41,9 @@ func TestSliceSourceCheckpointConformance(t *testing.T) {
 	blockseqtest.TestSourceCheckpoint(t, func(*testing.T) blockseq.Source {
 		return blockseq.Of(3, 1, 4, 1, 5, 9, 2, 6, 5, 3)
 	})
+	blockseqtest.TestSourceCheckpointDisk(t, func(*testing.T) blockseq.Source {
+		return blockseq.Of(3, 1, 4, 1, 5, 9, 2, 6, 5, 3)
+	})
 }
 
 func TestLimitSourceSeekConformance(t *testing.T) {

@@ -138,6 +138,12 @@ func (p *Plan) digest() (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// Digest returns a stable content hash of the plan: the SHA-256 (hex)
+// of its serialized form. Two plans share a digest iff they are
+// structurally identical, so consumers like ripplewatch's hysteresis
+// loop can compare plan revisions without deep equality.
+func (p *Plan) Digest() (string, error) { return p.digest() }
+
 // LoadPlan reads a plan written by Save.
 func LoadPlan(r io.Reader) (*Plan, error) {
 	var img planImage

@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"ripple/internal/stats"
+)
+
+// Appender replays a fixed byte stream into a file in seeded bursts,
+// emulating a tracing writer that appends as traffic arrives. The final
+// file content is exactly Data regardless of burst timing, so a decode
+// racing the appender is timing-independent once the stream completes:
+// chaos tests mutate the planned bytes up front (DropSpan,
+// InsertGarbage) rather than racing the mutation.
+type Appender struct {
+	// Path is the file appended to; Step creates it on first use.
+	Path string
+	// Data is the planned final content.
+	Data []byte
+	// MinBurst/MaxBurst bound each burst's size (bytes). Step draws the
+	// size from the seeded RNG; the last burst is whatever remains.
+	MinBurst, MaxBurst int
+
+	rng *stats.RNG
+	off int
+}
+
+// NewAppender plans a seeded bursty append of data into path. Burst
+// sizes are drawn uniformly from [minBurst, maxBurst]; the same seed
+// replays the identical burst schedule.
+func NewAppender(path string, data []byte, seed uint64, minBurst, maxBurst int) *Appender {
+	if minBurst < 1 {
+		minBurst = 1
+	}
+	if maxBurst < minBurst {
+		maxBurst = minBurst
+	}
+	return &Appender{
+		Path:     path,
+		Data:     data,
+		MinBurst: minBurst,
+		MaxBurst: maxBurst,
+		rng:      stats.NewRNG(seed),
+	}
+}
+
+// Off returns the bytes appended so far.
+func (a *Appender) Off() int { return a.off }
+
+// Done reports whether the whole planned stream has been appended.
+func (a *Appender) Done() bool { return a.off >= len(a.Data) }
+
+// Step appends one seeded burst and returns its size (0 when done). The
+// write is a plain append — a reader may observe any intermediate
+// prefix, exactly like tailing a live trace.
+func (a *Appender) Step() (int, error) {
+	if a.Done() {
+		return 0, nil
+	}
+	n := a.rng.IntRange(a.MinBurst, a.MaxBurst)
+	if rest := len(a.Data) - a.off; n > rest {
+		n = rest
+	}
+	f, err := os.OpenFile(a.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.Write(a.Data[a.off : a.off+n]); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	a.off += n
+	return n, nil
+}
+
+// Run appends bursts separated by delay until the stream completes or
+// ctx is canceled. A zero delay appends as fast as the filesystem
+// accepts (still in distinct bursts).
+func (a *Appender) Run(ctx context.Context, delay time.Duration) error {
+	for !a.Done() {
+		if _, err := a.Step(); err != nil {
+			return err
+		}
+		if a.Done() || delay <= 0 {
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+	return ctx.Err()
+}
+
+// DropSpan returns a copy of data with a contiguous span of k bytes
+// removed at a seeded position within [lo, hi) (hi <= 0 means
+// len(data)), plus the span's original [start, end) offsets. It models
+// a writer losing part of its buffer mid-stream.
+func (in *Injector) DropSpan(data []byte, k, lo, hi int) ([]byte, int, int) {
+	lo, hi = clampRange(len(data), lo, hi)
+	if hi == lo || k <= 0 {
+		return append([]byte(nil), data...), lo, lo
+	}
+	start := lo + in.rng.Intn(hi-lo)
+	end := start + k
+	if end > len(data) {
+		end = len(data)
+	}
+	out := make([]byte, 0, len(data)-(end-start))
+	out = append(out, data[:start]...)
+	out = append(out, data[end:]...)
+	return out, start, end
+}
+
+// InsertGarbage returns a copy of data with k seeded random bytes
+// inserted at a seeded position within [lo, hi) (hi <= 0 means
+// len(data)), plus the insertion offset. It models foreign bytes
+// spliced into the stream (a writer bug, a partially reused buffer).
+func (in *Injector) InsertGarbage(data []byte, k, lo, hi int) ([]byte, int) {
+	lo, hi = clampRange(len(data), lo, hi)
+	at := lo
+	if hi > lo {
+		at = lo + in.rng.Intn(hi-lo)
+	}
+	junk := make([]byte, k)
+	for i := range junk {
+		junk[i] = byte(in.rng.Intn(256))
+	}
+	out := make([]byte, 0, len(data)+k)
+	out = append(out, data[:at]...)
+	out = append(out, junk...)
+	out = append(out, data[at:]...)
+	return out, at
+}
+
+// Rotate replaces path with newData under a fresh inode (write to a
+// temp name, then rename over), emulating log rotation: a tailer
+// holding the old descriptor keeps reading the old content and must
+// detect the swap by identity, not by size alone.
+func Rotate(path string, newData []byte) error {
+	tmp := path + ".rotate"
+	if err := os.WriteFile(tmp, newData, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("fault: rotate %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package fault
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAppenderDeterministicBursts: the same seed replays the identical
+// burst schedule, the file grows monotonically, and the final content is
+// exactly the planned bytes.
+func TestAppenderDeterministicBursts(t *testing.T) {
+	data := make([]byte, 10_000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	schedule := func(dir string) []int {
+		a := NewAppender(filepath.Join(dir, "t.pt"), data, 42, 100, 900)
+		var sizes []int
+		prev := 0
+		for !a.Done() {
+			n, err := a.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n <= 0 {
+				t.Fatalf("burst of %d bytes", n)
+			}
+			fi, err := os.Stat(a.Path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := int(fi.Size()); got != prev+n || got != a.Off() {
+				t.Fatalf("file size %d after burst %d from %d", got, n, prev)
+			}
+			prev += n
+			sizes = append(sizes, n)
+		}
+		final, err := os.ReadFile(a.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(final, data) {
+			t.Fatal("final file differs from planned bytes")
+		}
+		return sizes
+	}
+	s1 := schedule(t.TempDir())
+	s2 := schedule(t.TempDir())
+	if len(s1) != len(s2) {
+		t.Fatalf("burst counts differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("burst %d differs: %d vs %d", i, s1[i], s2[i])
+		}
+	}
+}
+
+// TestAppenderRunCompletes: Run drains the plan and leaves the final
+// content; a canceled context stops early.
+func TestAppenderRunCompletes(t *testing.T) {
+	data := []byte("0123456789abcdef")
+	path := filepath.Join(t.TempDir(), "t.pt")
+	a := NewAppender(path, data, 7, 3, 5)
+	if err := a.Run(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("run did not complete the plan: %q err %v", got, err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := NewAppender(filepath.Join(t.TempDir(), "t.pt"), data, 7, 1, 2)
+	if err := b.Run(ctx, 1); err != context.Canceled {
+		t.Fatalf("canceled run returned %v", err)
+	}
+	if b.Done() {
+		t.Fatal("canceled run drained the whole plan")
+	}
+}
+
+// TestDropSpanAndInsertGarbage: seeded determinism, bounds, and exact
+// reported offsets.
+func TestDropSpanAndInsertGarbage(t *testing.T) {
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	d1, s1, e1 := NewInjector(9).DropSpan(data, 64, 100, 900)
+	d2, s2, e2 := NewInjector(9).DropSpan(data, 64, 100, 900)
+	if !bytes.Equal(d1, d2) || s1 != s2 || e1 != e2 {
+		t.Fatal("DropSpan not deterministic for a fixed seed")
+	}
+	if s1 < 100 || s1 >= 900 || e1-s1 != 64 || len(d1) != len(data)-64 {
+		t.Fatalf("DropSpan span [%d,%d) len %d", s1, e1, len(d1))
+	}
+	if !bytes.Equal(d1[:s1], data[:s1]) || !bytes.Equal(d1[s1:], data[e1:]) {
+		t.Fatal("DropSpan mangled bytes outside the span")
+	}
+
+	g1, at1 := NewInjector(9).InsertGarbage(data, 32, 100, 900)
+	g2, at2 := NewInjector(9).InsertGarbage(data, 32, 100, 900)
+	if !bytes.Equal(g1, g2) || at1 != at2 {
+		t.Fatal("InsertGarbage not deterministic for a fixed seed")
+	}
+	if at1 < 100 || at1 >= 900 || len(g1) != len(data)+32 {
+		t.Fatalf("InsertGarbage at %d len %d", at1, len(g1))
+	}
+	if !bytes.Equal(g1[:at1], data[:at1]) || !bytes.Equal(g1[at1+32:], data[at1:]) {
+		t.Fatal("InsertGarbage mangled bytes outside the insertion")
+	}
+}
+
+// TestRotateSwapsInode: rotation installs the new content under a fresh
+// inode, so an open descriptor on the old file no longer matches the
+// path.
+func TestRotateSwapsInode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.pt")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	oldFI, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Rotate(path, []byte("new content")); err != nil {
+		t.Fatal(err)
+	}
+	newFI, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.SameFile(oldFI, newFI) {
+		t.Fatal("rotation kept the same inode")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "new content" {
+		t.Fatalf("rotated content %q err %v", got, err)
+	}
+}

@@ -3,12 +3,21 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
 	"ripple/internal/isa"
 	"ripple/internal/program"
 )
+
+// ErrTruncatedTail reports a stream that ended cleanly in the middle of a
+// packet (or of the header): every byte present decoded fine, the stream
+// just stops early. It is the signature of a writer still appending — a
+// tailer that sees it should wait for more bytes, where genuine corruption
+// (which never wraps this sentinel) calls for resynchronization. Errors
+// wrap the sentinel; test with errors.Is.
+var ErrTruncatedTail = errors.New("trace: stream ends mid-packet")
 
 // DamageRegion records one span of a damaged stream that a recovery-mode
 // decode skipped.
@@ -89,11 +98,26 @@ type Decoder struct {
 	err    error
 	report DecodeReport
 
-	// onSync, when set, observes every mid-stream sync point a clean
-	// decode consumes: the byte offset of its PSB magic and the 0-based
-	// ordinal of the block its TIP re-establishes. The index builder
-	// uses it to record seek targets in a single scan.
+	// priorDamage records that blocks were already lost before this
+	// decoder's start point (a recovery decode resumed past earlier
+	// damage): an early END is then expected and not re-accounted.
+	priorDamage bool
+
+	// onSync, when set, observes every sync point the decode passes: the
+	// byte offset of its PSB magic and the count of blocks emitted before
+	// it. For a clean decode that count is the 0-based ordinal of the
+	// block the sync's TIP re-establishes (the index builder uses it to
+	// record seek targets in a single scan); a recovery decode fires it
+	// at resync-resume points too, where the count is the emitted total,
+	// not a stream ordinal. A decode may resume at any observed offset
+	// (see ResumeDecoder) — a PSB resets all decoder state.
 	onSync func(off int64, block uint64)
+
+	// interrupt, when set, classifies reader errors that pause rather
+	// than damage the stream (a tailing reader's stall or rotation
+	// signal): the decode surfaces them instead of resyncing past them,
+	// and records no damage region for them.
+	interrupt func(error) bool
 }
 
 // NewDecoder opens a packet stream produced by an Encoder over the same
@@ -119,14 +143,22 @@ func newDecoder(r io.Reader, prog *program.Program, rec bool) (*Decoder, error) 
 	}
 	b, err := d.readByte()
 	if err != nil {
-		return nil, d.errAt("PSB", "reading stream header: %v", err)
+		if err == io.EOF {
+			return nil, d.errAt("PSB", "reading stream header: %w", ErrTruncatedTail)
+		}
+		return nil, d.errAt("PSB", "reading stream header: %w", err)
 	}
 	if b != pktPSB {
 		return nil, d.errAt("PSB", "stream does not start with PSB (got %#x)", b)
 	}
 	d.remaining, err = binary.ReadUvarint(countingByteReader{d})
 	if err != nil {
-		return nil, d.errAt("PSB", "reading block count: %v", err)
+		// ReadUvarint reports a cut before the varint as io.EOF and a cut
+		// inside it as io.ErrUnexpectedEOF; both are a truncated tail.
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, d.errAt("PSB", "reading block count: %w", ErrTruncatedTail)
+		}
+		return nil, d.errAt("PSB", "reading block count: %w", err)
 	}
 	d.declared = d.remaining
 	d.report.Declared = d.declared
@@ -141,17 +173,62 @@ func newDecoder(r io.Reader, prog *program.Program, rec bool) (*Decoder, error) 
 // emits. A PSB resets all decode state, so nothing before the sync is
 // needed.
 func newDecoderAt(r io.Reader, prog *program.Program, declared, startBlock uint64, off int64) *Decoder {
-	d := &Decoder{
-		r:         bufio.NewReaderSize(r, 1<<16),
-		prog:      prog,
-		cur:       program.NoBlock,
-		off:       off,
-		declared:  declared,
-		remaining: declared - startBlock,
-	}
-	d.report.Declared = declared
+	d, _ := ResumeDecoder(r, prog, ResumeSpec{Declared: declared, Emitted: startBlock, Off: off})
 	return d
 }
+
+// ResumeSpec positions a ResumeDecoder at a previously observed sync
+// point.
+type ResumeSpec struct {
+	// Declared is the block count the stream header promised.
+	Declared uint64
+	// Emitted is the number of blocks emitted before the sync point (for
+	// a clean stream, the ordinal of the block the sync re-establishes).
+	Emitted uint64
+	// Off is the stream byte offset of the sync point's PSB magic; the
+	// reader must be positioned exactly there.
+	Off int64
+	// Recover selects recovery mode (resync past damage, like
+	// NewRecoveringDecoder).
+	Recover bool
+	// PriorDamage marks that blocks were lost before the resume point, so
+	// an END packet arriving with blocks still unaccounted is the
+	// expected shortfall, not fresh damage.
+	PriorDamage bool
+}
+
+// ResumeDecoder resumes a decode in the middle of a stream at a sync
+// point previously observed via OnSync (or an Index entry): a PSB resets
+// all decoder state, so nothing before the sync is needed. The caller
+// owns reader placement; spec.Off only names the position for error
+// reporting and region accounting.
+func ResumeDecoder(r io.Reader, prog *program.Program, spec ResumeSpec) (*Decoder, error) {
+	if spec.Emitted > spec.Declared {
+		return nil, fmt.Errorf("trace: resume at %d blocks emitted exceeds declared %d", spec.Emitted, spec.Declared)
+	}
+	d := &Decoder{
+		r:           bufio.NewReaderSize(r, 1<<16),
+		prog:        prog,
+		rec:         spec.Recover,
+		cur:         program.NoBlock,
+		off:         spec.Off,
+		declared:    spec.Declared,
+		remaining:   spec.Declared - spec.Emitted,
+		priorDamage: spec.PriorDamage,
+	}
+	d.report.Declared = spec.Declared
+	return d, nil
+}
+
+// OnSync registers an observer for every sync point the decode passes
+// (see the field's contract). It must be set before the first Next.
+func (d *Decoder) OnSync(fn func(off int64, block uint64)) { d.onSync = fn }
+
+// SetInterrupt registers a classifier for reader errors that pause the
+// stream rather than damage it (see the field's contract). Interrupted
+// decodes surface the error from Next even in recovery mode; the decoder
+// is not usable afterwards — resume from the last sync point instead.
+func (d *Decoder) SetInterrupt(is func(error) bool) { d.interrupt = is }
 
 // Declared returns the block count the stream header promises.
 func (d *Decoder) Declared() uint64 { return d.declared }
@@ -190,13 +267,16 @@ func (c countingByteReader) ReadByte() (byte, error) { return c.d.readByte() }
 
 // readPacketByte reads one byte of the named packet, converting EOF into
 // a framing error (a well-formed stream always ends with an END packet).
+// The error wraps ErrTruncatedTail: the bytes present were fine, the
+// stream just stops mid-packet. Other reader errors are wrapped verbatim
+// so interrupt classifiers can inspect them.
 func (d *Decoder) readPacketByte(kind string) (byte, error) {
 	b, err := d.readByte()
 	if err == io.EOF {
-		return 0, d.errAt(kind, "truncated stream")
+		return 0, d.errAt(kind, "%w", ErrTruncatedTail)
 	}
 	if err != nil {
-		return 0, d.errAt(kind, "read failed: %v", err)
+		return 0, d.errAt(kind, "read failed: %w", err)
 	}
 	return b, nil
 }
@@ -315,15 +395,22 @@ func (d *Decoder) Next() (program.BlockID, error) {
 			if d.rec {
 				// The encoder finished the stream: nothing follows an END
 				// packet, so there is no sync point to scan for. When
-				// earlier damage already accounts for the shortfall the
-				// end is expected; otherwise record the short stream
-				// itself as the damage.
+				// earlier damage (in this decode or, for a resumed decode,
+				// before its start point) already accounts for the
+				// shortfall the end is expected; otherwise record the
+				// short stream itself as the damage.
 				d.done = true
-				if len(d.report.Regions) == 0 {
+				if len(d.report.Regions) == 0 && !d.priorDamage {
 					d.addRegion(err, -1)
 				}
 				break
 			}
+			d.err = err
+			return program.NoBlock, err
+		}
+		if d.interrupt != nil && d.interrupt(err) {
+			// A paused stream, not a damaged one: surface it without
+			// accounting a region, in either mode.
 			d.err = err
 			return program.NoBlock, err
 		}
@@ -333,6 +420,9 @@ func (d *Decoder) Next() (program.BlockID, error) {
 		}
 		if !d.resync(err) {
 			d.done = true
+			if d.err != nil { // interrupted mid-scan
+				return program.NoBlock, d.err
+			}
 		}
 	}
 	return program.NoBlock, io.EOF
@@ -377,22 +467,38 @@ func (d *Decoder) resetState() {
 // point, and resets the decode state there. It reports false when the
 // stream ends before another sync point is found. Every iteration
 // consumes at least one byte, so recovery always terminates.
+//
+// An interrupt error surfacing mid-scan (a tailing reader pausing the
+// stream) sets d.err and returns false WITHOUT recording the region: the
+// scan did not complete, and a decode resumed from the last sync point
+// will re-detect and re-account the damage once more bytes arrive.
 func (d *Decoder) resync(cause error) bool {
 	reg := DamageRegion{Offset: d.off, Resume: -1, Reason: cause.Error()}
 	for {
-		buf, _ := d.r.Peek(len(psbMagic))
+		buf, perr := d.r.Peek(len(psbMagic))
 		if len(buf) < len(psbMagic) {
+			if perr != nil && perr != io.EOF && d.interrupt != nil && d.interrupt(perr) {
+				d.err = d.errAt("PSB", "resync interrupted: %w", perr)
+				return false
+			}
 			n, _ := d.r.Discard(len(buf))
 			d.off += int64(n)
 			d.report.Regions = append(d.report.Regions, reg)
 			return false
 		}
 		if matchMagic(buf) {
+			magicOff := d.off
 			n, _ := d.r.Discard(len(psbMagic))
 			d.off += int64(n)
 			d.resetState()
 			reg.Resume = d.off
 			d.report.Regions = append(d.report.Regions, reg)
+			if d.onSync != nil {
+				// The resume point is a valid anchor like any clean sync:
+				// block counts emitted blocks (for a damaged stream there
+				// is no knowable stream ordinal).
+				d.onSync(magicOff, d.declared-d.remaining)
+			}
 			return true
 		}
 		if _, err := d.r.Discard(1); err != nil {
@@ -417,8 +523,37 @@ func matchMagic(buf []byte) bool {
 // encoder flushes before emitting one), so callers check nbits == 0
 // first.
 func (d *Decoder) peekSync() bool {
+	// Check the first byte before peeking the whole magic: a blocking
+	// reader (a live tail) must not wait for len(psbMagic) bytes when the
+	// next packet visibly is not a sync point — at a syncable position
+	// only a real PSB starts with psbMagic[0].
+	if b, err := d.r.Peek(1); err != nil || b[0] != psbMagic[0] {
+		return false
+	}
 	buf, _ := d.r.Peek(len(psbMagic))
 	return len(buf) == len(psbMagic) && matchMagic(buf)
+}
+
+// peekSyncTail reports whether the reader is positioned at a proper,
+// EOF-terminated prefix of the PSB magic: a writer killed (or still
+// writing) mid-magic. Without this check the partial magic's first byte
+// would be read as a packet header and misclassified as corruption; with
+// it, the decode reports ErrTruncatedTail and a tailer can wait for the
+// rest of the magic to land.
+func (d *Decoder) peekSyncTail() bool {
+	if b, err := d.r.Peek(1); err != nil || b[0] != psbMagic[0] {
+		return false
+	}
+	buf, err := d.r.Peek(len(psbMagic))
+	if err != io.EOF || len(buf) == 0 || len(buf) >= len(psbMagic) {
+		return false
+	}
+	for i, b := range buf {
+		if b != psbMagic[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // stepSync consumes a sync point: the PSB magic, a full decode-state
@@ -464,8 +599,13 @@ func (d *Decoder) checkSyncSuccessor(prev, next program.BlockID) error {
 
 func (d *Decoder) step() (program.BlockID, error) {
 	if d.cur == program.NoBlock {
-		if d.nbits == 0 && d.peekSync() {
-			return d.stepSync()
+		if d.nbits == 0 {
+			if d.peekSync() {
+				return d.stepSync()
+			}
+			if d.peekSyncTail() {
+				return program.NoBlock, d.errAt("PSB", "%w", ErrTruncatedTail)
+			}
 		}
 		return d.nextTIP()
 	}
@@ -474,8 +614,13 @@ func (d *Decoder) step() (program.BlockID, error) {
 	// at a packet-producing transition with no buffered TNT bits. At any
 	// other step a magic at the read position belongs to a later step
 	// and must not be consumed yet.
-	if d.nbits == 0 && syncableTerm(b.Term) && d.peekSync() {
-		return d.stepSync()
+	if d.nbits == 0 && syncableTerm(b.Term) {
+		if d.peekSync() {
+			return d.stepSync()
+		}
+		if d.peekSyncTail() {
+			return program.NoBlock, d.errAt("PSB", "%w", ErrTruncatedTail)
+		}
 	}
 	switch b.Term {
 	case isa.TermFallthrough:

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"crypto/sha256"
+	"fmt"
 	"io"
 	"os"
 	"sync"
@@ -31,28 +32,46 @@ type fileHandle struct {
 	size int64
 }
 
-// readerAt returns an independent reader over the file from byte off to
-// EOF. Readers from the same handle may be used concurrently.
-func (h *fileHandle) readerAt(off int64) (*io.SectionReader, error) {
+// file returns the shared descriptor and its size, opening lazily.
+func (h *fileHandle) file() (*os.File, int64, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.f == nil {
 		f, err := os.Open(h.path)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		fi, err := f.Stat()
 		if err != nil {
 			f.Close()
-			return nil, err
+			return nil, 0, err
 		}
 		h.f, h.size = f, fi.Size()
 		fileOpens.Add(1)
 	}
-	if off > h.size {
-		off = h.size
+	return h.f, h.size, nil
+}
+
+// readerAt returns an independent reader over the file from byte off to
+// EOF. Readers from the same handle may be used concurrently.
+func (h *fileHandle) readerAt(off int64) (*io.SectionReader, error) {
+	f, size, err := h.file()
+	if err != nil {
+		return nil, err
 	}
-	return io.NewSectionReader(h.f, off, h.size-off), nil
+	if off > size {
+		off = size
+	}
+	return io.NewSectionReader(f, off, size-off), nil
+}
+
+// ReadAt implements io.ReaderAt over the shared descriptor.
+func (h *fileHandle) ReadAt(p []byte, off int64) (int, error) {
+	f, _, err := h.file()
+	if err != nil {
+		return 0, err
+	}
+	return f.ReadAt(p, off)
 }
 
 // reader returns an independent reader over the whole file.
@@ -79,6 +98,26 @@ func (h *fileHandle) sha256() ([32]byte, error) {
 	hsh := sha256.New()
 	if _, err := io.Copy(hsh, r); err != nil {
 		return sum, err
+	}
+	copy(sum[:], hsh.Sum(nil))
+	return sum, nil
+}
+
+// sha256N hashes the file's first n bytes (a prefix-staleness check for
+// sidecars built over a still-growing trace).
+func (h *fileHandle) sha256N(n int64) ([32]byte, error) {
+	var sum [32]byte
+	r, err := h.reader()
+	if err != nil {
+		return sum, err
+	}
+	hsh := sha256.New()
+	copied, err := io.Copy(hsh, io.LimitReader(r, n))
+	if err != nil {
+		return sum, err
+	}
+	if copied != n {
+		return sum, fmt.Errorf("trace: file is %d bytes, shorter than the %d-byte prefix to hash", copied, n)
 	}
 	copy(sum[:], hsh.Sum(nil))
 	return sum, nil

@@ -27,7 +27,11 @@ import (
 )
 
 // indexMagic heads every sidecar file; the digit is the format version.
-const indexMagic = "RPTIDX1\n"
+// v2 added the trace length after the hash, so a sidecar built over a
+// prefix of a still-growing trace can be verified (hash the recorded
+// prefix) and extended instead of rebuilt. v1 sidecars fail the magic
+// check and are rebuilt once.
+const indexMagic = "RPTIDX2\n"
 
 var (
 	// ErrIndexStale reports a sidecar whose recorded trace hash does not
@@ -101,17 +105,22 @@ func IndexPath(ptPath string) string {
 }
 
 // WriteIndexFile persists an index as a sidecar keyed by the trace
-// file's content hash. The write is atomic (temp file + rename), so a
-// crash never leaves a half-written sidecar under the final name.
+// file's content: traceSHA is the SHA-256 of its first traceLen bytes.
+// For a complete trace that is the whole file; an incremental producer
+// (ripplewatch) may persist an index covering only a verified prefix,
+// which a later open extends instead of rebuilding. The write is atomic
+// (temp file + rename), so a crash never leaves a half-written sidecar
+// under the final name.
 //
 // Layout: magic, then a payload of trace SHA-256 (32 bytes), uvarint
-// declared count, uvarint entry count, and delta-encoded entries; a
-// SHA-256 of everything before it closes the file, making truncation and
-// scribbling detectable.
-func WriteIndexFile(path string, idx *Index, traceSHA [32]byte) error {
+// trace length, uvarint declared count, uvarint entry count, and
+// delta-encoded entries; a SHA-256 of everything before it closes the
+// file, making truncation and scribbling detectable.
+func WriteIndexFile(path string, idx *Index, traceSHA [32]byte, traceLen int64) error {
 	var b bytes.Buffer
 	b.WriteString(indexMagic)
 	b.Write(traceSHA[:])
+	putUvarint(&b, uint64(traceLen))
 	putUvarint(&b, idx.Declared)
 	putUvarint(&b, uint64(len(idx.Entries)))
 	var prevOff int64
@@ -119,6 +128,9 @@ func WriteIndexFile(path string, idx *Index, traceSHA [32]byte) error {
 	for _, e := range idx.Entries {
 		if e.Off < prevOff || (prevBlock != 0 && e.Block <= prevBlock) {
 			return fmt.Errorf("trace: index entries not in stream order at offset %d", e.Off)
+		}
+		if e.Off >= traceLen {
+			return fmt.Errorf("trace: index entry at offset %d beyond recorded trace length %d", e.Off, traceLen)
 		}
 		putUvarint(&b, uint64(e.Off-prevOff))
 		putUvarint(&b, e.Block-prevBlock)
@@ -134,61 +146,125 @@ func WriteIndexFile(path string, idx *Index, traceSHA [32]byte) error {
 }
 
 // LoadIndexFile reads and validates a sidecar against the trace file's
-// content hash. It returns ErrIndexCorrupt (wrapped) for any structural
-// damage, ErrIndexStale when the recorded hash does not match traceSHA,
-// and the underlying error (e.g. fs.ErrNotExist) when the sidecar cannot
-// be read; callers rebuild on any failure.
-func LoadIndexFile(path string, traceSHA [32]byte) (*Index, error) {
-	data, err := os.ReadFile(path)
+// full content hash and length. It returns ErrIndexCorrupt (wrapped) for
+// any structural damage, ErrIndexStale when the recorded hash or length
+// does not match, and the underlying error (e.g. fs.ErrNotExist) when
+// the sidecar cannot be read; callers rebuild on any failure. A sidecar
+// covering a verified prefix of a longer trace is also stale to this
+// call — IndexedFileSource additionally tries the cheaper extension path
+// before rebuilding.
+func LoadIndexFile(path string, traceSHA [32]byte, traceLen int64) (*Index, error) {
+	idx, gotSHA, gotLen, err := readIndexSidecar(path)
 	if err != nil {
 		return nil, err
 	}
+	if gotSHA != traceSHA || gotLen != traceLen {
+		return nil, ErrIndexStale
+	}
+	return idx, nil
+}
+
+// readIndexSidecar reads a sidecar, performing only structural
+// validation (magic, checksum, framing): the recorded trace hash and
+// prefix length are returned for the caller to judge against the trace
+// file it actually has.
+func readIndexSidecar(path string) (*Index, [32]byte, int64, error) {
+	var gotSHA [32]byte
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, gotSHA, 0, err
+	}
 	const minLen = len(indexMagic) + 32 + 32
 	if len(data) < minLen || string(data[:len(indexMagic)]) != indexMagic {
-		return nil, fmt.Errorf("%w: bad magic or truncated (%d bytes)", ErrIndexCorrupt, len(data))
+		return nil, gotSHA, 0, fmt.Errorf("%w: bad magic or truncated (%d bytes)", ErrIndexCorrupt, len(data))
 	}
 	payload, tail := data[:len(data)-32], data[len(data)-32:]
 	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], tail) {
-		return nil, fmt.Errorf("%w: checksum mismatch", ErrIndexCorrupt)
+		return nil, gotSHA, 0, fmt.Errorf("%w: checksum mismatch", ErrIndexCorrupt)
 	}
 	r := bytes.NewReader(payload[len(indexMagic):])
-	var gotSHA [32]byte
 	if _, err := io.ReadFull(r, gotSHA[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrIndexCorrupt, err)
+		return nil, gotSHA, 0, fmt.Errorf("%w: %v", ErrIndexCorrupt, err)
 	}
-	if gotSHA != traceSHA {
-		return nil, ErrIndexStale
+	traceLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, gotSHA, 0, fmt.Errorf("%w: %v", ErrIndexCorrupt, err)
 	}
 	declared, err := binary.ReadUvarint(r)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrIndexCorrupt, err)
+		return nil, gotSHA, 0, fmt.Errorf("%w: %v", ErrIndexCorrupt, err)
 	}
 	count, err := binary.ReadUvarint(r)
 	if err != nil || count > uint64(r.Len()) { // every entry needs >= 2 bytes
-		return nil, fmt.Errorf("%w: implausible entry count %d", ErrIndexCorrupt, count)
+		return nil, gotSHA, 0, fmt.Errorf("%w: implausible entry count %d", ErrIndexCorrupt, count)
 	}
 	idx := &Index{Declared: declared, Entries: make([]IndexEntry, 0, count)}
 	var off, block uint64
 	for i := uint64(0); i < count; i++ {
 		dOff, err := binary.ReadUvarint(r)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrIndexCorrupt, err)
+			return nil, gotSHA, 0, fmt.Errorf("%w: %v", ErrIndexCorrupt, err)
 		}
 		dBlock, err := binary.ReadUvarint(r)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrIndexCorrupt, err)
+			return nil, gotSHA, 0, fmt.Errorf("%w: %v", ErrIndexCorrupt, err)
 		}
 		off += dOff
 		block += dBlock
 		if block > declared {
-			return nil, fmt.Errorf("%w: entry block %d beyond declared %d", ErrIndexCorrupt, block, declared)
+			return nil, gotSHA, 0, fmt.Errorf("%w: entry block %d beyond declared %d", ErrIndexCorrupt, block, declared)
+		}
+		if int64(off) >= int64(traceLen) {
+			return nil, gotSHA, 0, fmt.Errorf("%w: entry offset %d beyond recorded trace length %d", ErrIndexCorrupt, off, traceLen)
 		}
 		idx.Entries = append(idx.Entries, IndexEntry{Off: int64(off), Block: block})
 	}
 	if r.Len() != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrIndexCorrupt, r.Len())
+		return nil, gotSHA, 0, fmt.Errorf("%w: %d trailing bytes", ErrIndexCorrupt, r.Len())
 	}
-	return idx, nil
+	return idx, gotSHA, int64(traceLen), nil
+}
+
+// ExtendIndex resumes the strict index scan of a trace that has only
+// grown since idx was built: the decode restarts at the last recorded
+// sync point (or at the header when the index has none) and every new
+// sync point is appended. The existing entries are trusted — the caller
+// must have verified that the bytes they were built over are unchanged
+// (hash of the recorded prefix) before calling. The returned index is a
+// new value; idx is not mutated.
+func ExtendIndex(ra io.ReaderAt, size int64, prog *program.Program, idx *Index) (*Index, error) {
+	if len(idx.Entries) == 0 {
+		return BuildIndex(io.NewSectionReader(ra, 0, size), prog)
+	}
+	last := idx.Entries[len(idx.Entries)-1]
+	out := &Index{
+		Declared: idx.Declared,
+		Entries:  append([]IndexEntry(nil), idx.Entries...),
+	}
+	d, err := ResumeDecoder(io.NewSectionReader(ra, last.Off, size-last.Off), prog, ResumeSpec{
+		Declared: idx.Declared,
+		Emitted:  last.Block,
+		Off:      last.Off,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The resumed decode re-consumes the sync it starts at, so OnSync
+	// fires once for the last known entry; only genuinely new offsets are
+	// appended.
+	d.OnSync(func(off int64, block uint64) {
+		if off > last.Off {
+			out.Entries = append(out.Entries, IndexEntry{Off: off, Block: block})
+		}
+	})
+	for {
+		if _, err := d.Next(); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+	}
 }
 
 func putUvarint(b *bytes.Buffer, v uint64) {
@@ -204,11 +280,15 @@ func putUvarint(b *bytes.Buffer, v uint64) {
 // every pass via ReadAt.
 //
 // The `.ptidx` sidecar is loaded when present and keyed to the file's
-// current SHA-256; a missing, corrupt, or stale sidecar triggers an
-// index rebuild (one strict decode) and a best-effort rewrite. The
-// stream must decode cleanly — recovery mode and seeking don't compose,
-// since a seek target inside a damaged region has no well-defined
-// decode.
+// current SHA-256 and length; a missing, corrupt, or stale sidecar
+// triggers an index rebuild (one strict decode) and a best-effort
+// rewrite. A sidecar covering a shorter trace whose recorded prefix
+// still hashes clean — the trace only grew since it was written, e.g. by
+// an incremental producer like ripplewatch — is extended instead: the
+// scan resumes at the last recorded sync point, so the cost is the new
+// suffix, not the whole file. The stream must decode cleanly — recovery
+// mode and seeking don't compose, since a seek target inside a damaged
+// region has no well-defined decode.
 //
 // The source also implements DecodeCounting: DecodedBlocks meters total
 // decode work across all passes, including blocks discarded while
@@ -219,21 +299,49 @@ func IndexedFileSource(path string, prog *program.Program) (blockseq.Source, err
 	if err != nil {
 		return nil, err
 	}
-	sidecar := IndexPath(path)
-	idx, err := LoadIndexFile(sidecar, sha)
+	r, err := h.reader()
 	if err != nil {
-		r, rerr := h.reader()
-		if rerr != nil {
-			return nil, rerr
-		}
-		if idx, rerr = BuildIndex(r, prog); rerr != nil {
-			return nil, rerr
+		return nil, err
+	}
+	size := r.Size()
+	sidecar := IndexPath(path)
+	idx := loadOrExtendIndex(sidecar, h, size, sha, prog)
+	if idx == nil {
+		if idx, err = BuildIndex(r, prog); err != nil {
+			return nil, err
 		}
 		// The sidecar is a cache: failing to persist it (read-only
 		// directory, say) costs the next open a rebuild, nothing more.
-		_ = WriteIndexFile(sidecar, idx, sha)
+		_ = WriteIndexFile(sidecar, idx, sha, size)
 	}
 	return &indexedSource{h: h, prog: prog, idx: idx}, nil
+}
+
+// loadOrExtendIndex returns a usable index from the sidecar — loaded
+// directly when it covers the whole file, extended when the file only
+// grew past it — or nil when the sidecar is missing, corrupt, stale, or
+// fails to extend (the caller rebuilds from scratch).
+func loadOrExtendIndex(sidecar string, h *fileHandle, size int64, sha [32]byte, prog *program.Program) *Index {
+	idx, recSHA, recLen, err := readIndexSidecar(sidecar)
+	if err != nil {
+		return nil
+	}
+	if recLen == size && recSHA == sha {
+		return idx
+	}
+	if recLen >= size {
+		return nil // shrunk or rewritten in place: stale
+	}
+	pre, err := h.sha256N(recLen)
+	if err != nil || pre != recSHA {
+		return nil // the recorded prefix changed: stale
+	}
+	ext, err := ExtendIndex(h, size, prog, idx)
+	if err != nil {
+		return nil // e.g. the new suffix does not decode cleanly yet
+	}
+	_ = WriteIndexFile(sidecar, ext, sha, size)
+	return ext
 }
 
 type indexedSource struct {

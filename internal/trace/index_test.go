@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"errors"
 	"io/fs"
 	"os"
@@ -85,10 +86,10 @@ func TestIndexSidecarRoundtrip(t *testing.T) {
 	}
 	sha := [32]byte{1, 2, 3}
 	path := filepath.Join(t.TempDir(), "trace.ptidx")
-	if err := WriteIndexFile(path, idx, sha); err != nil {
+	if err := WriteIndexFile(path, idx, sha, int64(len(raw))); err != nil {
 		t.Fatal(err)
 	}
-	got, err := LoadIndexFile(path, sha)
+	got, err := LoadIndexFile(path, sha, int64(len(raw)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,11 +103,16 @@ func TestIndexSidecarRoundtrip(t *testing.T) {
 		}
 	}
 	// The wrong trace hash must be stale, never silently accepted.
-	if _, err := LoadIndexFile(path, [32]byte{9}); !errors.Is(err, ErrIndexStale) {
+	if _, err := LoadIndexFile(path, [32]byte{9}, int64(len(raw))); !errors.Is(err, ErrIndexStale) {
 		t.Fatalf("mismatched hash: %v, want ErrIndexStale", err)
 	}
+	// So must the wrong trace length (same hash prefix cannot happen in
+	// practice, but the length check is the cheap first line).
+	if _, err := LoadIndexFile(path, sha, int64(len(raw))+7); !errors.Is(err, ErrIndexStale) {
+		t.Fatalf("mismatched length: %v, want ErrIndexStale", err)
+	}
 	// A missing sidecar surfaces the underlying not-exist error.
-	if _, err := LoadIndexFile(path+".gone", sha); !errors.Is(err, fs.ErrNotExist) {
+	if _, err := LoadIndexFile(path+".gone", sha, int64(len(raw))); !errors.Is(err, fs.ErrNotExist) {
 		t.Fatalf("missing sidecar: %v, want fs.ErrNotExist", err)
 	}
 }
@@ -134,6 +140,7 @@ func TestIndexedFileSourceConformance(t *testing.T) {
 	blockseqtest.TestSource(t, open)
 	blockseqtest.TestSourceSeek(t, open)
 	blockseqtest.TestSourceCheckpoint(t, open)
+	blockseqtest.TestSourceCheckpointDisk(t, open)
 }
 
 // TestIndexedFileSourceNoSyncPoints: a sync-free stream still seeks
@@ -149,6 +156,7 @@ func TestIndexedFileSourceNoSyncPoints(t *testing.T) {
 	}
 	blockseqtest.TestSourceSeek(t, open)
 	blockseqtest.TestSourceCheckpoint(t, open)
+	blockseqtest.TestSourceCheckpointDisk(t, open)
 }
 
 // TestIndexedSeekDecodeBudget is the acceptance bound: positioning at
@@ -187,6 +195,146 @@ func TestIndexedSeekDecodeBudget(t *testing.T) {
 	}
 }
 
+// --- incremental extension ---------------------------------------------
+
+// boundedReaderAt fails the test if any read lands below a floor: the
+// extension path must never re-read the already-indexed prefix.
+type boundedReaderAt struct {
+	t     *testing.T
+	r     *bytes.Reader
+	floor int64
+}
+
+func (b *boundedReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < b.floor {
+		b.t.Errorf("ExtendIndex read offset %d below resume point %d", off, b.floor)
+	}
+	return b.r.ReadAt(p, off)
+}
+
+// TestExtendIndexMatchesRebuild: resuming the index scan at the last
+// recorded sync point must produce exactly the index a full rebuild
+// produces, for every possible resume point, while reading only the
+// suffix.
+func TestExtendIndexMatchesRebuild(t *testing.T) {
+	app := tinyApp(t)
+	tr := app.Trace(0, 6000)
+	raw := encodedSync(t, app.Prog, tr, 256)
+	full, err := BuildIndex(bytes.NewReader(raw), app.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Entries) < 4 {
+		t.Fatalf("need several sync points, got %d", len(full.Entries))
+	}
+	for k := 0; k <= len(full.Entries); k++ {
+		partial := &Index{
+			Declared: full.Declared,
+			Entries:  append([]IndexEntry(nil), full.Entries[:k]...),
+		}
+		ra := &boundedReaderAt{t: t, r: bytes.NewReader(raw)}
+		if k > 0 {
+			ra.floor = full.Entries[k-1].Off
+		}
+		ext, err := ExtendIndex(ra, int64(len(raw)), app.Prog, partial)
+		if err != nil {
+			t.Fatalf("extend from %d entries: %v", k, err)
+		}
+		if ext.Declared != full.Declared || len(ext.Entries) != len(full.Entries) {
+			t.Fatalf("extend from %d entries: %d entries declared %d, want %d/%d",
+				k, len(ext.Entries), ext.Declared, len(full.Entries), full.Declared)
+		}
+		for i := range full.Entries {
+			if ext.Entries[i] != full.Entries[i] {
+				t.Fatalf("extend from %d entries: entry %d = %+v, want %+v",
+					k, i, ext.Entries[i], full.Entries[i])
+			}
+		}
+		if len(partial.Entries) != k {
+			t.Fatalf("ExtendIndex mutated its input (now %d entries)", len(partial.Entries))
+		}
+	}
+}
+
+// TestIndexSidecarExtendVsRebuildByteIdentity is the satellite's
+// acceptance: a sidecar persisted over a verified prefix of a trace
+// that has only grown is extended in place by the next open, and the
+// extended sidecar is byte-identical to one rebuilt from scratch.
+func TestIndexSidecarExtendVsRebuildByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	app := tinyApp(t)
+	tr := app.Trace(0, 6000)
+	raw := encodedSync(t, app.Prog, tr, 256)
+	path := filepath.Join(dir, "trace.pt")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	full, err := BuildIndex(bytes.NewReader(raw), app.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Entries) < 4 {
+		t.Fatalf("need several sync points, got %d", len(full.Entries))
+	}
+
+	// Persist a sidecar as an incremental producer would: entries up to
+	// the k-th sync, trace length cut mid-stream past it, hash of that
+	// exact prefix.
+	k := len(full.Entries) / 2
+	cut := full.Entries[k].Off // entries [0,k) lie strictly below
+	partial := &Index{Declared: full.Declared, Entries: append([]IndexEntry(nil), full.Entries[:k]...)}
+	sidecar := IndexPath(path)
+	if err := WriteIndexFile(sidecar, partial, sha256.Sum256(raw[:cut]), cut); err != nil {
+		t.Fatal(err)
+	}
+
+	// Opening the grown trace extends the sidecar rather than rebuilding.
+	src, err := IndexedFileSource(path, app.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := blockseq.Collect(src)
+	if err != nil || len(got) != len(tr) {
+		t.Fatalf("decode through extended index: %d blocks, err %v", len(got), err)
+	}
+	extended, err := os.ReadFile(sidecar)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild from scratch (no sidecar at all) and compare bytes.
+	if err := os.Remove(sidecar); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := IndexedFileSource(path, app.Prog); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := os.ReadFile(sidecar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(extended, rebuilt) {
+		t.Fatal("extended sidecar differs from a from-scratch rebuild")
+	}
+
+	// A partial sidecar whose recorded prefix does NOT hash clean (the
+	// prefix was rewritten) must not be extended; the rebuild still
+	// converges to the same bytes.
+	if err := WriteIndexFile(sidecar, partial, [32]byte{0xBA, 0xD0}, cut); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := IndexedFileSource(path, app.Prog); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(sidecar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, rebuilt) {
+		t.Fatal("sidecar after stale-prefix rebuild differs")
+	}
+}
+
 // --- sidecar staleness and damage -------------------------------------
 
 // TestIndexSidecarStaleAfterRegenerate: regenerating the trace file in
@@ -212,7 +360,8 @@ func TestIndexSidecarStaleAfterRegenerate(t *testing.T) {
 
 	// Regenerate in place: a different input's trace, same path.
 	newTrace := app.Trace(1, 6000)
-	if err := os.WriteFile(path, encodedSync(t, app.Prog, newTrace, 256), 0o644); err != nil {
+	newRaw := encodedSync(t, app.Prog, newTrace, 256)
+	if err := os.WriteFile(path, newRaw, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	h := &fileHandle{path: path}
@@ -220,7 +369,7 @@ func TestIndexSidecarStaleAfterRegenerate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadIndexFile(sidecar, newSHA); !errors.Is(err, ErrIndexStale) {
+	if _, err := LoadIndexFile(sidecar, newSHA, int64(len(newRaw))); !errors.Is(err, ErrIndexStale) {
 		t.Fatalf("old sidecar against regenerated trace: %v, want ErrIndexStale", err)
 	}
 
@@ -247,7 +396,7 @@ func TestIndexSidecarStaleAfterRegenerate(t *testing.T) {
 	if bytes.Equal(rebuilt, oldSidecar) {
 		t.Fatal("sidecar was not rebuilt after the trace changed")
 	}
-	if _, err := LoadIndexFile(sidecar, newSHA); err != nil {
+	if _, err := LoadIndexFile(sidecar, newSHA, int64(len(newRaw))); err != nil {
 		t.Fatalf("rebuilt sidecar does not validate: %v", err)
 	}
 }
@@ -288,7 +437,11 @@ func TestIndexSidecarDamageTreatedAsAbsent(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := LoadIndexFile(sidecar, sha); err == nil {
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadIndexFile(sidecar, sha, fi.Size()); err == nil {
 				t.Fatal("damaged sidecar loaded cleanly")
 			} else if errors.Is(err, ErrIndexStale) {
 				// Bit flips can land inside the stored hash; the checksum
@@ -303,7 +456,7 @@ func TestIndexSidecarDamageTreatedAsAbsent(t *testing.T) {
 			if err != nil || len(got) != len(tr) {
 				t.Fatalf("decode after rebuild: %d blocks, err %v", len(got), err)
 			}
-			if _, err := LoadIndexFile(sidecar, sha); err != nil {
+			if _, err := LoadIndexFile(sidecar, sha, fi.Size()); err != nil {
 				t.Fatalf("sidecar not rebuilt after damage: %v", err)
 			}
 		})

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestTruncatedTailEveryPrefix is the satellite's boundary test, run
+// exhaustively: a clean stream cut at EVERY byte position must fail a
+// strict decode with an error wrapping ErrTruncatedTail — never a
+// corruption-shaped error — because every byte present is valid; the
+// stream just stops early. A tailer keying on errors.Is(err,
+// ErrTruncatedTail) can then always distinguish "writer still
+// appending" from genuine damage. The sweep covers a cut inside every
+// packet kind the codec has: the stream-header PSB byte and count
+// varint, TNT count and payload bytes, TIP count and delta bytes, the
+// mid-stream PSB sync magic (including a partial magic at EOF), the
+// sync's re-establishing TIP, and the final END packet.
+func TestTruncatedTailEveryPrefix(t *testing.T) {
+	app := tinyApp(t)
+	blocks := app.Trace(0, 2000)
+	data, stats := encodeSync(t, app.Prog, blocks, 128)
+	if stats.Syncs < 2 {
+		t.Fatalf("need sync points in the stream, got %d", stats.Syncs)
+	}
+
+	// kinds collects the packet-kind tags seen in truncation errors, so
+	// the sweep provably exercised every packet kind.
+	kinds := map[string]bool{}
+	for cut := 0; cut < len(data); cut++ {
+		got, err := Decode(bytes.NewReader(data[:cut]), app.Prog)
+		if err == nil {
+			t.Fatalf("cut at %d decoded cleanly to %d blocks", cut, len(got))
+		}
+		if !errors.Is(err, ErrTruncatedTail) {
+			t.Fatalf("cut at %d misclassified (want ErrTruncatedTail): %v", cut, err)
+		}
+		for _, kind := range []string{"PSB", "TNT", "TIP", "END"} {
+			if strings.Contains(err.Error(), "("+kind+")") {
+				kinds[kind] = true
+			}
+		}
+	}
+	for _, kind := range []string{"PSB", "TNT", "TIP", "END"} {
+		if !kinds[kind] {
+			t.Errorf("no truncation landed inside a %s packet — boundary not covered", kind)
+		}
+	}
+}
+
+// TestTruncatedTailPartialSyncMagic pins the subtle boundary case: a
+// stream ending with a proper prefix of the PSB sync magic (a writer
+// killed mid-magic) must classify as a truncated tail, not as a
+// wrong-packet corruption — the magic's first byte would otherwise be
+// read as a bogus packet header.
+func TestTruncatedTailPartialSyncMagic(t *testing.T) {
+	app := tinyApp(t)
+	blocks := app.Trace(0, 2000)
+	data, stats := encodeSync(t, app.Prog, blocks, 128)
+	offs := syncOffsets(t, data, stats.Syncs)
+	for keep := 1; keep < len(psbMagic); keep++ {
+		cut := offs[1] + keep
+		_, err := Decode(bytes.NewReader(data[:cut]), app.Prog)
+		if !errors.Is(err, ErrTruncatedTail) {
+			t.Fatalf("cut %d bytes into sync magic: %v, want ErrTruncatedTail", keep, err)
+		}
+	}
+}
+
+// TestCorruptionIsNotTruncatedTail pins the other half of the contract:
+// genuine corruption — bytes that are wrong, not merely missing — must
+// never wrap ErrTruncatedTail, or a tailer would park forever waiting
+// for bytes that will not fix anything.
+func TestCorruptionIsNotTruncatedTail(t *testing.T) {
+	app := tinyApp(t)
+	blocks := app.Trace(0, 2000)
+	data, stats := encodeSync(t, app.Prog, blocks, 128)
+	offs := syncOffsets(t, data, stats.Syncs)
+
+	cases := []struct {
+		name   string
+		mutate func(d []byte) []byte
+	}{
+		{"bad header byte", func(d []byte) []byte {
+			out := append([]byte(nil), d...)
+			out[0] = 0x55
+			return out
+		}},
+		{"garbage packet byte", func(d []byte) []byte {
+			out := append([]byte(nil), d...)
+			out[4] = 0x7F
+			return out
+		}},
+		{"clobbered sync TIP", func(d []byte) []byte {
+			out := append([]byte(nil), d...)
+			out[offs[0]+len(psbMagic)] = 0x7F
+			return out
+		}},
+		{"oversized TNT count", func(d []byte) []byte {
+			out := append([]byte(nil), d...)
+			for i := 4; i+1 < len(out); i++ {
+				if out[i] == pktTNT {
+					out[i+1] = 0xFF
+					break
+				}
+			}
+			return out
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(bytes.NewReader(tc.mutate(data)), app.Prog)
+			if err == nil {
+				t.Skip("mutation decoded cleanly")
+			}
+			if errors.Is(err, ErrTruncatedTail) {
+				t.Fatalf("corruption classified as truncated tail: %v", err)
+			}
+		})
+	}
+}
+
+// TestRecoverTruncatedTailStillAccounts: recovery mode treats a
+// truncated tail as damage like any other (there is no tailer to wait),
+// accounting the shortfall with the exact invariant intact.
+func TestRecoverTruncatedTailStillAccounts(t *testing.T) {
+	app := tinyApp(t)
+	blocks := app.Trace(0, 2000)
+	data, _ := encodeSync(t, app.Prog, blocks, 128)
+	for _, cut := range []int{len(data) / 3, len(data) / 2, len(data) - 1} {
+		got, rep, err := DecodeRecover(bytes.NewReader(data[:cut]), app.Prog)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if rep.Decoded != uint64(len(got)) || rep.Decoded+rep.BlocksLost() != rep.Declared {
+			t.Fatalf("cut at %d: inconsistent accounting %+v", cut, rep)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package watch
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"ripple/internal/core"
+	"ripple/internal/program"
+)
+
+// Coverage accounts how much of the trace backed a revision, so a plan
+// computed over a window that overlaps damaged regions can never pose as
+// a fully profiled one.
+type Coverage struct {
+	// Declared/Decoded are the stream header's promise and the blocks
+	// actually consumed up to this revision.
+	Declared uint64
+	Decoded  uint64
+	// Regions counts the distinct damaged spans skipped so far.
+	Regions int
+	// WindowDamaged reports that the analysis window itself still
+	// contains blocks decoded within W blocks of a damaged region.
+	WindowDamaged bool
+}
+
+// Injection is one cue block's invalidation list, in the revision
+// record's canonical (sorted) form.
+type Injection struct {
+	Block   program.BlockID
+	Victims []uint64
+}
+
+// Revision is one published plan revision. Its JSON form is canonical —
+// no timestamps, injections sorted by cue block — so a watcher restarted
+// from any checkpoint republishes byte-identical revision files.
+type Revision struct {
+	// Revision numbers published plans from 1; Epoch is the analysis
+	// epoch that produced this one; TotalBlocks the absolute trace
+	// position at publication.
+	Revision    int
+	Epoch       int
+	TotalBlocks uint64
+	// Threshold and SpeedupPct describe the winning sweep point;
+	// PlanDigest is the plan's content hash (core.Plan.Digest).
+	Threshold  float64
+	SpeedupPct float64
+	PlanDigest string
+	Coverage   Coverage
+	Injections []Injection
+}
+
+// newRevision flattens a tuned plan into the canonical record.
+func newRevision(rev, epoch int, total uint64, point core.ThresholdPoint, plan *core.Plan, cov Coverage) (*Revision, error) {
+	digest, err := plan.Digest()
+	if err != nil {
+		return nil, err
+	}
+	r := &Revision{
+		Revision:    rev,
+		Epoch:       epoch,
+		TotalBlocks: total,
+		Threshold:   point.Threshold,
+		SpeedupPct:  point.SpeedupPct,
+		PlanDigest:  digest,
+		Coverage:    cov,
+		Injections:  []Injection{},
+	}
+	for b, victims := range plan.Injections {
+		r.Injections = append(r.Injections, Injection{Block: b, Victims: victims})
+	}
+	sort.Slice(r.Injections, func(i, j int) bool { return r.Injections[i].Block < r.Injections[j].Block })
+	return r, nil
+}
+
+// RevisionPath names revision n's file under dir.
+func RevisionPath(dir string, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("plan-%05d.json", n))
+}
+
+// Write emits the revision atomically (tmp+rename) as
+// dir/plan-%05d.json and returns the path. Re-publishing the same
+// revision number (a watcher replaying past its last checkpoint)
+// rewrites the identical bytes.
+func (r *Revision) Write(dir string) (string, error) {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	raw = append(raw, '\n')
+	path := RevisionPath(dir, r.Revision)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadRevision loads one revision record.
+func ReadRevision(path string) (*Revision, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Revision
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("watch: %s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,158 @@
+package watch
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"ripple/internal/blockseq"
+	"ripple/internal/program"
+	"ripple/internal/trace"
+)
+
+// stateMagic heads every .ptwatch checkpoint sidecar.
+const stateMagic = "RPWATCH1\n"
+
+var (
+	// ErrStateStale reports a structurally valid checkpoint that does not
+	// match the trace file it points at (the trace was rotated or
+	// regenerated since the checkpoint was written). The caller starts
+	// fresh.
+	ErrStateStale = errors.New("watch: checkpoint does not match the trace")
+	// ErrStateCorrupt reports a checkpoint file that fails its own
+	// integrity checks (bad magic, bad trailer hash, undecodable body).
+	// The caller treats it as absent and starts fresh.
+	ErrStateCorrupt = errors.New("watch: corrupt checkpoint")
+)
+
+// State is everything a restarted watcher needs to continue exactly
+// where it stopped: the tail pass's position mark, the trace-identity
+// binding that detects rotation, and the analysis-side counters (window,
+// epoch, hysteresis) whose replay determines the published plan
+// sequence. Persisting all of it makes restart replay-equivalent: a
+// watcher resumed from any checkpoint publishes the same revision tail,
+// byte for byte, as one that never stopped.
+type State struct {
+	// PrefixLen/PrefixSHA bind the checkpoint to the trace's content: the
+	// SHA-256 of the trace file's first PrefixLen bytes at checkpoint
+	// time. An append-only trace never changes those bytes, so a mismatch
+	// (or a shorter file) means rotation and the checkpoint is stale.
+	PrefixLen int64
+	PrefixSHA [32]byte
+
+	// Declared is the block count the stream header promises.
+	Declared uint64
+	// Mark is the TailSeq checkpoint: sync anchor plus discard count.
+	Mark blockseq.Mark
+	// Total is the absolute number of trace blocks consumed; it always
+	// equals the position Mark names.
+	Total uint64
+
+	// Window is the rolling analysis window (the last <= W blocks).
+	Window []program.BlockID
+
+	// Epoch counts analysis epochs run; Revision counts plans published.
+	Epoch    int
+	Revision int
+	// PublishedScore/PublishedHash describe the live plan revision;
+	// Pending counts consecutive epochs a differing candidate has held a
+	// significant score shift (the hysteresis ratchet).
+	PublishedScore float64
+	PublishedHash  string
+	Pending        int
+
+	// Regions is the cumulative damage accounting, deduplicated by
+	// offset across restarts. DamageEver and LastDamageTotal implement
+	// the window taint: the window is damaged until W clean blocks have
+	// arrived after the most recent region.
+	Regions         []trace.DamageRegion
+	DamageEver      bool
+	LastDamageTotal uint64
+}
+
+// SaveState atomically writes the checkpoint sidecar: magic, gob body,
+// SHA-256 trailer, via tmp+rename so a crash mid-write never leaves a
+// half-written checkpoint at path.
+func SaveState(path string, st *State) error {
+	var body bytes.Buffer
+	body.WriteString(stateMagic)
+	if err := gob.NewEncoder(&body).Encode(st); err != nil {
+		return fmt.Errorf("watch: encode checkpoint: %w", err)
+	}
+	sum := sha256.Sum256(body.Bytes())
+	body.Write(sum[:])
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, body.Bytes(), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// LoadState reads a checkpoint sidecar. Structural damage of any kind
+// returns an error wrapping ErrStateCorrupt; a missing file returns the
+// raw os error (test with os.IsNotExist).
+func LoadState(path string) (*State, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(stateMagic)+sha256.Size || string(raw[:len(stateMagic)]) != stateMagic {
+		return nil, fmt.Errorf("%w: %s is not a watch checkpoint", ErrStateCorrupt, path)
+	}
+	body, trailer := raw[:len(raw)-sha256.Size], raw[len(raw)-sha256.Size:]
+	if sum := sha256.Sum256(body); !bytes.Equal(sum[:], trailer) {
+		return nil, fmt.Errorf("%w: %s trailer hash mismatch", ErrStateCorrupt, path)
+	}
+	var st State
+	if err := gob.NewDecoder(bytes.NewReader(body[len(stateMagic):])).Decode(&st); err != nil {
+		return nil, fmt.Errorf("%w: %s body: %v", ErrStateCorrupt, path, err)
+	}
+	return &st, nil
+}
+
+// Validate checks the checkpoint against the trace file it claims to
+// continue: the file must still contain the checkpointed prefix,
+// byte-identical. A rotated or regenerated trace fails with
+// ErrStateStale.
+func (st *State) Validate(tracePath string) error {
+	sum, err := hashPrefix(tracePath, st.PrefixLen)
+	if err != nil {
+		if os.IsNotExist(err) || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w: trace shorter than checkpointed prefix (%d bytes)", ErrStateStale, st.PrefixLen)
+		}
+		return err
+	}
+	if sum != st.PrefixSHA {
+		return fmt.Errorf("%w: prefix hash mismatch over %d bytes", ErrStateStale, st.PrefixLen)
+	}
+	return nil
+}
+
+// hashPrefix returns the SHA-256 of the file's first n bytes. A file
+// shorter than n fails with io.ErrUnexpectedEOF.
+func hashPrefix(path string, n int64) ([32]byte, error) {
+	var sum [32]byte
+	f, err := os.Open(path)
+	if err != nil {
+		return sum, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	copied, err := io.Copy(h, io.LimitReader(f, n))
+	if err != nil {
+		return sum, err
+	}
+	if copied < n {
+		return sum, io.ErrUnexpectedEOF
+	}
+	h.Sum(sum[:0])
+	return sum, nil
+}

@@ -87,6 +87,9 @@ func TestStreamSourceCheckpointConformance(t *testing.T) {
 			blockseqtest.TestSourceCheckpoint(t, func(*testing.T) blockseq.Source {
 				return app.Stream(input, 3000)
 			})
+			blockseqtest.TestSourceCheckpointDisk(t, func(*testing.T) blockseq.Source {
+				return app.Stream(input, 3000)
+			})
 		})
 	}
 }

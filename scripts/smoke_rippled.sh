@@ -1,13 +1,15 @@
 #!/bin/sh
 # smoke_rippled.sh is the loopback end-to-end check for the fleet
 # coordinator: it starts a rippled on 127.0.0.1, drains one sweep with
-# two concurrent rippleexp workers pointed at it, and asserts the three
+# two concurrent rippleexp workers pointed at it, and asserts the four
 # properties the subsystem exists for:
 #
 #   1. the fleet's tables are byte-identical to a serial local run;
 #   2. the two workers together simulate exactly as much as the serial
 #      run did — each duplicate signature computed once fleet-wide;
-#   3. a warm rerun against the same rippled performs zero simulations.
+#   3. a warm rerun against the same rippled performs zero simulations;
+#   4. SIGTERM shuts the server down gracefully: it drains, prints its
+#      final stats line, and exits 0.
 #
 # Run from anywhere; needs only the go toolchain:
 #
@@ -109,4 +111,21 @@ diff -u "$work/serial.out" "$work/warm.out" >/dev/null || {
 	exit 1
 }
 
-echo "smoke_rippled: OK (serial=$serial_n, workers=$n1+$n2, warm=0, tables byte-identical)"
+# Property 4: SIGTERM drains and exits cleanly with the final stats line.
+echo "smoke_rippled: SIGTERM graceful shutdown"
+kill -TERM "$rippled_pid"
+rc=0
+wait "$rippled_pid" || rc=$?
+rippled_pid=""
+if [ "$rc" -ne 0 ]; then
+	echo "smoke_rippled: rippled exit status $rc on SIGTERM, want 0:" >&2
+	cat "$work/rippled.out" >&2
+	exit 1
+fi
+grep -q 'rippled: final stats' "$work/rippled.out" || {
+	echo "smoke_rippled: rippled did not print its final stats line on SIGTERM:" >&2
+	cat "$work/rippled.out" >&2
+	exit 1
+}
+
+echo "smoke_rippled: OK (serial=$serial_n, workers=$n1+$n2, warm=0, tables byte-identical, SIGTERM clean)"
