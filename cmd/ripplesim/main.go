@@ -74,6 +74,8 @@ func main() {
 	storeURL := flag.String("store", "", "rippled URL for a shared fleet result store in sweep mode (e.g. http://127.0.0.1:8344); mutually exclusive with -cachedir")
 	rec := flag.Bool("recover", false, "resynchronize past damaged trace regions instead of failing")
 	index := flag.Bool("index", false, "replay through the .ptidx seek index (built on the fly if absent or stale); conflicts with -recover")
+	useMmap := flag.Bool("mmap", true, "memory-map the trace for zero-copy decode (ReadAt fallback when disabled or unsupported by the platform)")
+	decoders := flag.Int("decoders", 1, "decode this many PSB sync regions concurrently per pass (> 1 requires -mmap)")
 	flag.Parse()
 
 	policies := strings.Split(*policy, ",")
@@ -84,9 +86,12 @@ func main() {
 	if cliflag.Passed("blocks") {
 		limit = *blocks
 	}
+	fo := trace.FileOptions{NoMmap: !*useMmap, Decoders: *decoders}
 	var err error
 	if *rec && *index {
 		err = fmt.Errorf("-index and -recover are mutually exclusive")
+	} else if *decoders > 1 && !*useMmap {
+		err = fmt.Errorf("-decoders %d requires -mmap (parallel decode runs over the mapping)", *decoders)
 	} else if *cachedir != "" && *storeURL != "" {
 		err = fmt.Errorf("-cachedir and -store are mutually exclusive")
 	} else if *oracleEngine != "exact" && *oracleEngine != "sampled" {
@@ -96,11 +101,11 @@ func main() {
 			err = fmt.Errorf("-ideal is only available in single-configuration mode, not sweeps")
 		} else {
 			err = sweep(*progPath, *traceProgPath, *ptPath, *planPath, policies, prefetchers,
-				limit, *warmup, *accuracy, *demote, *jsonOut, *workers, *cachedir, *storeURL, *rec, *index)
+				limit, *warmup, *accuracy, *demote, *jsonOut, *workers, *cachedir, *storeURL, *rec, *index, fo)
 		}
 	} else {
 		err = run(*progPath, *traceProgPath, *ptPath, *planPath, *policy, *prefetcher, limit, *warmup,
-			*accuracy, *demote, *jsonOut, *rec, *index, *ideal, *oracleEngine, *oracleSets)
+			*accuracy, *demote, *jsonOut, *rec, *index, *ideal, *oracleEngine, *oracleSets, fo)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ripplesim:", err)
@@ -109,14 +114,14 @@ func main() {
 }
 
 func run(progPath, traceProgPath, ptPath, planPath, policy, prefetcher string, limit, warmup int,
-	accuracy, demote, jsonOut, rec, indexed, ideal bool, oracleEngine string, oracleSets int) error {
+	accuracy, demote, jsonOut, rec, indexed, ideal bool, oracleEngine string, oracleSets int, fo trace.FileOptions) error {
 	if progPath == "" || ptPath == "" {
 		return fmt.Errorf("-prog and -pt are required")
 	}
 	if traceProgPath == "" {
 		traceProgPath = progPath
 	}
-	prog, tr, reporter, err := load(progPath, traceProgPath, ptPath, limit, rec, indexed)
+	prog, tr, reporter, err := load(progPath, traceProgPath, ptPath, limit, rec, indexed, fo)
 	if err != nil {
 		return err
 	}
@@ -207,14 +212,14 @@ func run(progPath, traceProgPath, ptPath, planPath, policy, prefetcher string, l
 // configuration, so editing the trace or plan invalidates exactly the
 // affected entries.
 func sweep(progPath, traceProgPath, ptPath, planPath string, policies, prefetchers []string,
-	limit, warmup int, accuracy, demote, jsonOut bool, workers int, cachedir, storeURL string, rec, indexed bool) error {
+	limit, warmup int, accuracy, demote, jsonOut bool, workers int, cachedir, storeURL string, rec, indexed bool, fo trace.FileOptions) error {
 	if progPath == "" || ptPath == "" {
 		return fmt.Errorf("-prog and -pt are required")
 	}
 	if traceProgPath == "" {
 		traceProgPath = progPath
 	}
-	prog, tr, reporter, err := load(progPath, traceProgPath, ptPath, limit, rec, indexed)
+	prog, tr, reporter, err := load(progPath, traceProgPath, ptPath, limit, rec, indexed, fo)
 	if err != nil {
 		return err
 	}
@@ -490,7 +495,7 @@ func resultJSON(res frontend.Result) map[string]interface{} {
 // strict mode. With indexed the source replays through the .ptidx seek
 // index (rebuilt if missing or stale) — a pure acceleration: the block
 // sequence, and therefore every result, is byte-identical.
-func load(progPath, traceProgPath, ptPath string, limit int, rec, indexed bool) (*program.Program, blockseq.Source, trace.Reporting, error) {
+func load(progPath, traceProgPath, ptPath string, limit int, rec, indexed bool, fo trace.FileOptions) (*program.Program, blockseq.Source, trace.Reporting, error) {
 	loadProg := func(path string) (*program.Program, error) {
 		f, err := os.Open(path)
 		if err != nil {
@@ -516,14 +521,15 @@ func load(progPath, traceProgPath, ptPath string, limit int, rec, indexed bool) 
 	var reporter trace.Reporting
 	switch {
 	case rec:
-		ts := trace.RecoverFileSource(ptPath, decodeProg)
+		fo.Recover = true
+		ts := trace.FileSourceOptions(ptPath, decodeProg, fo)
 		reporter, src = ts.(trace.Reporting), ts
 	case indexed:
-		if src, err = trace.IndexedFileSource(ptPath, decodeProg); err != nil {
+		if src, err = trace.IndexedFileSourceOptions(ptPath, decodeProg, fo); err != nil {
 			return nil, nil, nil, err
 		}
 	default:
-		src = trace.FileSource(ptPath, decodeProg)
+		src = trace.FileSourceOptions(ptPath, decodeProg, fo)
 	}
 	if limit >= 0 {
 		src = blockseq.Limit(src, limit)

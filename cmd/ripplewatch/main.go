@@ -64,6 +64,8 @@ func main() {
 	flag.StringVar(&o.CacheDir, "cachedir", "", "directory for the persistent result store (default: no persistence)")
 	flag.StringVar(&o.StoreURL, "store", "", "rippled URL for a shared fleet result store; mutually exclusive with -cachedir")
 	flag.IntVar(&o.Retries, "retries", 2, "retry budget for transiently failing simulations")
+	flag.BoolVar(&o.Mmap, "mmap", false, "memory-map the trace (unsupported while tailing: a mapping is a fixed-size snapshot and cannot observe growth; the tail reads through ReadAt by design — see rippleanalyze -mmap for offline passes)")
+	flag.IntVar(&o.Decoders, "decoders", 1, "parallel PSB region decoders (unsupported while tailing: the tail decodes incrementally in stream order; use rippleanalyze -decoders on a complete file)")
 	flag.Parse()
 	if o.CacheDir != "" && o.StoreURL != "" {
 		fmt.Fprintln(os.Stderr, "ripplewatch: -cachedir and -store are mutually exclusive")
@@ -103,6 +105,8 @@ type options struct {
 	Workers                             int
 	CacheDir, StoreURL                  string
 	Retries                             int
+	Mmap                                bool
+	Decoders                            int
 	Done                                <-chan struct{}
 	Stdout                              io.Writer
 }
@@ -114,6 +118,12 @@ func run(o options) (watch.Result, error) {
 	var res watch.Result
 	if o.ProgPath == "" || o.PTPath == "" || o.OutDir == "" {
 		return res, fmt.Errorf("-prog, -pt, and -out are required")
+	}
+	if o.Mmap {
+		return res, fmt.Errorf("-mmap is not supported while tailing: a mapping is a fixed-size snapshot and cannot observe file growth (the tail reads through ReadAt; mmap an offline pass with rippleanalyze instead)")
+	}
+	if o.Decoders > 1 {
+		return res, fmt.Errorf("-decoders %d is not supported while tailing: the tail decodes incrementally in stream order (parallel region decode needs a complete file; use rippleanalyze -decoders)", o.Decoders)
 	}
 	if o.Stdout == nil {
 		o.Stdout = io.Discard

@@ -118,15 +118,28 @@ type Func func() Seq
 // Open starts a pass by calling the function.
 func (f Func) Open() Seq { return f() }
 
+// maxCapHint bounds hint-driven pre-allocation. LenHint is exact for
+// well-formed inputs, but a file source reads it from the stream header
+// before a single block has been validated — a corrupt or hostile header
+// can declare 2^60 blocks. Consumers that pre-size buffers from a hint
+// must clamp it; past this bound append's amortized growth takes over.
+const maxCapHint = 1 << 20
+
+// CapHint returns a safe pre-allocation capacity for one pass of src:
+// the source's LenHint when known, clamped to an allocation sanity
+// bound, or fallback when the length is unknown or nonsensical.
+func CapHint(src Source, fallback int) int {
+	if n, ok := LenHint(src); ok && n > 0 {
+		return min(n, maxCapHint)
+	}
+	return fallback
+}
+
 // Collect drains one pass of src into a slice. It is the inverse of
 // SliceSource: use it only where a consumer genuinely needs the whole
 // trace in memory (encoders, oracle event buffers).
 func Collect(src Source) ([]program.BlockID, error) {
-	capHint := 1024
-	if n, ok := LenHint(src); ok {
-		capHint = n
-	}
-	out := make([]program.BlockID, 0, capHint)
+	out := make([]program.BlockID, 0, CapHint(src, 1024))
 	seq := src.Open()
 	for {
 		bid, ok := seq.Next()

@@ -242,11 +242,7 @@ func Run(p Params, prog *program.Program, src blockseq.Source, opts Options) (Re
 		s.prewarm()
 	}
 	if opts.RecordStream {
-		capHint := 1024
-		if n, ok := blockseq.LenHint(src); ok {
-			capHint = n * 2
-		}
-		res.Stream = make([]opt.Event, 0, capHint)
+		res.Stream = make([]opt.Event, 0, blockseq.CapHint(src, 512)*2)
 	}
 
 	if err := s.run(src); err != nil {

@@ -21,11 +21,7 @@ import (
 // the whole access sequence with future knowledge. The input, however, is
 // consumed one block at a time.
 func DemandLines(prog *program.Program, src blockseq.Source) (lines []uint64, blockOf []int32, err error) {
-	blocksHint := 0
-	if n, ok := blockseq.LenHint(src); ok {
-		blocksHint = n
-	}
-	return DemandLinesSeq(prog, src.Open(), blocksHint)
+	return DemandLinesSeq(prog, src.Open(), blockseq.CapHint(src, 0))
 }
 
 // DemandLinesSeq is DemandLines over an already-open pass, so a consumer
@@ -35,7 +31,9 @@ func DemandLines(prog *program.Program, src blockseq.Source) (lines []uint64, bl
 func DemandLinesSeq(prog *program.Program, seq blockseq.Seq, blocksHint int) (lines []uint64, blockOf []int32, err error) {
 	capHint := 1024
 	if blocksHint > 0 {
-		capHint = blocksHint * 3 / 2
+		// Clamp: a caller's hint may descend from an unvalidated trace
+		// header, which must not drive the allocation.
+		capHint = min(blocksHint, 1<<20) * 3 / 2
 	}
 	lines = make([]uint64, 0, capHint)
 	blockOf = make([]int32, 0, capHint)

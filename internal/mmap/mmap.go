@@ -1,0 +1,17 @@
+// Package mmap provides read-only memory mapping of files, with a
+// portable capability probe: on platforms without mmap support, Map
+// returns ErrUnsupported and callers fall back to ReadAt-style access.
+//
+// Mappings are established MAP_SHARED/PROT_READ: they are zero-copy
+// views of the page cache, valid even after the originating descriptor
+// is closed. Callers that hand out subslices of a mapping to consumers
+// with no close hook (trace decode passes) must keep the mapping alive
+// for as long as any such consumer may read it — unmapping under a live
+// reader is a fault, not an error return.
+package mmap
+
+import "errors"
+
+// ErrUnsupported reports that this platform has no mmap; use a ReadAt
+// fallback instead.
+var ErrUnsupported = errors.New("mmap: not supported on this platform")

@@ -325,9 +325,11 @@ func victim(s []entry, mode Mode, nextAny, nextDemand []int32) int {
 // own next demand. This yields arrays identical to the slice-era backward
 // builder (buildNextIndexes) without needing the events in memory.
 func buildNextIndexesSource(src EventSource) (nextIndex, error) {
+	// Clamp the hint: on a trace-backed source it descends from an
+	// unvalidated stream header, which must not drive the allocation.
 	capHint := 1 << 10
 	if n, ok := LenHint(src); ok && n > 0 {
-		capHint = n
+		capHint = min(n, 1<<20)
 	}
 	nextAny := make([]int32, 0, capHint)
 	demand := make([]bool, 0, capHint)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"ripple/internal/isa"
 	"ripple/internal/program"
@@ -76,7 +77,15 @@ func (r DecodeReport) Damaged() bool { return len(r.Regions) > 0 }
 // the DecodeReport. Every error carries the stream byte offset and the
 // packet kind being read.
 type Decoder struct {
-	r    *bufio.Reader
+	// Input: exactly one mode is active per decode. Streaming mode reads
+	// through r (works over any io.Reader, including a blocking tail
+	// reader); whole-buffer mode (whole == true) indexes buf directly —
+	// the zero-copy path over an mmap'd trace or an in-memory stream.
+	r     *bufio.Reader
+	buf   []byte
+	pos   int
+	whole bool
+
 	prog *program.Program
 	// rec selects recovery mode; off is the count of stream bytes
 	// consumed so far (the offset reported in errors and regions).
@@ -118,7 +127,34 @@ type Decoder struct {
 	// signal): the decode surfaces them instead of resyncing past them,
 	// and records no damage region for them.
 	interrupt func(error) bool
+
+	// stopAtSync makes step return errStopSync at a mid-walk sync point
+	// instead of consuming it: a parallel region worker decodes exactly
+	// one sync region and lets the fan-in splice the next. The run's own
+	// starting sync (cur == NoBlock) is still consumed.
+	stopAtSync bool
+
+	// tipCache memoizes entry-IP → block lookups for the whole-buffer
+	// batch fast path: TIP targets repeat heavily (hot indirect callees,
+	// return sites), and the program's map lookup dominates TIP decode
+	// cost. Allocated on first use, keyed to tipProg so a pooled decoder
+	// reused against a different program cannot serve stale entries.
+	tipCache *[tipCacheSize]tipCacheEnt
+	tipProg  *program.Program
 }
+
+// tipCacheSize is the direct-mapped TIP target cache size (8 KB).
+const tipCacheSize = 512
+
+type tipCacheEnt struct {
+	ip uint64
+	id program.BlockID
+}
+
+// errStopSync is the internal sentinel a stopAtSync decode surfaces at
+// the next mid-walk sync point. It never escapes the package: only the
+// parallel region workers set stopAtSync.
+var errStopSync = errors.New("trace: stopped at sync point")
 
 // NewDecoder opens a packet stream produced by an Encoder over the same
 // (identically laid out) program, in strict (fail-fast) mode.
@@ -141,40 +177,58 @@ func newDecoder(r io.Reader, prog *program.Program, rec bool) (*Decoder, error) 
 		rec:  rec,
 		cur:  program.NoBlock,
 	}
+	if err := d.readHeader(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// NewBytesDecoder opens an in-memory packet stream in strict mode,
+// decoding by direct indexing: no internal buffering, no copies. Over a
+// memory-mapped trace file this is the zero-copy decode path.
+func NewBytesDecoder(data []byte, prog *program.Program) (*Decoder, error) {
+	return newBytesDecoder(data, prog, false)
+}
+
+func newBytesDecoder(data []byte, prog *program.Program, rec bool) (*Decoder, error) {
+	d := &Decoder{
+		whole: true,
+		buf:   data,
+		prog:  prog,
+		rec:   rec,
+		cur:   program.NoBlock,
+	}
+	if err := d.readHeader(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// readHeader parses the stream header: the PSB byte and the declared
+// block count.
+func (d *Decoder) readHeader() error {
 	b, err := d.readByte()
 	if err != nil {
 		if err == io.EOF {
-			return nil, d.errAt("PSB", "reading stream header: %w", ErrTruncatedTail)
+			return d.errAt("PSB", "reading stream header: %w", ErrTruncatedTail)
 		}
-		return nil, d.errAt("PSB", "reading stream header: %w", err)
+		return d.errAt("PSB", "reading stream header: %w", err)
 	}
 	if b != pktPSB {
-		return nil, d.errAt("PSB", "stream does not start with PSB (got %#x)", b)
+		return d.errAt("PSB", "stream does not start with PSB (got %#x)", b)
 	}
 	d.remaining, err = binary.ReadUvarint(countingByteReader{d})
 	if err != nil {
 		// ReadUvarint reports a cut before the varint as io.EOF and a cut
 		// inside it as io.ErrUnexpectedEOF; both are a truncated tail.
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, d.errAt("PSB", "reading block count: %w", ErrTruncatedTail)
+			return d.errAt("PSB", "reading block count: %w", ErrTruncatedTail)
 		}
-		return nil, d.errAt("PSB", "reading block count: %w", err)
+		return d.errAt("PSB", "reading block count: %w", err)
 	}
 	d.declared = d.remaining
 	d.report.Declared = d.declared
-	return d, nil
-}
-
-// newDecoderAt resumes a strict decode in the middle of a stream, at the
-// byte offset of a PSB sync point recorded by an Index scan: the reader
-// must be positioned exactly at the sync's magic, off names that stream
-// offset (for error reporting), and startBlock is the 0-based ordinal of
-// the block the sync's TIP re-establishes — the first block this decoder
-// emits. A PSB resets all decode state, so nothing before the sync is
-// needed.
-func newDecoderAt(r io.Reader, prog *program.Program, declared, startBlock uint64, off int64) *Decoder {
-	d, _ := ResumeDecoder(r, prog, ResumeSpec{Declared: declared, Emitted: startBlock, Off: off})
-	return d
+	return nil
 }
 
 // ResumeSpec positions a ResumeDecoder at a previously observed sync
@@ -207,18 +261,136 @@ func ResumeDecoder(r io.Reader, prog *program.Program, spec ResumeSpec) (*Decode
 		return nil, fmt.Errorf("trace: resume at %d blocks emitted exceeds declared %d", spec.Emitted, spec.Declared)
 	}
 	d := &Decoder{
-		r:           bufio.NewReaderSize(r, 1<<16),
-		prog:        prog,
-		rec:         spec.Recover,
-		cur:         program.NoBlock,
-		off:         spec.Off,
-		declared:    spec.Declared,
-		remaining:   spec.Declared - spec.Emitted,
-		priorDamage: spec.PriorDamage,
+		r:    bufio.NewReaderSize(r, 1<<16),
+		prog: prog,
+		cur:  program.NoBlock,
 	}
-	d.report.Declared = spec.Declared
+	d.applySpec(spec)
 	return d, nil
 }
+
+// ResumeBytesDecoder is ResumeDecoder over an in-memory stream: buf must
+// begin exactly at the sync point's PSB magic (for a mapped trace file,
+// mapping[spec.Off:]).
+func ResumeBytesDecoder(buf []byte, prog *program.Program, spec ResumeSpec) (*Decoder, error) {
+	if spec.Emitted > spec.Declared {
+		return nil, fmt.Errorf("trace: resume at %d blocks emitted exceeds declared %d", spec.Emitted, spec.Declared)
+	}
+	d := &Decoder{
+		whole: true,
+		buf:   buf,
+		prog:  prog,
+		cur:   program.NoBlock,
+	}
+	d.applySpec(spec)
+	return d, nil
+}
+
+// applySpec positions a freshly reset decoder at a resume point.
+func (d *Decoder) applySpec(spec ResumeSpec) {
+	d.rec = spec.Recover
+	d.off = spec.Off
+	d.declared = spec.Declared
+	d.remaining = spec.Declared - spec.Emitted
+	d.priorDamage = spec.PriorDamage
+	d.report.Declared = spec.Declared
+}
+
+// Reset repositions d at a sync point of an in-memory stream, exactly
+// like ResumeBytesDecoder but reusing d's allocations — the return
+// stack, damage-region backing, and (in streaming mode) the read buffer
+// are retained — so a steady-state seek restart allocates nothing. buf
+// must begin exactly at the sync point's PSB magic. Observers (OnSync,
+// SetInterrupt) are cleared.
+func (d *Decoder) Reset(buf []byte, spec ResumeSpec) error {
+	if spec.Emitted > spec.Declared {
+		return fmt.Errorf("trace: resume at %d blocks emitted exceeds declared %d", spec.Emitted, spec.Declared)
+	}
+	d.reset()
+	d.whole, d.buf, d.pos = true, buf, 0
+	d.applySpec(spec)
+	return nil
+}
+
+// resetReader is Reset over a streaming reader: the decoder's internal
+// read buffer is reused instead of reallocated.
+func (d *Decoder) resetReader(r io.Reader, spec ResumeSpec) error {
+	if spec.Emitted > spec.Declared {
+		return fmt.Errorf("trace: resume at %d blocks emitted exceeds declared %d", spec.Emitted, spec.Declared)
+	}
+	d.reset()
+	d.setReader(r)
+	d.applySpec(spec)
+	return nil
+}
+
+// resetStart repositions d at the start of a whole in-memory stream,
+// re-reading the header, in strict mode.
+func (d *Decoder) resetStart(data []byte) error {
+	d.reset()
+	d.whole, d.buf, d.pos = true, data, 0
+	return d.readHeader()
+}
+
+// resetReaderStart is resetStart over a streaming reader.
+func (d *Decoder) resetReaderStart(r io.Reader) error {
+	d.reset()
+	d.setReader(r)
+	return d.readHeader()
+}
+
+// setReader switches d to streaming mode over r, reusing the buffer.
+func (d *Decoder) setReader(r io.Reader) {
+	d.whole, d.buf, d.pos = false, nil, 0
+	if d.r == nil {
+		d.r = bufio.NewReaderSize(r, 1<<16)
+	} else {
+		d.r.Reset(r)
+	}
+}
+
+// reset clears all decode state back to that of a fresh decoder while
+// retaining allocated capacity. d.prog is kept.
+func (d *Decoder) reset() {
+	d.rec, d.off = false, 0
+	d.remaining, d.declared = 0, 0
+	d.bits, d.nbits = 0, 0
+	d.lastIP = 0
+	d.stack = d.stack[:0]
+	d.cur = program.NoBlock
+	d.done, d.err = false, nil
+	d.report = DecodeReport{Regions: d.report.Regions[:0]}
+	d.priorDamage = false
+	d.onSync, d.interrupt = nil, nil
+	d.stopAtSync = false
+}
+
+// decoderPool recycles Decoders for short-lived decodes (parallel region
+// workers): a pooled decoder keeps its return-stack and read-buffer
+// capacity, so steady-state cold starts allocate nothing.
+var decoderPool = sync.Pool{New: func() any { return new(Decoder) }}
+
+func getDecoder(prog *program.Program) *Decoder {
+	d := decoderPool.Get().(*Decoder)
+	d.prog = prog
+	return d
+}
+
+// putDecoder returns a decoder to the pool. Input references are dropped
+// so pooling never pins an mmap'd trace or a caller's reader.
+func putDecoder(d *Decoder) {
+	d.reset()
+	d.whole, d.buf, d.pos = false, nil, 0
+	if d.r != nil {
+		d.r.Reset(eofReader{})
+	}
+	d.prog = nil
+	decoderPool.Put(d)
+}
+
+type eofReader struct{}
+
+func (eofReader) Read([]byte) (int, error) { return 0, io.EOF }
 
 // OnSync registers an observer for every sync point the decode passes
 // (see the field's contract). It must be set before the first Next.
@@ -252,11 +424,48 @@ func (d *Decoder) errAt(kind, format string, args ...any) error {
 
 // readByte reads one raw byte, tracking the stream offset.
 func (d *Decoder) readByte() (byte, error) {
+	if d.whole {
+		if d.pos >= len(d.buf) {
+			return 0, io.EOF
+		}
+		b := d.buf[d.pos]
+		d.pos++
+		d.off++
+		return b, nil
+	}
 	b, err := d.r.ReadByte()
 	if err == nil {
 		d.off++
 	}
 	return b, err
+}
+
+// peek returns the next n input bytes without consuming them, bufio
+// Peek-style: fewer than n come back (with an error) only when the
+// input ends first.
+func (d *Decoder) peek(n int) ([]byte, error) {
+	if d.whole {
+		rest := d.buf[d.pos:]
+		if len(rest) < n {
+			return rest, io.EOF
+		}
+		return rest[:n], nil
+	}
+	return d.r.Peek(n)
+}
+
+// discard consumes up to n input bytes, returning how many were
+// consumed; the caller advances d.off by that count.
+func (d *Decoder) discard(n int) (int, error) {
+	if d.whole {
+		if m := len(d.buf) - d.pos; m < n {
+			d.pos += m
+			return m, io.EOF
+		}
+		d.pos += n
+		return n, nil
+	}
+	return d.r.Discard(n)
 }
 
 // countingByteReader adapts the decoder's counted reads to io.ByteReader
@@ -359,6 +568,94 @@ func (d *Decoder) nextTIP() (program.BlockID, error) {
 	return id, nil
 }
 
+// lookupEntry is prog.BlockAtEntry through the decoder's direct-mapped
+// TIP cache.
+func (d *Decoder) lookupEntry(ip uint64) (program.BlockID, bool) {
+	if d.tipProg != d.prog {
+		if d.tipCache == nil {
+			d.tipCache = new([tipCacheSize]tipCacheEnt)
+		}
+		for i := range d.tipCache {
+			d.tipCache[i].id = program.NoBlock
+		}
+		d.tipProg = d.prog
+	}
+	e := &d.tipCache[(ip*0x9E3779B97F4A7C15)>>55%tipCacheSize]
+	if e.ip == ip && e.id != program.NoBlock {
+		return e.id, true
+	}
+	id, ok := d.prog.BlockAtEntry(ip)
+	if ok {
+		*e = tipCacheEnt{ip: ip, id: id}
+	}
+	return id, ok
+}
+
+// refillTNT is the whole-buffer fast path for draining a TNT packet at a
+// conditional branch with no buffered bits. It commits only when the
+// packet is fully present and well formed; every anomaly — a possible
+// sync point or magic tail, an END packet, a malformed or truncated TNT,
+// plain junk — returns false with nothing consumed, and the slow path
+// re-reads the same bytes to produce the exact strict/recovery behavior.
+func (d *Decoder) refillTNT() bool {
+	buf, p := d.buf, d.pos
+	// A conditional branch with an empty TNT buffer is a syncable
+	// position: a first byte matching the PSB magic may open a sync
+	// point (or its truncated tail) and must go through peekSync.
+	if p+1 >= len(buf) || buf[p] == psbMagic[0] || buf[p] != pktTNT {
+		return false
+	}
+	nb := int(buf[p+1])
+	if nb == 0 || nb > maxTNTBits {
+		return false
+	}
+	nby := (nb + 7) / 8
+	if p+2+nby > len(buf) {
+		return false
+	}
+	var bits uint64
+	for i := 0; i < nby; i++ {
+		bits |= uint64(buf[p+2+i]) << uint(8*i)
+	}
+	d.bits, d.nbits = bits, nb
+	d.pos = p + 2 + nby
+	d.off += int64(2 + nby)
+	return true
+}
+
+// fastTIP is the whole-buffer fast path for a TIP packet: parse the
+// delta and resolve the target without consuming anything, then commit
+// only on full success. checkSync guards the syncable read positions
+// (indirect jumps and calls); an uncompressed return reads its TIP after
+// a buffered TNT bit, where no sync point can sit, exactly as step does.
+// Any anomaly returns NoBlock, false with the decoder untouched.
+func (d *Decoder) fastTIP(checkSync bool) (program.BlockID, bool) {
+	if d.nbits != 0 {
+		return program.NoBlock, false
+	}
+	buf, p := d.buf, d.pos
+	if p+1 >= len(buf) || (checkSync && buf[p] == psbMagic[0]) || buf[p] != pktTIP {
+		return program.NoBlock, false
+	}
+	nb := int(buf[p+1])
+	if nb > 8 || p+2+nb > len(buf) {
+		return program.NoBlock, false
+	}
+	var delta uint64
+	for i := 0; i < nb; i++ {
+		delta |= uint64(buf[p+2+i]) << uint(8*i)
+	}
+	ip := d.lastIP ^ delta
+	id, ok := d.lookupEntry(ip)
+	if !ok {
+		return program.NoBlock, false
+	}
+	d.lastIP = ip
+	d.pos = p + 2 + nb
+	d.off += int64(2 + nb)
+	return id, true
+}
+
 // Next returns the next executed block, or io.EOF at the end of the
 // stream. In strict mode the header's block count is enforced in both
 // directions: a stream whose packets run out (or hit an early END)
@@ -408,6 +705,13 @@ func (d *Decoder) Next() (program.BlockID, error) {
 			d.err = err
 			return program.NoBlock, err
 		}
+		if err == errStopSync {
+			// A stopAtSync decode reached the next region's sync point:
+			// surface it without consuming the magic or accounting
+			// anything. The decoder is done; d.off names the magic.
+			d.err = err
+			return program.NoBlock, err
+		}
 		if d.interrupt != nil && d.interrupt(err) {
 			// A paused stream, not a damaged one: surface it without
 			// accounting a region, in either mode.
@@ -426,6 +730,139 @@ func (d *Decoder) Next() (program.BlockID, error) {
 		}
 	}
 	return program.NoBlock, io.EOF
+}
+
+// NextBatch decodes up to len(out) blocks into out, returning how many
+// it produced. It is Next amortized: transitions that touch no packet
+// bytes — fall-throughs, direct jumps and calls, conditional branches
+// and compressed returns served from already-buffered TNT bits — run in
+// an inlined fast path, and only packet-consuming steps go through the
+// full machinery. A non-nil error (io.EOF at a clean stream end) means
+// the decode ended; the n blocks before it are valid. Accounting,
+// recovery, and sync handling are exactly Next's: a sync point or
+// stream end only sits at a packet-read position with no buffered TNT
+// bits, so a transition served from d.bits can never skip one.
+func (d *Decoder) NextBatch(out []program.BlockID) (int, error) {
+	n := 0
+	for n < len(out) {
+		// The fast loop runs on local copies of the hot decode state
+		// (TNT buffer, current block, remaining count) so the compiler
+		// keeps them in registers; they are flushed back before any slow
+		// step and at every loop exit. The packet helpers (refillTNT,
+		// fastTIP) operate on the decoder, so the TNT locals sync around
+		// those calls — cheap, since they only fire at packet boundaries.
+		if d.err == nil && !d.done && d.cur != program.NoBlock {
+			blocks := d.prog.Blocks
+			bits, nbits := d.bits, d.nbits
+			cur, remaining := d.cur, d.remaining
+			var served uint64
+
+			for remaining > 0 && n < len(out) {
+				b := &blocks[cur]
+				var id program.BlockID
+				var ok bool
+				switch b.Term {
+				case isa.TermFallthrough:
+					id = b.FallThrough
+				case isa.TermJump:
+					id = b.TakenTarget
+				case isa.TermCall:
+					d.stack = append(d.stack, b.FallThrough)
+					id = b.TakenTarget
+				case isa.TermCondBranch:
+					if nbits == 0 {
+						if !d.whole || !d.refillTNT() {
+							goto flush
+						}
+						bits, nbits = d.bits, d.nbits
+					}
+					if bits&1 != 0 {
+						id = b.TakenTarget
+					} else {
+						id = b.FallThrough
+					}
+					bits >>= 1
+					nbits--
+				case isa.TermIndirectJump:
+					if !d.whole || nbits != 0 {
+						goto flush
+					}
+					d.nbits = 0
+					if id, ok = d.fastTIP(true); !ok {
+						goto flush
+					}
+				case isa.TermIndirectCall:
+					if !d.whole || nbits != 0 {
+						goto flush
+					}
+					d.nbits = 0
+					if id, ok = d.fastTIP(true); !ok {
+						goto flush
+					}
+					d.stack = append(d.stack, b.FallThrough)
+				case isa.TermRet:
+					if nbits == 0 {
+						if !d.whole || !d.refillTNT() {
+							goto flush
+						}
+						bits, nbits = d.bits, d.nbits
+					}
+					if bits&1 != 0 {
+						// Compressed (stack-predicted) return; an empty
+						// stack is an error the slow path raises after
+						// re-reading the bit, so only peek it here.
+						if len(d.stack) == 0 {
+							goto flush
+						}
+						bits >>= 1
+						nbits--
+						id = d.stack[len(d.stack)-1]
+						d.stack = d.stack[:len(d.stack)-1]
+					} else {
+						// Uncompressed return: a TIP re-establishes the
+						// target, valid only when the ret bit was the
+						// last one buffered (more pending bits make the
+						// TIP an error the slow path raises). The flush
+						// writes the locals back untouched, so any
+						// anomaly leaves the slow path to re-read bit
+						// and packet from unchanged state.
+						if !d.whole || nbits != 1 {
+							goto flush
+						}
+						d.nbits = 0
+						if id, ok = d.fastTIP(false); !ok {
+							goto flush
+						}
+						bits, nbits = 0, 0
+						d.stack = d.stack[:0]
+					}
+				default:
+					goto flush
+				}
+				cur = id
+				remaining--
+				served++
+				out[n] = id
+				n++
+			}
+
+		flush:
+			d.bits, d.nbits = bits, nbits
+			d.cur = cur
+			d.remaining = remaining
+			d.report.Decoded += served
+		}
+		if n == len(out) {
+			break
+		}
+		id, err := d.Next()
+		if err != nil {
+			return n, err
+		}
+		out[n] = id
+		n++
+	}
+	return n, nil
 }
 
 // finish validates the end of a fully decoded stream: no TNT bits may be
@@ -475,20 +912,20 @@ func (d *Decoder) resetState() {
 func (d *Decoder) resync(cause error) bool {
 	reg := DamageRegion{Offset: d.off, Resume: -1, Reason: cause.Error()}
 	for {
-		buf, perr := d.r.Peek(len(psbMagic))
+		buf, perr := d.peek(len(psbMagic))
 		if len(buf) < len(psbMagic) {
 			if perr != nil && perr != io.EOF && d.interrupt != nil && d.interrupt(perr) {
 				d.err = d.errAt("PSB", "resync interrupted: %w", perr)
 				return false
 			}
-			n, _ := d.r.Discard(len(buf))
+			n, _ := d.discard(len(buf))
 			d.off += int64(n)
 			d.report.Regions = append(d.report.Regions, reg)
 			return false
 		}
 		if matchMagic(buf) {
 			magicOff := d.off
-			n, _ := d.r.Discard(len(psbMagic))
+			n, _ := d.discard(len(psbMagic))
 			d.off += int64(n)
 			d.resetState()
 			reg.Resume = d.off
@@ -501,7 +938,7 @@ func (d *Decoder) resync(cause error) bool {
 			}
 			return true
 		}
-		if _, err := d.r.Discard(1); err != nil {
+		if _, err := d.discard(1); err != nil {
 			d.report.Regions = append(d.report.Regions, reg)
 			return false
 		}
@@ -527,10 +964,10 @@ func (d *Decoder) peekSync() bool {
 	// reader (a live tail) must not wait for len(psbMagic) bytes when the
 	// next packet visibly is not a sync point — at a syncable position
 	// only a real PSB starts with psbMagic[0].
-	if b, err := d.r.Peek(1); err != nil || b[0] != psbMagic[0] {
+	if b, err := d.peek(1); err != nil || b[0] != psbMagic[0] {
 		return false
 	}
-	buf, _ := d.r.Peek(len(psbMagic))
+	buf, _ := d.peek(len(psbMagic))
 	return len(buf) == len(psbMagic) && matchMagic(buf)
 }
 
@@ -541,10 +978,10 @@ func (d *Decoder) peekSync() bool {
 // it, the decode reports ErrTruncatedTail and a tailer can wait for the
 // rest of the magic to land.
 func (d *Decoder) peekSyncTail() bool {
-	if b, err := d.r.Peek(1); err != nil || b[0] != psbMagic[0] {
+	if b, err := d.peek(1); err != nil || b[0] != psbMagic[0] {
 		return false
 	}
-	buf, err := d.r.Peek(len(psbMagic))
+	buf, err := d.peek(len(psbMagic))
 	if err != io.EOF || len(buf) == 0 || len(buf) >= len(psbMagic) {
 		return false
 	}
@@ -567,7 +1004,7 @@ func (d *Decoder) stepSync() (program.BlockID, error) {
 	if d.onSync != nil {
 		d.onSync(d.off, d.declared-d.remaining)
 	}
-	n, err := d.r.Discard(len(psbMagic))
+	n, err := d.discard(len(psbMagic))
 	d.off += int64(n)
 	if err != nil {
 		return program.NoBlock, d.errAt("PSB", "truncated sync point: %v", err)
@@ -616,6 +1053,9 @@ func (d *Decoder) step() (program.BlockID, error) {
 	// and must not be consumed yet.
 	if d.nbits == 0 && syncableTerm(b.Term) {
 		if d.peekSync() {
+			if d.stopAtSync {
+				return program.NoBlock, errStopSync
+			}
 			return d.stepSync()
 		}
 		if d.peekSyncTail() {

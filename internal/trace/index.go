@@ -294,6 +294,18 @@ func putUvarint(b *bytes.Buffer, v uint64) {
 // decode work across all passes, including blocks discarded while
 // seeking.
 func IndexedFileSource(path string, prog *program.Program) (blockseq.Source, error) {
+	return IndexedFileSourceOptions(path, prog, FileOptions{})
+}
+
+// IndexedFileSourceOptions is IndexedFileSource with explicit read
+// options. Only NoMmap applies: indexed passes restart at arbitrary sync
+// points on every seek, which parallel region decoding cannot serve, so
+// Decoders is ignored; Recover is rejected because recovery and seeking
+// don't compose (see IndexedFileSource).
+func IndexedFileSourceOptions(path string, prog *program.Program, o FileOptions) (blockseq.Source, error) {
+	if o.Recover {
+		return nil, errors.New("trace: indexed sources decode strictly; recovery and seeking don't compose")
+	}
 	h := &fileHandle{path: path}
 	sha, err := h.sha256()
 	if err != nil {
@@ -314,7 +326,7 @@ func IndexedFileSource(path string, prog *program.Program) (blockseq.Source, err
 		// directory, say) costs the next open a rebuild, nothing more.
 		_ = WriteIndexFile(sidecar, idx, sha, size)
 	}
-	return &indexedSource{h: h, prog: prog, idx: idx}, nil
+	return &indexedSource{h: h, prog: prog, idx: idx, mmapOK: !o.NoMmap}, nil
 }
 
 // loadOrExtendIndex returns a usable index from the sidecar — loaded
@@ -348,7 +360,20 @@ type indexedSource struct {
 	h       *fileHandle
 	prog    *program.Program
 	idx     *Index
+	mmapOK  bool
 	decoded atomic.Uint64
+}
+
+// data returns the file's mapping when mmap is enabled and available.
+func (s *indexedSource) data() ([]byte, bool) {
+	if !s.mmapOK {
+		return nil, false
+	}
+	m, err := s.h.data()
+	if err != nil {
+		return nil, false
+	}
+	return m, true
 }
 
 // Open starts a pass at block 0.
@@ -374,7 +399,11 @@ func (s *indexedSource) Index() *Index { return s.idx }
 // it transparently.
 func (s *indexedSource) Close() error { return s.h.Close() }
 
-// indexedSeq is one seekable pass.
+// indexedSeq is one seekable pass. It owns a single Decoder reused
+// across every restart (a seek may restart at a new sync point many
+// times per pass), so steady-state repositioning allocates nothing:
+// over a mapped file a restart is a pure Reset onto a subslice; over
+// the ReadAt fallback the decoder's read buffer is retained.
 type indexedSeq struct {
 	src  *indexedSource
 	d    *Decoder
@@ -402,29 +431,46 @@ func (s *indexedSeq) Next() (program.BlockID, bool) {
 
 func (s *indexedSeq) Err() error { return s.err }
 
-// restart begins decoding at ordinal 0 (the header) or at a sync entry.
+// restart begins decoding at ordinal 0 (the header) or at a sync entry,
+// reusing the pass's decoder.
 func (s *indexedSeq) restart(at uint64) error {
+	if s.d == nil {
+		s.d = &Decoder{prog: s.src.prog, cur: program.NoBlock}
+	}
+	data, mapped := s.src.data()
 	if at == 0 {
-		r, err := s.src.h.reader()
+		var err error
+		if mapped {
+			err = s.d.resetStart(data)
+		} else {
+			var r io.Reader
+			if r, err = s.src.h.reader(); err == nil {
+				err = s.d.resetReaderStart(r)
+			}
+		}
 		if err != nil {
 			return err
 		}
-		d, err := NewDecoder(r, s.src.prog)
-		if err != nil {
-			return err
-		}
-		s.d, s.pos, s.done = d, 0, false
+		s.pos, s.done = 0, false
 		return nil
 	}
 	e, ok := s.src.idx.nearest(at)
 	if !ok || e.Block != at {
 		return fmt.Errorf("trace: block %d is not a sync point", at)
 	}
-	r, err := s.src.h.readerAt(e.Off)
+	spec := ResumeSpec{Declared: s.src.idx.Declared, Emitted: e.Block, Off: e.Off}
+	var err error
+	if mapped {
+		err = s.d.Reset(data[e.Off:], spec)
+	} else {
+		var r io.Reader
+		if r, err = s.src.h.readerAt(e.Off); err == nil {
+			err = s.d.resetReader(r, spec)
+		}
+	}
 	if err != nil {
 		return err
 	}
-	s.d = newDecoderAt(r, s.src.prog, s.src.idx.Declared, e.Block, e.Off)
 	s.pos, s.done = e.Block, false
 	return nil
 }

@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"bytes"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -25,6 +24,30 @@ type DecodeCounting interface {
 	DecodedBlocks() uint64
 }
 
+// FileOptions configures how a trace file source reads its file.
+type FileOptions struct {
+	// NoMmap disables memory-mapped reads: every pass streams through
+	// the shared descriptor (ReadAt section readers), the portable
+	// fallback. The default maps the file once and decodes zero-copy
+	// slices of the mapping, falling back to the reader path
+	// automatically when the platform has no mmap or the map fails.
+	// Live, still-growing traces should be tailed (internal/watch),
+	// which always reads via ReadAt — a mapping is a fixed-size
+	// snapshot, and truncation under it faults.
+	NoMmap bool
+	// Decoders > 1 decodes disjoint PSB sync regions concurrently on a
+	// bounded worker pool and fans the results back in stream order,
+	// bit-identical to serial decode (see ParallelFileSource). <= 1
+	// decodes serially. Parallel decode requires the mapping; without
+	// it (NoMmap, unsupported platform, or a stream with no sync
+	// points) passes decode serially.
+	Decoders int
+	// Recover selects recovery mode: damaged packet regions are skipped
+	// at PSB sync points instead of erroring, and the source implements
+	// Reporting.
+	Recover bool
+}
+
 // NewSource wraps an encoded packet stream as a replayable block source:
 // every Open calls open for a fresh reader and decodes it from the start,
 // so multi-pass consumers replay the file instead of materializing it.
@@ -44,40 +67,57 @@ func NewRecoveringSource(prog *program.Program, open func() (io.ReadCloser, erro
 
 // FileSource streams an encoded trace file. LenHint reads just the
 // stream header, so consumers can pre-size buffers without a full pass.
-// All passes share one os.File via ReadAt, so re-opening the source for
-// multi-pass analysis does not churn file descriptors; Close (optional)
-// releases it.
+// The file is memory-mapped when the platform allows (zero-copy decode;
+// ReadAt fallback otherwise), and all passes share one os.File, so
+// re-opening the source for multi-pass analysis does not churn file
+// descriptors; Close (optional) releases it.
 func FileSource(path string, prog *program.Program) blockseq.Source {
-	h := &fileHandle{path: path}
-	return &readerSource{prog: prog, open: h.open, closer: h}
+	return FileSourceOptions(path, prog, FileOptions{})
 }
 
 // RecoverFileSource streams an encoded trace file in recovery mode (see
 // NewRecoveringSource). Like FileSource, all passes share one os.File.
 func RecoverFileSource(path string, prog *program.Program) blockseq.Source {
+	return FileSourceOptions(path, prog, FileOptions{Recover: true})
+}
+
+// FileSourceOptions streams an encoded trace file with explicit read
+// options (see FileOptions). The zero options value is FileSource.
+func FileSourceOptions(path string, prog *program.Program, o FileOptions) blockseq.Source {
 	h := &fileHandle{path: path}
-	return &readerSource{prog: prog, open: h.open, closer: h, rec: true}
+	rs := &readerSource{prog: prog, open: h.open, closer: h, rec: o.Recover}
+	if !o.NoMmap {
+		rs.h = h
+	}
+	if o.Decoders > 1 && !o.NoMmap {
+		return newParallelSource(rs, o.Decoders)
+	}
+	return rs
 }
 
 // BytesSource streams an in-memory encoded trace (tests, benchmarks).
+// Decoding indexes the slice directly — the same zero-copy path a
+// mapped file uses.
 func BytesSource(data []byte, prog *program.Program) blockseq.Source {
-	return NewSource(prog, func() (io.ReadCloser, error) {
-		return io.NopCloser(bytes.NewReader(data)), nil
-	})
+	return &readerSource{prog: prog, inMemory: true, data: data}
 }
 
 // RecoverBytesSource streams an in-memory encoded trace in recovery mode
 // (see NewRecoveringSource).
 func RecoverBytesSource(data []byte, prog *program.Program) blockseq.Source {
-	return NewRecoveringSource(prog, func() (io.ReadCloser, error) {
-		return io.NopCloser(bytes.NewReader(data)), nil
-	})
+	return &readerSource{prog: prog, inMemory: true, data: data, rec: true}
 }
 
 type readerSource struct {
 	prog *program.Program
 	open func() (io.ReadCloser, error)
 	rec  bool
+	// inMemory selects whole-buffer decoding of data (BytesSource).
+	inMemory bool
+	data     []byte
+	// h, when set, offers the file's mmap to passes; a failed map falls
+	// back to open.
+	h *fileHandle
 	// closer, when set, releases the shared file handle behind open.
 	closer io.Closer
 	// decoded meters decode work across all passes (see DecodeCounting).
@@ -95,7 +135,28 @@ type readerSource struct {
 	haveReport bool
 }
 
+// wholeInput returns the stream bytes when the source can decode
+// zero-copy: an explicit in-memory slice, or the file's mapping.
+func (s *readerSource) wholeInput() ([]byte, bool) {
+	if s.inMemory {
+		return s.data, true
+	}
+	if s.h != nil {
+		if m, err := s.h.data(); err == nil {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
 func (s *readerSource) Open() blockseq.Seq {
+	if data, ok := s.wholeInput(); ok {
+		d, err := newBytesDecoder(data, s.prog, s.rec)
+		if err != nil {
+			return &decodeSeq{err: err}
+		}
+		return &decodeSeq{d: d, src: s}
+	}
 	rc, err := s.open()
 	if err != nil {
 		return &decodeSeq{err: err}
@@ -118,6 +179,14 @@ func (s *readerSource) LenHint() (int, bool) {
 		return 0, false
 	}
 	s.hintOnce.Do(func() {
+		if data, ok := s.wholeInput(); ok {
+			d, err := NewBytesDecoder(data, s.prog)
+			if err != nil {
+				return
+			}
+			s.hint, s.hintOK = int(d.Declared()), true
+			return
+		}
 		rc, err := s.open()
 		if err != nil {
 			return
@@ -160,30 +229,57 @@ func (s *readerSource) setReport(rep DecodeReport) {
 	s.mu.Unlock()
 }
 
+// decodeBatch sizes the per-pass decode-ahead buffer: Next is served
+// from it and the decoder's batched fast path refills it, amortizing
+// the per-block dispatch.
+const decodeBatch = 512
+
 // decodeSeq is one decoding pass over the packet stream.
 type decodeSeq struct {
 	rc  io.ReadCloser
 	d   *Decoder
 	src *readerSource
 	err error
+
+	batch  []program.BlockID
+	bi, bn int
+	// fin records the decode's terminal error (io.EOF for a clean end)
+	// once the decoder is done; blocks already in the batch are served
+	// before it surfaces, preserving per-block semantics.
+	fin error
 }
 
 func (s *decodeSeq) Next() (program.BlockID, bool) {
-	if s.d == nil {
-		return 0, false
-	}
-	id, err := s.d.Next()
-	if err != nil {
-		if err != io.EOF {
-			s.err = err
+	for {
+		if s.bi < s.bn {
+			id := s.batch[s.bi]
+			s.bi++
+			return id, true
 		}
-		s.close()
-		return 0, false
+		if s.d == nil {
+			return 0, false
+		}
+		if s.fin != nil {
+			if s.fin != io.EOF {
+				s.err = s.fin
+			}
+			s.close()
+			return 0, false
+		}
+		if s.batch == nil {
+			s.batch = make([]program.BlockID, decodeBatch)
+		}
+		n, err := s.d.NextBatch(s.batch)
+		s.bi, s.bn = 0, n
+		if err != nil {
+			s.fin = err
+		} else if n == 0 {
+			s.fin = io.EOF // defensive: NextBatch always progresses or errors
+		}
+		if s.src != nil && n > 0 {
+			s.src.decoded.Add(uint64(n))
+		}
 	}
-	if s.src != nil {
-		s.src.decoded.Add(1)
-	}
-	return id, true
 }
 
 func (s *decodeSeq) Err() error { return s.err }

@@ -3,12 +3,16 @@ package watch
 import (
 	"bytes"
 	"context"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
+	"ripple/internal/blockseq"
 	"ripple/internal/fault"
+	"ripple/internal/program"
 	"ripple/internal/trace"
 )
 
@@ -226,5 +230,79 @@ func TestChaosRotation(t *testing.T) {
 	}
 	if res.Outcome != OutcomeRotated {
 		t.Fatalf("outcome %s, want rotated", res.Outcome)
+	}
+}
+
+// TestChaosMmapSnapshotsOfLiveTail: the live tail reads through ReadAt
+// (a mapping is a fixed-size snapshot and cannot follow growth), but
+// nothing stops an analysis pass from memory-mapping the same file while
+// the writer is still appending. Every such snapshot must classify the
+// unfinished state as ErrTruncatedTail — never as corruption — and once
+// the writer finishes, a fresh snapshot decodes the complete stream.
+// The tail itself must deliver the full reference sequence undamaged
+// throughout.
+func TestChaosMmapSnapshotsOfLiveTail(t *testing.T) {
+	prog, ref, data := makeTrace(t, 3000, 128)
+	path := filepath.Join(t.TempDir(), "trace.pt")
+	app := fault.NewAppender(path, data, 44, 37, 997)
+	done := make(chan error, 1)
+	go func() { done <- app.Run(context.Background(), 100*time.Microsecond) }()
+
+	src := NewTailSource(path, prog, TailConfig{Follow: true, Stall: 10 * time.Second, Seed: 4})
+	seq := src.OpenTail()
+	tailed := make(chan []program.BlockID, 1)
+	go func() { tailed <- drainTail(seq) }()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no complete mmap snapshot within the deadline")
+		}
+		if _, err := os.Stat(path); err != nil {
+			time.Sleep(time.Millisecond) // writer has not created the file yet
+			continue
+		}
+		snap := trace.FileSource(path, prog)
+		got, err := blockseq.Collect(snap)
+		if c, ok := snap.(io.Closer); ok {
+			c.Close()
+		}
+		if err != nil {
+			// A strict decode of a partially written file must land on
+			// the truncation classification, whatever byte it cut at.
+			if !errors.Is(err, trace.ErrTruncatedTail) {
+				t.Fatalf("mmap snapshot of live file = %v, want ErrTruncatedTail", err)
+			}
+			continue
+		}
+		// Strict decode succeeds only on the complete stream.
+		if len(got) != len(ref) {
+			t.Fatalf("complete snapshot decoded %d blocks, want %d", len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("snapshot block %d is %d, want %d", i, got[i], ref[i])
+			}
+		}
+		break
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("appender: %v", err)
+	}
+	got := <-tailed
+	if err := seq.Err(); err != nil {
+		t.Fatalf("tail pass ended with %v", err)
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("tailed %d blocks, want %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("tailed block %d is %d, want %d", i, got[i], ref[i])
+		}
+	}
+	if n := seq.RegionCount(); n != 0 {
+		t.Fatalf("clean live stream accumulated %d damage regions", n)
 	}
 }
